@@ -1,0 +1,11 @@
+"""Ablation bench: counter_sharing (see repro.experiments.ablations.counter_sharing).
+
+Run: pytest benchmarks/bench_ablation_counter_sharing.py --benchmark-only -q
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_counter_sharing(benchmark, show):
+    result = benchmark.pedantic(ablations.counter_sharing, rounds=1, iterations=1)
+    show(result)

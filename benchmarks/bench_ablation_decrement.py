@@ -1,0 +1,11 @@
+"""Ablation bench: decrement (see repro.experiments.ablations.decrement).
+
+Run: pytest benchmarks/bench_ablation_decrement.py --benchmark-only -q
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_decrement(benchmark, show):
+    result = benchmark.pedantic(ablations.decrement, rounds=1, iterations=1)
+    show(result)

@@ -1,0 +1,11 @@
+"""Ablation bench: nc_size (see repro.experiments.ablations.nc_size).
+
+Run: pytest benchmarks/bench_ablation_nc_size.py --benchmark-only -q
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_nc_size(benchmark, show):
+    result = benchmark.pedantic(ablations.nc_size, rounds=1, iterations=1)
+    show(result)

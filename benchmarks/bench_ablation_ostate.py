@@ -1,0 +1,11 @@
+"""Ablation bench: ostate (see repro.experiments.ablations.ostate).
+
+Run: pytest benchmarks/bench_ablation_ostate.py --benchmark-only -q
+"""
+
+from repro.experiments import ablations
+
+
+def test_ablation_ostate(benchmark, show):
+    result = benchmark.pedantic(ablations.ostate, rounds=1, iterations=1)
+    show(result)

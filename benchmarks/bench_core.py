@@ -1,0 +1,60 @@
+"""Micro-benchmarks of the simulator's hot paths.
+
+These track the cost of the operations every reference pays (cache
+lookup, the full per-reference step, trace generation), so a performance
+regression in the engine shows up here rather than as a mysteriously slow
+figure bench.
+"""
+
+import numpy as np
+import pytest
+
+from repro import build_machine, get_trace, system_config
+from repro.coherence.cache import SetAssocCache
+from repro.params import CacheGeometry
+from repro.sim.simulator import Simulator
+from repro.trace.record import TraceSpec
+from repro.trace.synthetic import generate_trace
+
+
+def test_cache_lookup_hit(benchmark):
+    cache = SetAssocCache(CacheGeometry(16 * 1024, 2))
+    for block in range(256):
+        cache.insert(block, 1)
+    blocks = list(range(256)) * 4
+
+    def lookups():
+        for b in blocks:
+            cache.lookup(b)
+
+    benchmark(lookups)
+
+
+def test_cache_insert_evict(benchmark):
+    cache = SetAssocCache(CacheGeometry(16 * 1024, 2))
+    blocks = list(range(4096))
+
+    def churn():
+        for b in blocks:
+            cache.insert(b, 1)
+
+    benchmark(churn)
+
+
+@pytest.mark.parametrize("system", ["base", "vb", "vpp5"])
+def test_step_throughput(benchmark, system):
+    """Whole-engine throughput: references simulated per benchmark round."""
+    trace = get_trace("barnes", refs=40_000)
+    config = system_config(system)
+
+    def run_once():
+        machine = build_machine(config, dataset_bytes=trace.dataset_bytes)
+        Simulator(machine).run(trace)
+
+    benchmark.pedantic(run_once, rounds=3, iterations=1)
+
+
+@pytest.mark.parametrize("bench", ["radix", "raytrace"])
+def test_trace_generation(benchmark, bench):
+    spec = TraceSpec(benchmark=bench, refs=100_000, seed=3)
+    benchmark.pedantic(lambda: generate_trace(spec), rounds=3, iterations=1)

@@ -1,0 +1,13 @@
+"""Regenerate Figure 3 of the paper (see repro.experiments.fig03).
+
+Run: pytest benchmarks/bench_fig03_assoc_vcsize.py --benchmark-only -q
+The printed table has the paper's rows (benchmarks) and columns (system
+configurations); EXPERIMENTS.md records the expected shape.
+"""
+
+from repro.experiments import fig03
+
+
+def test_fig03(benchmark, show):
+    result = benchmark.pedantic(fig03.run, rounds=1, iterations=1)
+    show(result)

@@ -1,0 +1,13 @@
+"""Regenerate Figure 4 of the paper (see repro.experiments.fig04).
+
+Run: pytest benchmarks/bench_fig04_inclusion.py --benchmark-only -q
+The printed table has the paper's rows (benchmarks) and columns (system
+configurations); EXPERIMENTS.md records the expected shape.
+"""
+
+from repro.experiments import fig04
+
+
+def test_fig04(benchmark, show):
+    result = benchmark.pedantic(fig04.run, rounds=1, iterations=1)
+    show(result)

@@ -1,0 +1,13 @@
+"""Regenerate Figure 5 of the paper (see repro.experiments.fig05).
+
+Run: pytest benchmarks/bench_fig05_indexing.py --benchmark-only -q
+The printed table has the paper's rows (benchmarks) and columns (system
+configurations); EXPERIMENTS.md records the expected shape.
+"""
+
+from repro.experiments import fig05
+
+
+def test_fig05(benchmark, show):
+    result = benchmark.pedantic(fig05.run, rounds=1, iterations=1)
+    show(result)

@@ -1,0 +1,13 @@
+"""Regenerate Figure 6 of the paper (see repro.experiments.fig06).
+
+Run: pytest benchmarks/bench_fig06_adaptive.py --benchmark-only -q
+The printed table has the paper's rows (benchmarks) and columns (system
+configurations); EXPERIMENTS.md records the expected shape.
+"""
+
+from repro.experiments import fig06
+
+
+def test_fig06(benchmark, show):
+    result = benchmark.pedantic(fig06.run, rounds=1, iterations=1)
+    show(result)

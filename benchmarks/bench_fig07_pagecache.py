@@ -1,0 +1,13 @@
+"""Regenerate Figure 7 of the paper (see repro.experiments.fig07).
+
+Run: pytest benchmarks/bench_fig07_pagecache.py --benchmark-only -q
+The printed table has the paper's rows (benchmarks) and columns (system
+configurations); EXPERIMENTS.md records the expected shape.
+"""
+
+from repro.experiments import fig07
+
+
+def test_fig07(benchmark, show):
+    result = benchmark.pedantic(fig07.run, rounds=1, iterations=1)
+    show(result)

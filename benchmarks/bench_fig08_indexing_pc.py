@@ -1,0 +1,13 @@
+"""Regenerate Figure 8 of the paper (see repro.experiments.fig08).
+
+Run: pytest benchmarks/bench_fig08_indexing_pc.py --benchmark-only -q
+The printed table has the paper's rows (benchmarks) and columns (system
+configurations); EXPERIMENTS.md records the expected shape.
+"""
+
+from repro.experiments import fig08
+
+
+def test_fig08(benchmark, show):
+    result = benchmark.pedantic(fig08.run, rounds=1, iterations=1)
+    show(result)

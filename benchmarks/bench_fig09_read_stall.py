@@ -1,0 +1,13 @@
+"""Regenerate Figure 9 of the paper (see repro.experiments.fig09).
+
+Run: pytest benchmarks/bench_fig09_read_stall.py --benchmark-only -q
+The printed table has the paper's rows (benchmarks) and columns (system
+configurations); EXPERIMENTS.md records the expected shape.
+"""
+
+from repro.experiments import fig09
+
+
+def test_fig09(benchmark, show):
+    result = benchmark.pedantic(fig09.run, rounds=1, iterations=1)
+    show(result)

@@ -1,0 +1,13 @@
+"""Regenerate Figure 10 of the paper (see repro.experiments.fig10).
+
+Run: pytest benchmarks/bench_fig10_traffic.py --benchmark-only -q
+The printed table has the paper's rows (benchmarks) and columns (system
+configurations); EXPERIMENTS.md records the expected shape.
+"""
+
+from repro.experiments import fig10
+
+
+def test_fig10(benchmark, show):
+    result = benchmark.pedantic(fig10.run, rounds=1, iterations=1)
+    show(result)

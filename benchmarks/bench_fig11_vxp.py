@@ -1,0 +1,13 @@
+"""Regenerate Figure 11 of the paper (see repro.experiments.fig11).
+
+Run: pytest benchmarks/bench_fig11_vxp.py --benchmark-only -q
+The printed table has the paper's rows (benchmarks) and columns (system
+configurations); EXPERIMENTS.md records the expected shape.
+"""
+
+from repro.experiments import fig11
+
+
+def test_fig11(benchmark, show):
+    result = benchmark.pedantic(fig11.run, rounds=1, iterations=1)
+    show(result)

@@ -1,0 +1,21 @@
+"""Regenerate Tables 1-3 of the paper (structural consistency artifacts).
+
+Run: pytest benchmarks/bench_tables.py --benchmark-only -q
+"""
+
+from repro.experiments import tables
+
+
+def test_table1(benchmark, show):
+    result = benchmark.pedantic(tables.table1, rounds=1, iterations=1)
+    show(result)
+
+
+def test_table2(benchmark, show):
+    result = benchmark.pedantic(tables.table2, rounds=1, iterations=1)
+    show(result)
+
+
+def test_table3(benchmark, show):
+    result = benchmark.pedantic(tables.table3, rounds=1, iterations=1)
+    show(result)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Design-space exploration: how much RDC, and in which technology?
+
+Fig. 2 of the paper sketches the qualitative trade-off: an SRAM NC is
+ideal while the remote working set is small; past the SRAM budget the
+choice is a big slow DRAM NC vs. a page cache extending a small fast NC.
+This script walks that design space quantitatively for two applications
+from opposite ends of the paper's spectrum:
+
+* **ocean** — regular, high spatial locality: the page cache should win
+  once the working set outgrows the SRAM NC;
+* **raytrace** — irregular, sparse working set: the fine-grain DRAM NC
+  should win over equally-sized page caches.
+
+Run:  python examples/design_space_sweep.py
+"""
+
+from repro import simulate
+
+REFS = 300_000
+NC_SIZES = (1024, 4096, 16 * 1024, 64 * 1024)
+PC_FRACTIONS = (9, 7, 5)
+
+
+def sweep(bench: str) -> None:
+    print(f"\n=== {bench} ===")
+    ref = simulate("dinf", bench, refs=REFS)
+
+    print("victim NC size sweep (no page cache):")
+    for size in NC_SIZES:
+        r = simulate("vb", bench, refs=REFS, nc_size=size)
+        print(
+            f"  vb {size // 1024:3d} KB : miss {r.miss_ratio:5.2f}%  "
+            f"stall(norm) {r.normalized_stall(ref):5.2f}"
+        )
+
+    r = simulate("ncd", bench, refs=REFS)
+    print(
+        f"  ncd 512 KB DRAM       : miss {r.miss_ratio:5.2f}%  "
+        f"stall(norm) {r.normalized_stall(ref):5.2f}"
+    )
+
+    print("16 KB victim NC + page cache sweep:")
+    for frac in PC_FRACTIONS:
+        r = simulate(f"vbp{frac}", bench, refs=REFS)
+        print(
+            f"  vbp{frac} (PC = 1/{frac})   : miss {r.miss_ratio:5.2f}%  "
+            f"stall(norm) {r.normalized_stall(ref):5.2f}  "
+            f"relocations {r.counters.pc_relocations}"
+        )
+
+
+def main() -> None:
+    print("Remote-data-cache design space (stall normalised to an infinite "
+          "DRAM NC)")
+    for bench in ("ocean", "raytrace"):
+        sweep(bench)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+#!/usr/bin/env python3
+"""Run every experiment driver at full fidelity and dump the tables.
+
+Writes results/experiments_output.txt, the raw material for EXPERIMENTS.md.
+Usage: REPRO_BENCH_REFS=400000 python scripts/run_experiments.py
+"""
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "results/experiments_output.txt"
+    with open(out_path, "w") as f:
+        for name, run in ALL_EXPERIMENTS.items():
+            t0 = time.time()
+            result = run()
+            elapsed = time.time() - t0
+            block = f"{result}\n[{name} regenerated in {elapsed:.1f}s]\n\n"
+            f.write(block)
+            f.flush()
+            print(f"{name} done in {elapsed:.1f}s", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments whose pip lacks the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs bdist_wheel; offline boxes
+without the wheel module can use `python setup.py develop` instead.
+Configuration lives entirely in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

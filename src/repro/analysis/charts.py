@@ -1,0 +1,112 @@
+"""Terminal bar charts for experiment results.
+
+The paper's figures are bar charts (benchmarks x systems); these
+renderers draw the same shape in plain text so a bench/CLI run can show
+the *picture*, not just the numbers.  No plotting dependency is used.
+
+Example (Fig. 9 style)::
+
+    barnes   base | ######################8 1.14
+             ncs  | ###############5        0.77
+             ncd  | ####################    1.00
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+_FULL = "#"
+_PARTIAL = "0123456789"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    """A proportional bar of at most ``width`` chars, eighth-resolution."""
+    if value <= 0 or scale <= 0:
+        return ""
+    cells = min(1.0, value / scale) * width
+    whole = int(cells)
+    frac = int((cells - whole) * 10)
+    out = _FULL * whole
+    if whole < width and frac > 0:
+        out += _PARTIAL[frac]
+    return out
+
+
+def bar_chart(
+    title: str,
+    groups: Sequence[str],
+    series: Sequence[str],
+    values: Mapping[Tuple[str, str], float],
+    width: int = 40,
+    reference: Optional[float] = None,
+    fmt: str = "{:.2f}",
+) -> str:
+    """Grouped horizontal bar chart: one group per benchmark, one bar per
+    system — the layout of Figs. 3-11.
+
+    ``values`` maps (series, group) -> value.  With ``reference`` given
+    (e.g. 1.0 for normalised stalls), a ``|`` ruler column marks it.
+    """
+    maxval = max((v for v in values.values() if v > 0), default=1.0)
+    scale = max(maxval, reference or 0.0)
+    label_w = max((len(s) for s in series), default=4)
+    ref_col = int(round((reference / scale) * width)) if reference else None
+
+    lines = [title]
+    for group in groups:
+        first = True
+        for s in series:
+            v = values.get((s, group))
+            if v is None:
+                continue
+            bar = _bar(v, scale, width)
+            if ref_col is not None:
+                padded = bar.ljust(width)
+                if len(bar) < ref_col:
+                    padded = padded[:ref_col] + "|" + padded[ref_col + 1:]
+                bar = padded.rstrip()
+            head = f"{group:10s}" if first else " " * 10
+            lines.append(f"{head} {s:{label_w}s} | {bar} {fmt.format(v)}")
+            first = False
+        lines.append("")
+    if reference is not None:
+        lines.append(f"('|' marks {fmt.format(reference)})")
+    return "\n".join(lines)
+
+
+def stacked_chart(
+    title: str,
+    groups: Sequence[str],
+    series: Sequence[str],
+    stacks: Mapping[Tuple[str, str], Dict[str, float]],
+    width: int = 40,
+) -> str:
+    """Stacked bars (read/write/relocation) — the Figs. 3-8 layout.
+
+    Components are drawn with distinct fills: ``#`` read, ``=`` write,
+    ``%`` relocation overhead.
+    """
+    totals = [sum(v.values()) for v in stacks.values()]
+    scale = max([t for t in totals if t > 0], default=1.0)
+    label_w = max((len(s) for s in series), default=4)
+
+    fills = {"read": "#", "write": "=", "relocation": "%"}
+    lines = [title]
+    for group in groups:
+        first = True
+        for s in series:
+            parts = stacks.get((s, group))
+            if parts is None:
+                continue
+            bar = ""
+            for key in ("read", "write", "relocation"):
+                component = parts.get(key, 0.0)
+                cells = int(round(component / scale * width))
+                bar += fills[key] * cells
+            total = sum(parts.values())
+            head = f"{group:10s}" if first else " " * 10
+            lines.append(f"{head} {s:{label_w}s} | {bar} {total:.2f}")
+            first = False
+        lines.append("")
+    lines.append("(# read miss, = write miss, % relocation overhead)")
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""Aggregation helpers used by the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Mapping, Tuple
+
+from ..sim.results import SimulationResult
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; 0 if any value is non-positive or the input empty."""
+    vals = list(values)
+    if not vals or any(v <= 0 for v in vals):
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def normalize_map(
+    results: Mapping[Tuple[str, str], SimulationResult],
+    reference_system: str,
+    metric: str = "stall",
+) -> Dict[Tuple[str, str], float]:
+    """Normalise a (system, benchmark) result map against one system.
+
+    ``metric`` is ``"stall"`` (remote read stall, Figs. 9/11) or
+    ``"traffic"`` (remote data traffic, Fig. 10).  Benchmarks where the
+    reference metric is zero map to 0.0 (nothing to normalise).
+    """
+    out: Dict[Tuple[str, str], float] = {}
+    benchmarks = {b for (_, b) in results}
+    for bench in benchmarks:
+        ref = results[(reference_system, bench)]
+        if metric == "stall":
+            denom = ref.remote_read_stall
+        elif metric == "traffic":
+            denom = float(ref.traffic_blocks)
+        else:
+            raise ValueError(f"unknown metric {metric!r}")
+        for (system, b), res in results.items():
+            if b != bench:
+                continue
+            num = (
+                res.remote_read_stall
+                if metric == "stall"
+                else float(res.traffic_blocks)
+            )
+            out[(system, bench)] = num / denom if denom else 0.0
+    return out
+
+
+def stacked_miss_bars(
+    result: SimulationResult,
+) -> Dict[str, float]:
+    """The three stacked components of the paper's miss-ratio bars.
+
+    Figs. 3-8 draw read miss ratio + write miss ratio, with the page
+    relocation overhead (scaled to equivalent misses, x225/30) on top.
+    All values in % of shared references.
+    """
+    return {
+        "read": result.read_miss_ratio,
+        "write": result.write_miss_ratio,
+        "relocation": result.relocation_overhead_ratio,
+    }

@@ -1,0 +1,66 @@
+"""Plain-text tables in the shape of the paper's figures.
+
+Every experiment driver renders its output through these formatters, so a
+bench run prints the same rows/series the paper reports (benchmarks down,
+systems/configurations across).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+
+def format_grid(
+    title: str,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    cell: Callable[[str, str], Optional[float]],
+    fmt: str = "{:.2f}",
+    col_width: int = 9,
+) -> str:
+    """A labelled 2-D grid: rows x columns with a title line."""
+    lines = [title]
+    header = f"{'':12s}" + "".join(f"{c:>{col_width}s}" for c in col_labels)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in row_labels:
+        cells = []
+        for c in col_labels:
+            v = cell(r, c)
+            cells.append("-".rjust(col_width) if v is None else fmt.format(v).rjust(col_width))
+        lines.append(f"{r:12s}" + "".join(cells))
+    return "\n".join(lines)
+
+
+def format_stacked_bars(
+    title: str,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    stacks: Mapping[Tuple[str, str], Dict[str, float]],
+    col_width: int = 18,
+) -> str:
+    """Miss-ratio 'bars': read+write(+relocation) per cell, like Figs. 3-8.
+
+    Each cell renders ``read/write`` or ``read/write+reloc`` percentages.
+    """
+    lines = [title]
+    header = f"{'':12s}" + "".join(f"{c:>{col_width}s}" for c in col_labels)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in row_labels:
+        cells = []
+        for c in col_labels:
+            s = stacks.get((r, c)) or stacks.get((c, r))
+            if s is None:
+                cells.append("-".rjust(col_width))
+                continue
+            txt = f"{s['read']:.2f}r+{s['write']:.2f}w"
+            if s.get("relocation"):
+                txt += f"+{s['relocation']:.2f}p"
+            cells.append(txt.rjust(col_width))
+        lines.append(f"{r:12s}" + "".join(cells))
+    lines.append(
+        "(r = read miss %, w = write miss %, p = relocation overhead in "
+        "equivalent miss %)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+simulate
+    Run one (system, benchmark) pair and print the metric summary.
+sweep
+    Run a systems x benchmarks matrix and print a miss-ratio/stall grid.
+experiment
+    Regenerate one paper table/figure (or ``all``) and print it.
+trace
+    Generate, save, load, and characterise benchmark traces.
+list
+    Show the available systems, benchmarks, and experiments.
+
+Examples
+--------
+::
+
+    python -m repro simulate vbp5 radix --refs 200000
+    python -m repro sweep base,vb,ncd barnes,radix --metric stall
+    python -m repro experiment fig09 --refs 400000
+    python -m repro trace radix --refs 100000 --out radix.npz --stats
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .analysis.charts import bar_chart
+from .analysis.report import format_grid
+from .errors import ReproError
+from .experiments import ALL_EXPERIMENTS
+from .params import BusProtocol, ThresholdPolicy
+from .sim.runner import DEFAULT_REFS, DEFAULT_SCALE, get_trace, simulate
+from .system.builder import SYSTEM_NAMES
+from .trace.io import save_trace
+from .trace.stats import characterize
+from .trace.synthetic import BENCHMARK_NAMES
+
+
+def _add_sim_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--refs", type=int, default=DEFAULT_REFS,
+                   help="shared references per trace (default %(default)s)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                   help="dataset scale vs. Table 3 (default %(default)s)")
+    p.add_argument("--cache-assoc", type=int, default=None)
+    p.add_argument("--nc-size", type=int, default=None)
+    p.add_argument("--threshold", type=int, default=None,
+                   help="initial relocation threshold")
+    p.add_argument("--fixed-threshold", action="store_true",
+                   help="use the fixed (non-adaptive) threshold policy")
+    p.add_argument("--moesir", action="store_true",
+                   help="enable the dirty-shared O state (Sec. 3.2 ablation)")
+    p.add_argument("--decrement-on-invalidation", action="store_true",
+                   help="enable the Sec. 3.4 counter-decrement refinement")
+
+
+def _sim_kwargs(args: argparse.Namespace) -> dict:
+    kw: dict = {}
+    if args.cache_assoc is not None:
+        kw["cache_assoc"] = args.cache_assoc
+    if args.nc_size is not None:
+        kw["nc_size"] = args.nc_size
+    if args.threshold is not None:
+        kw["initial_threshold"] = args.threshold
+    if args.fixed_threshold:
+        kw["threshold_policy"] = ThresholdPolicy.FIXED
+    if args.moesir:
+        kw["protocol"] = BusProtocol.MOESIR
+    if args.decrement_on_invalidation:
+        kw["decrement_on_invalidation"] = True
+    return kw
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    result = simulate(
+        args.system, args.benchmark, refs=args.refs, seed=args.seed,
+        scale=args.scale, **_sim_kwargs(args),
+    )
+    print(f"{result.system} / {result.benchmark}  "
+          f"({result.refs} refs, {result.elapsed_s:.2f}s)")
+    for key, value in result.summary().items():
+        print(f"  {key:28s} {value:14.2f}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    benches = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+    results = {}
+    for bench in benches:
+        for system in systems:
+            results[(system, bench)] = simulate(
+                system, bench, refs=args.refs, seed=args.seed,
+                scale=args.scale, **_sim_kwargs(args),
+            )
+
+    if args.metric == "miss":
+        cell = lambda b, s: results[(s, b)].miss_ratio  # noqa: E731
+        title = "Cluster miss ratio (%)"
+    elif args.metric == "stall":
+        cell = lambda b, s: results[(s, b)].stall_per_reference  # noqa: E731
+        title = "Remote read stall (cycles/ref)"
+    else:
+        cell = lambda b, s: float(results[(s, b)].traffic_blocks)  # noqa: E731
+        title = "Remote traffic (blocks)"
+    if args.chart:
+        values = {(s, b): cell(b, s) for s in systems for b in benches}
+        print(bar_chart(title, benches, systems, values))
+    else:
+        print(format_grid(title, benches, systems, cell))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    names = list(ALL_EXPERIMENTS) if args.name == "all" else [args.name]
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    import os
+
+    if args.refs is not None:
+        os.environ["REPRO_BENCH_REFS"] = str(args.refs)
+    for name in names:
+        print(ALL_EXPERIMENTS[name]())
+        print()
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = get_trace(args.benchmark, refs=args.refs, seed=args.seed,
+                      scale=args.scale)
+    print(f"{trace!r}")
+    if args.stats:
+        c = characterize(trace)
+        print(f"  distinct pages        {c.distinct_pages}")
+        print(f"  distinct blocks       {c.distinct_blocks}")
+        print(f"  footprint             {c.footprint_bytes / (1 << 20):.2f} MB")
+        print(f"  write fraction        {c.write_fraction:.3f}")
+        print(f"  block utilisation     {c.block_utilization:.3f}")
+        print(f"  page utilisation      {c.page_utilization:.3f}")
+        print(f"  remote fraction       {c.remote_fraction:.3f}")
+        print(f"  refs / distinct block {c.block_reuse:.2f}")
+    if args.out:
+        save_trace(trace, args.out)
+        print(f"saved to {args.out}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("systems:     " + " ".join(SYSTEM_NAMES)
+          + "   (+ digit suffix for PC fraction, e.g. ncp5)")
+    print("benchmarks:  " + " ".join(BENCHMARK_NAMES))
+    print("experiments: " + " ".join(ALL_EXPERIMENTS))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SRAM network caches in clustered DSMs (HPCA 1998) "
+                    "reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("simulate", help="run one system on one benchmark")
+    p.add_argument("system")
+    p.add_argument("benchmark")
+    _add_sim_options(p)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("sweep", help="run a systems x benchmarks matrix")
+    p.add_argument("systems", help="comma-separated system names")
+    p.add_argument("benchmarks", help="comma-separated benchmark names")
+    p.add_argument("--metric", choices=("miss", "stall", "traffic"),
+                   default="miss")
+    p.add_argument("--chart", action="store_true",
+                   help="draw horizontal bars instead of a number grid")
+    _add_sim_options(p)
+    p.set_defaults(func=_cmd_sweep)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("name", help="fig03..fig11, table1..table3, or 'all'")
+    p.add_argument("--refs", type=int, default=None)
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("trace", help="generate/inspect a benchmark trace")
+    p.add_argument("benchmark")
+    p.add_argument("--refs", type=int, default=DEFAULT_REFS)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    p.add_argument("--out", default=None, help="save as .npz")
+    p.add_argument("--stats", action="store_true",
+                   help="print trace characterisation")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser("list", help="show systems/benchmarks/experiments")
+    p.set_defaults(func=_cmd_list)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

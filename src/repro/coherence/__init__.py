@@ -1,0 +1,19 @@
+"""Intra-cluster (bus/MESIR) and inter-cluster (directory) coherence.
+
+Submodules
+----------
+states
+    The MESIR processor-cache states, NC line states, and page-cache block
+    states.
+cache
+    A generic set-associative, LRU, write-back cache used for both the
+    processor caches and the finite network caches.
+directory
+    The full-map, non-notifying home directory with presence bits and the
+    capacity/necessary miss classification of Sec. 2.
+"""
+
+from .states import MESIR, NCState, PCBlockState
+from .cache import CacheLine, SetAssocCache
+
+__all__ = ["MESIR", "NCState", "PCBlockState", "CacheLine", "SetAssocCache"]

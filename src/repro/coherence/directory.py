@@ -1,0 +1,163 @@
+"""Full-map home directory with non-notifying presence bits.
+
+Each home node keeps, per block, a presence bitmap over clusters and the
+identity of the dirty owner (if any).  The protocol is *non-notifying*:
+clean copies are dropped silently, so presence bits conservatively
+over-approximate residency — exactly the property the paper relies on to
+classify misses (Sec. 3.4):
+
+* requesting cluster's presence bit already set  => **capacity** miss (the
+  cluster once had the block and lost it to replacement);
+* bit clear => **necessary** miss (cold, or cleared by an invalidation,
+  i.e. a coherence miss).
+
+Following R-NUMA's modification (kept here because our relocation counters
+need the same information), presence bits remain set after a dirty block is
+written back, at the price of possible false invalidations — which we model
+faithfully: an invalidation may be sent to a cluster that no longer holds
+the block.
+
+The directory is a pure bookkeeping object; moving data, downgrading the
+owner's cached copy, and delivering invalidations are the simulator's job,
+driven by the :class:`DirectoryReply` returned from :meth:`Directory.access`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import ProtocolError
+from ..stats import MissClass
+
+
+@dataclass
+class DirectoryReply:
+    """What the home node tells the requester (and the simulator) to do."""
+
+    miss_class: MissClass
+    #: cluster that holds the dirty copy and must supply/flush it, or None
+    owner_to_flush: Optional[int]
+    #: clusters whose copies must be invalidated (writes only)
+    invalidate: Tuple[int, ...]
+
+
+class Directory:
+    """Machine-wide full-map directory (one logical entry per block).
+
+    Entries are created lazily on first access; a block never touched by a
+    remote cluster costs nothing.  State per block: ``presence`` bitmap and
+    ``owner`` cluster id (``-1`` when memory is clean/up-to-date).
+    """
+
+    __slots__ = ("n_nodes", "_entries")
+
+    def __init__(self, n_nodes: int) -> None:
+        self.n_nodes = n_nodes
+        # block -> [presence_mask, owner]
+        self._entries: Dict[int, List[int]] = {}
+
+    # ---- protocol operations -------------------------------------------
+
+    def access(self, block: int, cluster: int, is_write: bool) -> DirectoryReply:
+        """A cluster fetches a block from its home node.
+
+        Classifies the miss, updates presence/ownership, and reports which
+        other clusters must act (dirty-owner flush, invalidations).
+        """
+        bit = 1 << cluster
+        entry = self._entries.get(block)
+        if entry is None:
+            entry = [0, -1]
+            self._entries[block] = entry
+        presence, owner = entry
+
+        miss_class = MissClass.CAPACITY if presence & bit else MissClass.NECESSARY
+
+        if owner == cluster:
+            # The requester supposedly holds the dirty copy, yet the request
+            # escaped its cluster: the NC/PC lookup that should have hit was
+            # skipped.  Always a simulator bug.
+            raise ProtocolError(
+                f"cluster {cluster} re-requested block {block:#x} it owns dirty"
+            )
+
+        owner_to_flush = owner if owner >= 0 else None
+
+        if is_write:
+            invalidate = tuple(
+                c for c in range(self.n_nodes) if (presence >> c) & 1 and c != cluster
+            )
+            entry[0] = bit
+            entry[1] = cluster
+        else:
+            invalidate = ()
+            entry[0] = presence | bit
+            # A read of a dirty block forces a sharing write-back: memory is
+            # updated, ownership is dropped (no O state in MESIR).
+            entry[1] = -1
+
+        return DirectoryReply(miss_class, owner_to_flush, invalidate)
+
+    def upgrade(self, block: int, cluster: int) -> Tuple[int, ...]:
+        """A cluster writes a block it holds shared; invalidate other copies.
+
+        Returns the clusters to invalidate.  Ownership moves to the writer.
+        """
+        bit = 1 << cluster
+        entry = self._entries.get(block)
+        if entry is None:
+            # An upgrade of a block the directory never saw can only mean a
+            # locally-homed block never shared remotely; register it.
+            entry = [bit, -1]
+            self._entries[block] = entry
+        presence, owner = entry
+        if owner >= 0 and owner != cluster:
+            raise ProtocolError(
+                f"upgrade of block {block:#x} by cluster {cluster} while "
+                f"cluster {owner} owns it dirty"
+            )
+        invalidate = tuple(
+            c for c in range(self.n_nodes) if (presence >> c) & 1 and c != cluster
+        )
+        entry[0] = bit
+        entry[1] = cluster
+        return invalidate
+
+    def writeback(self, block: int, cluster: int) -> None:
+        """A cluster writes the dirty block back to home memory.
+
+        Presence bits stay on (the R-NUMA modification), so a later re-fetch
+        by the same cluster classifies as a capacity miss.
+        """
+        entry = self._entries.get(block)
+        if entry is None or entry[1] != cluster:
+            owner = None if entry is None else entry[1]
+            raise ProtocolError(
+                f"write-back of block {block:#x} by cluster {cluster}, "
+                f"but directory owner is {owner}"
+            )
+        entry[1] = -1
+
+    # ---- inspection ------------------------------------------------------
+
+    def is_present(self, block: int, cluster: int) -> bool:
+        entry = self._entries.get(block)
+        return bool(entry and (entry[0] >> cluster) & 1)
+
+    def owner(self, block: int) -> Optional[int]:
+        entry = self._entries.get(block)
+        if entry is None or entry[1] < 0:
+            return None
+        return entry[1]
+
+    def presence_mask(self, block: int) -> int:
+        entry = self._entries.get(block)
+        return entry[0] if entry else 0
+
+    def owned_blocks(self):
+        """Blocks with a recorded dirty owner (validator sweep)."""
+        return [b for b, e in self._entries.items() if e[1] >= 0]
+
+    def n_entries(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,78 @@
+"""Coherence state enumerations.
+
+The paper extends the Illinois MESI bus protocol with a single new state,
+``R`` ("mastership for a remote clean block", Sec. 3.2), yielding MESIR:
+
+* ``M`` — modified, exclusive dirty copy;
+* ``E`` — exclusive clean copy of a *local* block;
+* ``S`` — shared clean copy, not the node's master;
+* ``I`` — invalid;
+* ``R`` — shared clean copy of a *remote* block, and the node's master for
+  it.  Unlike ``S``, replacing an ``R`` block generates a bus replacement
+  transaction so the node's victim cache can capture the last clean copy.
+
+A dirty-shared ``O`` state was evaluated by the authors and rejected for
+the base systems ("very little benefit"); it is available here as the
+optional ``MOESIR`` protocol variant (``BusProtocol.MOESIR``) so that the
+ablation can be re-run — with O, an M copy downgraded by a peer read stays
+dirty-shared in the supplier instead of generating the write-back that
+pollutes the victim NC (Sec. 3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class MESIR(enum.IntEnum):
+    """Processor-cache line states of the MESIR bus protocol."""
+
+    I = 0  # noqa: E741 - the canonical protocol letter
+    S = 1
+    E = 2
+    M = 3
+    R = 4
+    O = 5  # noqa: E741 - dirty-shared; only under BusProtocol.MOESIR
+
+    @property
+    def is_valid(self) -> bool:
+        return self is not MESIR.I
+
+    @property
+    def is_dirty(self) -> bool:
+        return self in (MESIR.M, MESIR.O)
+
+    @property
+    def is_master(self) -> bool:
+        """Does this copy answer bus replacement/ownership duties?"""
+        return self in (MESIR.M, MESIR.E, MESIR.R, MESIR.O)
+
+
+class NCState(enum.IntEnum):
+    """Network-cache line states.
+
+    The NC holds remote blocks only.  A ``DIRTY`` NC line is the cluster's
+    (and the system's) most recent copy; evicting it produces a write-back
+    to the home node, unless the block's page has been relocated into the
+    local page cache, which then absorbs it.
+    """
+
+    INVALID = 0
+    CLEAN = 1
+    DIRTY = 2
+
+    @property
+    def is_valid(self) -> bool:
+        return self is not NCState.INVALID
+
+
+class PCBlockState(enum.IntEnum):
+    """Per-block state inside a page-cache frame (a 2-bit state in SRAM)."""
+
+    INVALID = 0
+    CLEAN = 1
+    DIRTY = 2
+
+    @property
+    def is_valid(self) -> bool:
+        return self is not PCBlockState.INVALID

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent system/benchmark configuration."""
+
+
+class ProtocolError(ReproError):
+    """An illegal coherence-protocol state or transition was observed.
+
+    This indicates a bug in the simulator (a violated invariant), never a
+    user mistake, and is therefore raised eagerly rather than logged.
+    """
+
+
+class TraceError(ReproError):
+    """A malformed trace record, file, or generator specification."""
+
+
+class UnknownSystemError(ConfigurationError):
+    """A system name was requested that is not in the registry."""
+
+    def __init__(self, name: str, known: "list[str]") -> None:
+        super().__init__(
+            f"unknown system {name!r}; known systems: {', '.join(sorted(known))}"
+        )
+        self.name = name
+        self.known = list(known)
+
+
+class UnknownBenchmarkError(ConfigurationError):
+    """A benchmark name was requested that is not in the registry."""
+
+    def __init__(self, name: str, known: "list[str]") -> None:
+        super().__init__(
+            f"unknown benchmark {name!r}; known benchmarks: "
+            f"{', '.join(sorted(known))}"
+        )
+        self.name = name
+        self.known = list(known)

@@ -1,0 +1,79 @@
+"""Shared machinery for the per-figure experiment drivers.
+
+Each ``figNN`` module exposes ``run(refs, seed) -> ExperimentResult`` that
+re-generates one figure of the paper: same benchmarks down the rows, same
+system configurations across the columns, same metric.  The benchmarks in
+``benchmarks/`` print these tables and record timings.
+
+The reference count is taken from the ``REPRO_BENCH_REFS`` environment
+variable when not passed explicitly, so CI can dial the fidelity/runtime
+trade-off without touching code.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..sim.results import SimulationResult
+from ..sim.runner import DEFAULT_REFS, simulate
+
+#: Table 3 order, used for every figure's rows
+BENCHES = (
+    "barnes",
+    "cholesky",
+    "fft",
+    "fmm",
+    "lu",
+    "ocean",
+    "radix",
+    "raytrace",
+)
+
+#: scaled equivalents of the paper's 32/64 initial thresholds (see
+#: repro.params.THRESHOLD_SCALE)
+SCALED_THRESHOLD_32 = 8
+SCALED_THRESHOLD_64 = 16
+
+
+def default_refs() -> int:
+    """Trace length for experiments (env ``REPRO_BENCH_REFS`` or 400k)."""
+    raw = os.environ.get("REPRO_BENCH_REFS")
+    if raw:
+        return max(32, int(raw))
+    return DEFAULT_REFS
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated figure/table: identification, data, rendered text."""
+
+    experiment: str  #: e.g. "fig09"
+    title: str
+    table: str  #: the paper-shaped text table
+    data: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    results: Dict[Tuple[str, str], SimulationResult] = field(default_factory=dict)
+    notes: str = ""
+
+    def __str__(self) -> str:
+        out = [f"== {self.experiment}: {self.title} ==", self.table]
+        if self.notes:
+            out.append(self.notes)
+        return "\n".join(out)
+
+
+def run_matrix(
+    systems: Iterable[str],
+    refs: Optional[int] = None,
+    seed: int = 1,
+    benches: Iterable[str] = BENCHES,
+    **overrides: object,
+) -> Dict[Tuple[str, str], SimulationResult]:
+    """Simulate a systems x benchmarks matrix at experiment fidelity."""
+    n = refs if refs is not None else default_refs()
+    out: Dict[Tuple[str, str], SimulationResult] = {}
+    for bench in benches:
+        for system in systems:
+            out[(system, bench)] = simulate(system, bench, refs=n, seed=seed, **overrides)
+    return out

@@ -1,0 +1,87 @@
+"""Tables 1-3: the paper's structural tables, regenerated from the code.
+
+These are consistency artifacts rather than measurements: Table 1's
+latency components and Table 2's cycle counts are produced from the live
+:class:`~repro.params.LatencyModel` (so a change to the model shows up in
+the regenerated table), and Table 3 lists each synthetic benchmark with
+its paper parameters/footprint and the scaled footprint actually
+simulated.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..params import LatencyModel
+from ..sim.runner import DEFAULT_SCALE
+from ..trace.synthetic import BENCHMARKS
+from .common import ExperimentResult
+
+
+def table1(latency: Optional[LatencyModel] = None) -> ExperimentResult:
+    """Latency components for remote data references, per system."""
+    lat = latency or LatencyModel()
+    rows = [
+        ("PC hit", "-", "-", "-", f"DRAM access ({lat.pc_hit})"),
+        (
+            "PC miss",
+            "-",
+            "-",
+            "-",
+            f"remote access ({lat.remote_access})",
+        ),
+        (
+            "NC hit",
+            "-",
+            f"DRAM+tag ({lat.dram_nc_hit})",
+            f"c2c ({lat.sram_nc_hit})",
+            f"c2c ({lat.sram_nc_hit})",
+        ),
+        (
+            "NC miss",
+            f"remote ({lat.remote_access})",
+            f"remote+tag ({lat.dram_nc_miss})",
+            f"remote ({lat.sram_nc_miss})",
+            f"remote ({lat.sram_nc_miss})",
+        ),
+    ]
+    header = f"{'Event':10s}{'No NC':>18s}{'DRAM NC':>18s}{'SRAM NC':>18s}{'SRAM NC & PC':>22s}"
+    lines = ["Latency components for remote data references (cycles)", header,
+             "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row[0]:10s}{row[1]:>18s}{row[2]:>18s}{row[3]:>18s}{row[4]:>22s}"
+        )
+    return ExperimentResult("table1", "Latency components", "\n".join(lines))
+
+
+def table2(latency: Optional[LatencyModel] = None) -> ExperimentResult:
+    """Event latencies in 10 ns bus cycles."""
+    lat = latency or LatencyModel()
+    rows = [
+        ("DRAM access", lat.dram_access),
+        ("Tag checking", lat.tag_check),
+        ("Cache-to-cache transfer", lat.cache_to_cache),
+        ("Remote access", lat.remote_access),
+        ("Page relocation", lat.page_relocation),
+    ]
+    lines = ["Latencies for the events in Table 1 (10ns bus cycles)"]
+    for name, cycles in rows:
+        lines.append(f"  {name:28s}{cycles:>6d}")
+    return ExperimentResult("table2", "Event latencies", "\n".join(lines))
+
+
+def table3(scale: float = DEFAULT_SCALE) -> ExperimentResult:
+    """Benchmarks: paper parameters/footprints and scaled footprints."""
+    lines = [
+        f"Benchmark characteristics (simulated at scale {scale:g})",
+        f"  {'Benchmark':12s}{'Parameters':>16s}{'Paper MB':>10s}{'Scaled MB':>11s}",
+    ]
+    for name in sorted(BENCHMARKS):
+        gen = BENCHMARKS[name]()
+        scaled_mb = gen.dataset_bytes(scale) / (1 << 20)
+        lines.append(
+            f"  {name:12s}{gen.paper_params:>16s}{gen.paper_mb:>10.2f}"
+            f"{scaled_mb:>11.2f}"
+        )
+    return ExperimentResult("table3", "Benchmark characteristics", "\n".join(lines))

@@ -1,0 +1,60 @@
+"""Remote data caches: every NC organisation in the paper, plus the page cache.
+
+The network-cache classes are deliberately *mechanical*: they store remote
+blocks and apply their allocation/replacement policy, reporting evictions
+back to the caller.  Everything that needs cluster context (forcing L1
+copies out for inclusion, absorbing dirty victims into the page cache,
+relocation decisions) lives in :mod:`repro.sim.simulator`.
+
+Organisations
+-------------
+`NullNC`
+    no network cache (the `base` system).
+`VictimNC`
+    the paper's proposal (Sec. 3): captures blocks victimised by the
+    processor caches, no inclusion, block- or page-indexed; a hit swaps the
+    block back into the L1 (two-level exclusive caching).
+`DirtyInclusionNC`
+    the `nc` configuration: allocates a frame on every remote fetch,
+    inclusion relaxed for clean blocks but maintained for dirty ones.
+`FullInclusionDramNC`
+    the `NCD` configuration: large, slow, full inclusion (NC eviction kicks
+    every L1 copy out of the cluster).
+`InfiniteNC`
+    unbounded NC used for the `NCS` ideal and for the infinite-DRAM
+    normalisation reference of Figs. 9-11.
+`PageCache`
+    Simple-COMA style page cache with LRM replacement and block-grain
+    states.
+`relocation` / `adaptive`
+    R-NUMA's directory counters vs. the paper's NC-set victimisation
+    counters; fixed and adaptive relocation thresholds.
+"""
+
+from .base import InclusionPolicy, NCEviction, NetworkCache
+from .none import NullNC
+from .victim import VictimNC
+from .sram import DirtyInclusionNC
+from .dram import FullInclusionDramNC
+from .infinite import InfiniteNC
+from .pagecache import PageCache, PageFrame
+from .relocation import DirectoryRelocationCounters, NCSetRelocationCounters
+from .adaptive import AdaptiveThreshold, FixedThreshold, ThresholdState
+
+__all__ = [
+    "InclusionPolicy",
+    "NCEviction",
+    "NetworkCache",
+    "NullNC",
+    "VictimNC",
+    "DirtyInclusionNC",
+    "FullInclusionDramNC",
+    "InfiniteNC",
+    "PageCache",
+    "PageFrame",
+    "DirectoryRelocationCounters",
+    "NCSetRelocationCounters",
+    "AdaptiveThreshold",
+    "FixedThreshold",
+    "ThresholdState",
+]

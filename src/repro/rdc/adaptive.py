@@ -1,0 +1,84 @@
+"""Relocation-threshold policies: fixed, and the paper's adaptive scheme.
+
+Sec. 6.2: *"The thresholds are initialized to 32 and incremented by 8 every
+time thrashing is detected in the page cache. [...] When a page cache frame
+is reused, the hit count is adjusted by subtracting the break-even count
+[12]. The result is accumulated in another counter, the thrashing
+indicator. If the thrashing indicator is negative after a certain number of
+frame reuses, called the monitoring window [2x the number of frames], the
+relocation threshold is incremented and all the hit counters are reset."*
+
+Thresholds are tuned **independently per node**; the system builder
+instantiates one :class:`ThresholdState` per node.
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+class ThresholdState(abc.ABC):
+    """Per-node relocation threshold with a frame-reuse feedback hook."""
+
+    value: int
+
+    @abc.abstractmethod
+    def on_frame_reuse(self, frame_hits: int) -> bool:
+        """Notify that a PC frame was reused (its page evicted).
+
+        ``frame_hits`` is the evicted frame's saturating hit count.
+        Returns True when the policy adjusted the threshold, in which case
+        the caller must reset all PC frame hit counters.
+        """
+
+
+class FixedThreshold(ThresholdState):
+    """A constant threshold (the prior-work policy of Fig. 6)."""
+
+    def __init__(self, value: int = 32) -> None:
+        self.value = value
+
+    def on_frame_reuse(self, frame_hits: int) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return f"FixedThreshold({self.value})"
+
+
+class AdaptiveThreshold(ThresholdState):
+    """The paper's thrashing-driven adaptive threshold."""
+
+    def __init__(
+        self,
+        initial: int = 32,
+        increment: int = 8,
+        break_even: int = 12,
+        window: int = 2,
+    ) -> None:
+        self.value = initial
+        self.increment = increment
+        self.break_even = break_even
+        self.window = max(1, window)
+        self._indicator = 0
+        self._reuses = 0
+        self.adjustments = 0  #: how many times thrashing was detected
+
+    def on_frame_reuse(self, frame_hits: int) -> bool:
+        self._indicator += frame_hits - self.break_even
+        self._reuses += 1
+        if self._reuses < self.window:
+            return False
+        thrashing = self._indicator < 0
+        self._reuses = 0
+        self._indicator = 0
+        if thrashing:
+            self.value += self.increment
+            self.adjustments += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"AdaptiveThreshold(value={self.value}, window={self.window}, "
+            f"adjustments={self.adjustments})"
+        )

@@ -1,0 +1,121 @@
+"""Abstract interface shared by every network-cache organisation."""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from ..coherence.states import NCState
+
+
+class InclusionPolicy(enum.Enum):
+    """What an NC eviction forces upon the processor caches (Sec. 3.1)."""
+
+    NONE = "none"  #: victim cache — L1s are never disturbed
+    DIRTY_ONLY = "dirty_only"  #: `nc` — a dirty L1 copy must leave with the frame
+    FULL = "full"  #: `NCD` — every L1 copy of the block is invalidated
+
+
+@dataclass
+class NCEviction:
+    """A block replaced out of the NC, to be disposed of by the simulator.
+
+    ``dirty`` reflects the NC line's own state; with DIRTY_ONLY/FULL
+    inclusion the simulator may upgrade it after collecting a dirty L1 copy.
+    """
+
+    block: int
+    dirty: bool
+
+
+class NetworkCache(abc.ABC):
+    """Storage + allocation policy for one node's network cache.
+
+    All methods take *block numbers*.  Only remote blocks are ever passed
+    in; callers guarantee this (the NC is a remote-data cache).
+
+    The ``service_read`` / ``service_write`` pair implements the NC side of
+    a processor miss: they return the NC line state found (``None`` on
+    miss) *before* applying the organisation's hit transition (a victim NC
+    removes the line — the block swaps into the L1; inclusive NCs keep the
+    frame and mark a written block's copy stale-clean).
+    """
+
+    #: latency class: True => Table 1's DRAM NC rows apply
+    is_dram: bool = False
+    #: what NC evictions force on the L1s
+    inclusion: InclusionPolicy = InclusionPolicy.NONE
+
+    # ---- processor-miss service -----------------------------------------
+
+    @abc.abstractmethod
+    def service_read(self, block: int) -> Optional[int]:
+        """Probe for a read miss; apply hit policy; return found state."""
+
+    @abc.abstractmethod
+    def service_write(self, block: int) -> Optional[int]:
+        """Probe for a write miss; apply hit policy; return found state."""
+
+    # ---- allocation events -----------------------------------------------
+
+    @abc.abstractmethod
+    def on_fetch(self, block: int) -> Optional[NCEviction]:
+        """A remote fetch completed for this node (allocate-on-miss NCs)."""
+
+    @abc.abstractmethod
+    def accept_clean_victim(self, block: int) -> Tuple[bool, Optional[NCEviction]]:
+        """Offer the last clean copy (an R-state replacement transaction).
+
+        Returns ``(accepted, eviction)``.
+        """
+
+    @abc.abstractmethod
+    def accept_dirty_victim(self, block: int) -> Tuple[bool, Optional[NCEviction]]:
+        """Offer a dirty victim (an M write-back on the bus).
+
+        Returns ``(absorbed, eviction)``; when not absorbed the write-back
+        continues to the page cache or across the network.
+        """
+
+    # ---- coherence actions -----------------------------------------------
+
+    @abc.abstractmethod
+    def invalidate(self, block: int) -> Optional[int]:
+        """Remove a block (inter-cluster invalidation); return its state."""
+
+    @abc.abstractmethod
+    def downgrade(self, block: int) -> bool:
+        """Mark a dirty NC copy clean (home read of our dirty block)."""
+
+    # ---- inspection -------------------------------------------------------
+
+    @abc.abstractmethod
+    def probe(self, block: int) -> Optional[int]:
+        """State of a resident block without any side effect."""
+
+    @abc.abstractmethod
+    def resident_blocks(self) -> Iterator[int]:
+        """All currently resident blocks."""
+
+    def flush_page(self, page: int, block_bits_per_page: int) -> List[Tuple[int, bool]]:
+        """Remove every resident block of ``page``; return (block, dirty) pairs.
+
+        Used when a page leaves the page cache and the whole cluster must
+        drop it.  ``block_bits_per_page`` = log2(blocks per page).
+        """
+        doomed = [
+            b for b in list(self.resident_blocks()) if (b >> block_bits_per_page) == page
+        ]
+        out: List[Tuple[int, bool]] = []
+        for b in doomed:
+            state = self.invalidate(b)
+            out.append((b, state == NCState.DIRTY))
+        return out
+
+    # ---- victim-cache specifics (overridden by VictimNC) ------------------
+
+    def set_index_of(self, block: int) -> Optional[int]:
+        """The NC set a block maps to, if the NC is set-indexed (else None)."""
+        return None

@@ -1,0 +1,93 @@
+"""Large DRAM network cache with full inclusion — the `NCD` system.
+
+Models the commercial-style 512 KB DRAM NC (Sequent NUMA-Q / Sting
+lineage, Sec. 5.1):
+
+* slow: every access pays a DRAM access, and even an NC miss pays the tag
+  check before the remote request can be issued (``is_dram = True`` makes
+  the latency model apply Table 1's DRAM rows);
+* full inclusion: every remote block cached anywhere in the cluster has an
+  NC frame, and evicting a frame forcefully evicts every L1 copy
+  (``InclusionPolicy.FULL``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from ..coherence.cache import SetAssocCache
+from ..coherence.states import NCState
+from ..params import CacheGeometry
+from .base import InclusionPolicy, NCEviction, NetworkCache
+
+
+class FullInclusionDramNC(NetworkCache):
+    """Allocate-on-miss DRAM NC with full inclusion."""
+
+    is_dram = True
+    inclusion = InclusionPolicy.FULL
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self._cache = SetAssocCache(geometry)
+
+    # ---- processor-miss service -----------------------------------------
+
+    def service_read(self, block: int) -> Optional[int]:
+        line = self._cache.lookup(block)
+        return None if line is None else line.state
+
+    def service_write(self, block: int) -> Optional[int]:
+        line = self._cache.lookup(block)
+        if line is None:
+            return None
+        state = line.state
+        line.state = NCState.CLEAN  # ownership moves to the writing L1
+        return state
+
+    # ---- allocation -------------------------------------------------------
+
+    def on_fetch(self, block: int) -> Optional[NCEviction]:
+        line = self._cache.peek(block)
+        if line is not None:
+            return None
+        evicted = self._cache.insert(block, NCState.CLEAN)
+        if evicted is None:
+            return None
+        return NCEviction(evicted.block, evicted.state == NCState.DIRTY)
+
+    def accept_clean_victim(self, block: int) -> Tuple[bool, Optional[NCEviction]]:
+        return self._cache.peek(block) is not None, None
+
+    def accept_dirty_victim(self, block: int) -> Tuple[bool, Optional[NCEviction]]:
+        line = self._cache.peek(block)
+        if line is None:
+            # Full inclusion makes this unreachable if the simulator keeps
+            # the invariant; decline defensively.
+            return False, None
+        line.state = NCState.DIRTY
+        return True, None
+
+    # ---- coherence ---------------------------------------------------------
+
+    def invalidate(self, block: int) -> Optional[int]:
+        line = self._cache.remove(block)
+        return None if line is None else line.state
+
+    def downgrade(self, block: int) -> bool:
+        line = self._cache.peek(block)
+        if line is not None and line.state == NCState.DIRTY:
+            line.state = NCState.CLEAN
+            return True
+        return False
+
+    # ---- inspection ---------------------------------------------------------
+
+    def probe(self, block: int) -> Optional[int]:
+        line = self._cache.peek(block)
+        return None if line is None else line.state
+
+    def resident_blocks(self) -> Iterator[int]:
+        return self._cache.blocks()
+
+    def __len__(self) -> int:
+        return len(self._cache)

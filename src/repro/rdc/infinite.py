@@ -1,0 +1,75 @@
+"""Unbounded network caches: the `NCS` ideal and the normalisation reference.
+
+An infinite NC retains every remote block the cluster ever fetched until an
+inter-cluster invalidation removes it.  Consequently the home directory
+only ever sees *necessary* misses (cold + coherence), which is exactly how
+the paper defines the reference points of Figs. 9-11:
+
+* ``InfiniteNC(is_dram=False)`` — `NCS`, the infinite fast SRAM NC;
+* ``InfiniteNC(is_dram=True)`` — the infinite-but-slow DRAM NC every result
+  is normalised against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from ..coherence.states import NCState
+from .base import InclusionPolicy, NCEviction, NetworkCache
+
+
+class InfiniteNC(NetworkCache):
+    """NC with unbounded capacity (a dict of block -> state)."""
+
+    inclusion = InclusionPolicy.NONE  # it never evicts, so inclusion is moot
+
+    def __init__(self, is_dram: bool = False) -> None:
+        self.is_dram = is_dram
+        self._lines: Dict[int, int] = {}
+
+    # ---- processor-miss service -----------------------------------------
+
+    def service_read(self, block: int) -> Optional[int]:
+        return self._lines.get(block)
+
+    def service_write(self, block: int) -> Optional[int]:
+        state = self._lines.get(block)
+        if state is not None:
+            self._lines[block] = NCState.CLEAN  # ownership moves to the L1
+        return state
+
+    # ---- allocation -------------------------------------------------------
+
+    def on_fetch(self, block: int) -> Optional[NCEviction]:
+        self._lines.setdefault(block, NCState.CLEAN)
+        return None
+
+    def accept_clean_victim(self, block: int) -> Tuple[bool, Optional[NCEviction]]:
+        self._lines.setdefault(block, NCState.CLEAN)
+        return True, None
+
+    def accept_dirty_victim(self, block: int) -> Tuple[bool, Optional[NCEviction]]:
+        self._lines[block] = NCState.DIRTY
+        return True, None
+
+    # ---- coherence ---------------------------------------------------------
+
+    def invalidate(self, block: int) -> Optional[int]:
+        return self._lines.pop(block, None)
+
+    def downgrade(self, block: int) -> bool:
+        if self._lines.get(block) == NCState.DIRTY:
+            self._lines[block] = NCState.CLEAN
+            return True
+        return False
+
+    # ---- inspection ---------------------------------------------------------
+
+    def probe(self, block: int) -> Optional[int]:
+        return self._lines.get(block)
+
+    def resident_blocks(self) -> Iterator[int]:
+        return iter(tuple(self._lines))
+
+    def __len__(self) -> int:
+        return len(self._lines)

@@ -1,0 +1,41 @@
+"""The degenerate network cache of the `base` system: nothing at all."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from .base import InclusionPolicy, NCEviction, NetworkCache
+
+
+class NullNC(NetworkCache):
+    """Absent NC: every probe misses, every offer is declined."""
+
+    is_dram = False
+    inclusion = InclusionPolicy.NONE
+
+    def service_read(self, block: int) -> Optional[int]:
+        return None
+
+    def service_write(self, block: int) -> Optional[int]:
+        return None
+
+    def on_fetch(self, block: int) -> Optional[NCEviction]:
+        return None
+
+    def accept_clean_victim(self, block: int) -> Tuple[bool, Optional[NCEviction]]:
+        return False, None
+
+    def accept_dirty_victim(self, block: int) -> Tuple[bool, Optional[NCEviction]]:
+        return False, None
+
+    def invalidate(self, block: int) -> Optional[int]:
+        return None
+
+    def downgrade(self, block: int) -> bool:
+        return False
+
+    def probe(self, block: int) -> Optional[int]:
+        return None
+
+    def resident_blocks(self) -> Iterator[int]:
+        return iter(())

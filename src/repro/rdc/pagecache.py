@@ -1,0 +1,170 @@
+"""The page cache: Simple-COMA style remote-page replication (Sec. 3.3).
+
+A node's page cache holds replicas of *remote* pages aliased under local
+addresses, in local main memory.  Allocation is at page grain (relocation
+is a costly software operation, 225 bus cycles in the model); coherence is
+kept at block grain via a per-block 2-bit state held in SRAM.
+
+Replacement is **least recently missed** (LRM), per R-NUMA: the frame whose
+page least recently serviced a processor-cache miss is the eviction
+candidate — pages that stopped missing are either fully cached above or
+dead, so they yield their frame first.
+
+Each frame also carries a saturating **hit counter** used by the adaptive
+relocation-threshold policy (Sec. 6.2) to detect thrashing: a frame evicted
+with fewer hits than the break-even count (12) did not amortise its
+relocation cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..coherence.states import PCBlockState
+from ..errors import ConfigurationError
+
+_INVALID = int(PCBlockState.INVALID)
+_CLEAN = int(PCBlockState.CLEAN)
+_DIRTY = int(PCBlockState.DIRTY)
+
+
+class PageFrame:
+    """One page-cache frame: per-block states plus LRM/hit bookkeeping."""
+
+    __slots__ = ("page", "states", "last_miss", "hits")
+
+    def __init__(self, page: int, blocks_per_page: int, now: int) -> None:
+        self.page = page
+        self.states: List[int] = [_INVALID] * blocks_per_page
+        self.last_miss = now
+        self.hits = 0
+
+    def valid_blocks(self) -> int:
+        """Number of valid (clean or dirty) blocks in the frame."""
+        return sum(1 for s in self.states if s != _INVALID)
+
+    def dirty_offsets(self) -> List[int]:
+        return [i for i, s in enumerate(self.states) if s == _DIRTY]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PageFrame(page={self.page:#x}, valid={self.valid_blocks()}, "
+            f"hits={self.hits}, last_miss={self.last_miss})"
+        )
+
+
+class PageCache:
+    """Fixed-capacity, fully-associative cache of remote pages with LRM."""
+
+    def __init__(self, capacity_frames: int, blocks_per_page: int, hit_counter_max: int = 63) -> None:
+        if capacity_frames <= 0:
+            raise ConfigurationError("page cache capacity must be positive")
+        if blocks_per_page <= 0:
+            raise ConfigurationError("blocks_per_page must be positive")
+        self.capacity = capacity_frames
+        self.blocks_per_page = blocks_per_page
+        self.hit_counter_max = hit_counter_max
+        self._frames: Dict[int, PageFrame] = {}
+
+    # ---- residency --------------------------------------------------------
+
+    def __contains__(self, page: int) -> bool:
+        return page in self._frames
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def full(self) -> bool:
+        return len(self._frames) >= self.capacity
+
+    def frame(self, page: int) -> Optional[PageFrame]:
+        return self._frames.get(page)
+
+    def frames(self) -> Iterator[PageFrame]:
+        return iter(self._frames.values())
+
+    # ---- block-grain operations --------------------------------------------
+
+    def block_state(self, page: int, offset: int) -> int:
+        """State of block ``offset`` of ``page``; INVALID if page absent."""
+        f = self._frames.get(page)
+        if f is None:
+            return _INVALID
+        return f.states[offset]
+
+    def record_hit(self, page: int, now: int) -> None:
+        """A processor miss was satisfied by this frame (LRM + hit counter)."""
+        f = self._frames[page]
+        f.last_miss = now
+        if f.hits < self.hit_counter_max:
+            f.hits += 1
+
+    def record_fill(self, page: int, offset: int, now: int, dirty: bool = False) -> None:
+        """A remote fetch (or a clean bus victim) deposited a block."""
+        f = self._frames[page]
+        f.states[offset] = _DIRTY if dirty else _CLEAN
+        f.last_miss = now
+
+    def absorb_dirty(self, page: int, offset: int) -> None:
+        """A dirty victim from the caches/NC lands in the local frame."""
+        self._frames[page].states[offset] = _DIRTY
+
+    def mark_clean(self, page: int, offset: int) -> None:
+        self._frames[page].states[offset] = _CLEAN
+
+    def invalidate_block(self, page: int, offset: int) -> bool:
+        """Inter-cluster invalidation of one block; True if it was dirty."""
+        f = self._frames.get(page)
+        if f is None:
+            return False
+        was_dirty = f.states[offset] == _DIRTY
+        f.states[offset] = _INVALID
+        return was_dirty
+
+    # ---- page-grain operations ------------------------------------------------
+
+    def lrm_candidate(self) -> Optional[PageFrame]:
+        """The frame LRM replacement would evict (None if not full)."""
+        if not self.full:
+            return None
+        return min(self._frames.values(), key=lambda f: f.last_miss)
+
+    def allocate(self, page: int, now: int) -> Optional[PageFrame]:
+        """Relocate ``page`` in; return the evicted frame if one was needed.
+
+        The caller is responsible for flushing the evicted page's blocks
+        from the rest of the cluster and writing its dirty blocks home.
+        """
+        if page in self._frames:
+            raise ConfigurationError(f"page {page:#x} is already in the page cache")
+        evicted: Optional[PageFrame] = None
+        if self.full:
+            evicted = self.lrm_candidate()
+            assert evicted is not None
+            del self._frames[evicted.page]
+        self._frames[page] = PageFrame(page, self.blocks_per_page, now)
+        return evicted
+
+    def drop(self, page: int) -> Optional[PageFrame]:
+        """Remove a page without replacement (used by tests/tools)."""
+        return self._frames.pop(page, None)
+
+    def reset_hit_counters(self) -> None:
+        """Adaptive-threshold adjustment resets every frame's hit counter."""
+        for f in self._frames.values():
+            f.hits = 0
+
+    # ---- metrics -----------------------------------------------------------------
+
+    def fragmentation(self) -> float:
+        """Fraction of allocated frame space holding no valid block.
+
+        High fragmentation is the paper's explanation for page caches
+        losing to DRAM NCs on irregular applications (Sec. 6.3).
+        """
+        if not self._frames:
+            return 0.0
+        total = len(self._frames) * self.blocks_per_page
+        valid = sum(f.valid_blocks() for f in self._frames.values())
+        return 1.0 - valid / total

@@ -1,0 +1,135 @@
+"""Page-relocation counters: R-NUMA's directory scheme vs. the paper's.
+
+Two mechanisms decide when a remote page deserves a frame in the node's
+page cache:
+
+* :class:`DirectoryRelocationCounters` — R-NUMA (Sec. 3.3): a counter per
+  (page, cluster) pair kept at the home directory, incremented on every
+  remote **capacity** miss.  Accurate, but needs one counter per cluster
+  per page (the scalability complaint of Sec. 3.4) and a full-map
+  directory.
+* :class:`NCSetRelocationCounters` — the paper's proposal (Sec. 3.4): one
+  counter per **set of the page-indexed network victim cache**, incremented
+  on every victimisation entering the NC.  When a counter exceeds the
+  threshold, the *predominant page* among the set's resident tags is
+  relocated.  Scalable (counter count = NC sets, independent of machine or
+  memory size) and directory-agnostic.
+
+Both objects are per-node; thresholds come from the per-node
+:class:`~repro.rdc.adaptive.ThresholdState`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence
+
+
+class DirectoryRelocationCounters:
+    """Per-(page, cluster) capacity-miss counters held at the directory.
+
+    Although logically distributed across home nodes, a single map keyed by
+    (page, cluster) is behaviourally identical and simpler.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+
+    @staticmethod
+    def _key(page: int, cluster: int) -> int:
+        return (page << 6) | cluster
+
+    def record_capacity_miss(self, page: int, cluster: int, threshold: int) -> bool:
+        """Count a capacity miss; True when the counter exceeds ``threshold``."""
+        key = self._key(page, cluster)
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        return count > threshold
+
+    def decrement(self, page: int, cluster: int) -> None:
+        """The Sec. 3.4 refinement: a late invalidation (no copy left in
+        the cluster) means the next miss will be a coherence miss, so the
+        earlier victimisation count is corrected downward."""
+        key = self._key(page, cluster)
+        count = self._counts.get(key, 0)
+        if count > 1:
+            self._counts[key] = count - 1
+        elif count == 1:
+            del self._counts[key]
+
+    def reset(self, page: int, cluster: int) -> None:
+        self._counts.pop(self._key(page, cluster), None)
+
+    def count(self, page: int, cluster: int) -> int:
+        return self._counts.get(self._key(page, cluster), 0)
+
+    def n_counters(self) -> int:
+        """Live counters — the memory-overhead figure of Sec. 3.4."""
+        return len(self._counts)
+
+
+class NCSetRelocationCounters:
+    """Per-NC-set victimisation counters (one instance per node).
+
+    ``sharing`` groups several consecutive sets behind one counter — the
+    counter-sharing robustness question the paper raises ("something well
+    worth investigating", Sec. 3.4).  With ``sharing=1`` (the paper's
+    evaluated design) every set has its own counter.
+    """
+
+    def __init__(self, n_sets: int, page_shift_blocks: int, sharing: int = 1) -> None:
+        """``page_shift_blocks`` = log2(blocks per page), to turn a block
+        number into a page number."""
+        if sharing < 1:
+            raise ValueError("sharing must be >= 1")
+        self.n_sets = n_sets
+        self.sharing = sharing
+        self._page_shift = page_shift_blocks
+        self._counts: List[int] = [0] * ((n_sets + sharing - 1) // sharing)
+
+    def _counter_of(self, set_index: int) -> int:
+        return set_index // self.sharing
+
+    def record_victimization(self, set_index: int, threshold: int) -> bool:
+        """Count a victim entering NC set ``set_index``; True past threshold."""
+        i = self._counter_of(set_index)
+        self._counts[i] += 1
+        return self._counts[i] > threshold
+
+    def decrement(self, set_index: int) -> None:
+        """Sec. 3.4 refinement: correct the count on a late invalidation."""
+        i = self._counter_of(set_index)
+        if self._counts[i] > 0:
+            self._counts[i] -= 1
+
+    def reset(self, set_index: int) -> None:
+        self._counts[self._counter_of(set_index)] = 0
+
+    def count(self, set_index: int) -> int:
+        return self._counts[self._counter_of(set_index)]
+
+    def n_counters(self) -> int:
+        return len(self._counts)
+
+    def shared_sets(self, set_index: int) -> range:
+        """All NC sets that share ``set_index``'s counter."""
+        start = self._counter_of(set_index) * self.sharing
+        return range(start, min(start + self.sharing, self.n_sets))
+
+    def predominant_page(
+        self, set_blocks: Sequence[int], exclude: "set[int]"
+    ) -> Optional[int]:
+        """The page with the most tags in the set, skipping ``exclude``.
+
+        The paper: *"When a counter exceeds a threshold, the predominant tag
+        for the frames in the set indicates the page to relocate."*  Pages
+        already relocated (or local) are excluded by the caller via
+        ``exclude``; ties break toward the page appearing first.
+        """
+        pages = [b >> self._page_shift for b in set_blocks]
+        candidates = [p for p in pages if p not in exclude]
+        if not candidates:
+            return None
+        counts = Counter(candidates)
+        best = max(counts.items(), key=lambda kv: kv[1])
+        return best[0]

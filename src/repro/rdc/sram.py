@@ -1,0 +1,103 @@
+"""SRAM NC with inclusion relaxed for clean blocks — the `nc` system.
+
+This is the organisation of Fletcher et al. / R-NUMA that the paper uses
+as its main point of comparison for the victim cache:
+
+* a frame is allocated on **every** remote fetch (allocate-on-miss);
+* when a *clean* NC line is replaced, the L1 copies are left alone
+  (relaxed inclusion);
+* inclusion **is** maintained for dirty blocks: while any L1 in the node
+  holds the block modified, the NC may not silently lose the frame — the
+  simulator forces the dirty L1 copy out together with the evicted frame
+  (``InclusionPolicy.DIRTY_ONLY``), which is the write-back-traffic
+  pathology the paper observes for Radix (Sec. 6.1.2);
+* dirty L1 victims are absorbed into the existing NC frame;
+* hits leave the frame in place (the NC is a lower level, not a victim
+  buffer); a write hit hands ownership to the L1, the NC copy becoming
+  stale-clean.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from ..coherence.cache import SetAssocCache
+from ..coherence.states import NCState
+from ..params import CacheGeometry
+from .base import InclusionPolicy, NCEviction, NetworkCache
+
+
+class DirtyInclusionNC(NetworkCache):
+    """Allocate-on-miss SRAM NC, inclusion kept for dirty blocks only."""
+
+    is_dram = False
+    inclusion = InclusionPolicy.DIRTY_ONLY
+
+    def __init__(self, geometry: CacheGeometry) -> None:
+        self._cache = SetAssocCache(geometry)
+
+    # ---- processor-miss service -----------------------------------------
+
+    def service_read(self, block: int) -> Optional[int]:
+        line = self._cache.lookup(block)
+        return None if line is None else line.state
+
+    def service_write(self, block: int) -> Optional[int]:
+        line = self._cache.lookup(block)
+        if line is None:
+            return None
+        state = line.state
+        # ownership moves up to the writing L1; the NC copy is stale
+        line.state = NCState.CLEAN
+        return state
+
+    # ---- allocation -------------------------------------------------------
+
+    def on_fetch(self, block: int) -> Optional[NCEviction]:
+        line = self._cache.peek(block)
+        if line is not None:
+            return None
+        evicted = self._cache.insert(block, NCState.CLEAN)
+        if evicted is None:
+            return None
+        return NCEviction(evicted.block, evicted.state == NCState.DIRTY)
+
+    def accept_clean_victim(self, block: int) -> Tuple[bool, Optional[NCEviction]]:
+        # Clean victims are not captured: allocation happened at miss time.
+        # If the frame survived, the NC still has the block; either way the
+        # replacement transaction ends here.
+        return self._cache.peek(block) is not None, None
+
+    def accept_dirty_victim(self, block: int) -> Tuple[bool, Optional[NCEviction]]:
+        line = self._cache.peek(block)
+        if line is None:
+            # Inclusion for dirty blocks should make this impossible; be
+            # conservative and decline (the write-back continues outward).
+            return False, None
+        line.state = NCState.DIRTY
+        return True, None
+
+    # ---- coherence ---------------------------------------------------------
+
+    def invalidate(self, block: int) -> Optional[int]:
+        line = self._cache.remove(block)
+        return None if line is None else line.state
+
+    def downgrade(self, block: int) -> bool:
+        line = self._cache.peek(block)
+        if line is not None and line.state == NCState.DIRTY:
+            line.state = NCState.CLEAN
+            return True
+        return False
+
+    # ---- inspection ---------------------------------------------------------
+
+    def probe(self, block: int) -> Optional[int]:
+        line = self._cache.peek(block)
+        return None if line is None else line.state
+
+    def resident_blocks(self) -> Iterator[int]:
+        return self._cache.blocks()
+
+    def __len__(self) -> int:
+        return len(self._cache)

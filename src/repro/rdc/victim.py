@@ -1,0 +1,125 @@
+"""The network victim cache — the paper's proposed NC organisation (Sec. 3).
+
+Key properties:
+
+* **No inclusion.**  Frames are allocated only when the processor caches
+  victimise a block (the R-state replacement transaction for the last clean
+  copy, or a dirty write-back).  The NC therefore never duplicates a block
+  an L1 still holds, and its conflicts can never hurt the L1 hit ratio.
+* **Exclusive hits.**  On an NC hit the block moves back into the
+  requesting L1 and the NC frame is freed (two-level exclusive caching).
+* **Two indexing schemes** (Sec. 6.1.3): by block address (`vb`) or by the
+  least-significant bits of the *page* address (`vp`).  Page indexing maps
+  all blocks of one remote page into the same set, which turns each set
+  into an intermediate store for that page — the substrate for the per-set
+  relocation counters of `vxp` (Sec. 3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from ..coherence.cache import SetAssocCache
+from ..coherence.states import NCState
+from ..params import CacheGeometry, NCIndexing
+from .base import InclusionPolicy, NCEviction, NetworkCache
+
+
+class VictimNC(NetworkCache):
+    """Set-associative victim cache for remote blocks."""
+
+    is_dram = False
+    inclusion = InclusionPolicy.NONE
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        indexing: NCIndexing = NCIndexing.BLOCK,
+        blocks_per_page: int = 64,
+    ) -> None:
+        if indexing is NCIndexing.PAGE:
+            shift = blocks_per_page.bit_length() - 1
+        else:
+            shift = 0
+        self.indexing = indexing
+        self._cache = SetAssocCache(geometry, index_shift=shift)
+
+    # ---- processor-miss service -----------------------------------------
+
+    def _service(self, block: int) -> Optional[int]:
+        line = self._cache.peek(block)
+        if line is None:
+            return None
+        state = line.state
+        # exclusive: the block swaps back into the processor cache
+        self._cache.remove(block)
+        return state
+
+    def service_read(self, block: int) -> Optional[int]:
+        return self._service(block)
+
+    def service_write(self, block: int) -> Optional[int]:
+        return self._service(block)
+
+    # ---- allocation -------------------------------------------------------
+
+    def on_fetch(self, block: int) -> Optional[NCEviction]:
+        # victim caches do not allocate on fetch
+        return None
+
+    def _accept(self, block: int, state: NCState) -> Tuple[bool, Optional[NCEviction]]:
+        existing = self._cache.peek(block)
+        if existing is not None:
+            # Possible when a downgrade write-back lands on a block whose
+            # clean copy was captured earlier: refresh the state.
+            if state == NCState.DIRTY:
+                existing.state = NCState.DIRTY
+            return True, None
+        evicted = self._cache.insert(block, state)
+        if evicted is None:
+            return True, None
+        return True, NCEviction(evicted.block, evicted.state == NCState.DIRTY)
+
+    def accept_clean_victim(self, block: int) -> Tuple[bool, Optional[NCEviction]]:
+        return self._accept(block, NCState.CLEAN)
+
+    def accept_dirty_victim(self, block: int) -> Tuple[bool, Optional[NCEviction]]:
+        return self._accept(block, NCState.DIRTY)
+
+    # ---- coherence ---------------------------------------------------------
+
+    def invalidate(self, block: int) -> Optional[int]:
+        line = self._cache.remove(block)
+        return None if line is None else line.state
+
+    def downgrade(self, block: int) -> bool:
+        line = self._cache.peek(block)
+        if line is not None and line.state == NCState.DIRTY:
+            line.state = NCState.CLEAN
+            return True
+        return False
+
+    # ---- inspection ---------------------------------------------------------
+
+    def probe(self, block: int) -> Optional[int]:
+        line = self._cache.peek(block)
+        return None if line is None else line.state
+
+    def resident_blocks(self) -> Iterator[int]:
+        return self._cache.blocks()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    # ---- victim-cache specifics ----------------------------------------------
+
+    @property
+    def n_sets(self) -> int:
+        return self._cache.n_sets
+
+    def set_index_of(self, block: int) -> Optional[int]:
+        return self._cache.set_index(block)
+
+    def set_blocks(self, index: int) -> "list[int]":
+        """Blocks currently resident in one set (for relocation decisions)."""
+        return [line.block for line in self._cache.set_lines(index)]

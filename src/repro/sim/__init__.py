@@ -1,0 +1,15 @@
+"""Trace-driven simulation: the protocol engine, Eq. 1, and result types."""
+
+from .simulator import Simulator
+from .latency import remote_read_stall, traffic_blocks
+from .results import SimulationResult
+from .runner import simulate, sweep
+
+__all__ = [
+    "Simulator",
+    "remote_read_stall",
+    "traffic_blocks",
+    "SimulationResult",
+    "simulate",
+    "sweep",
+]

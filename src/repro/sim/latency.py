@@ -1,0 +1,85 @@
+"""Applying the paper's constant-latency model (Table 1/2, Eq. 1).
+
+The simulator produces pure event counts; this module turns them into the
+paper's two headline metrics:
+
+* **remote read stall** —
+
+  ``RS = N_hit^NC L_hit^NC + N_hit^PC L_hit^PC + N_miss L_miss + N_rel T_rel``
+
+  with the latencies of Table 1 resolved per system: an SRAM NC hit is a
+  1-cycle cache-to-cache transfer, a DRAM NC hit is a DRAM access plus tag
+  check (13), a DRAM NC *miss* adds the wasted tag check to the remote
+  access (33 vs. 30), and a page-cache hit is one DRAM access (10).
+  Cache-to-cache hits from peer caches in the cluster are also charged one
+  bus cycle (they ride the same transaction as an SRAM NC hit).
+
+* **remote data traffic** — read misses + write misses + write-backs that
+  crossed the network, in blocks (Sec. 6.4).
+"""
+
+from __future__ import annotations
+
+from ..params import SystemConfig
+from ..stats import Counters
+
+
+def nc_hit_latency(config: SystemConfig) -> int:
+    """Latency of a network-cache hit in this system (Table 1)."""
+    lat = config.latency
+    return lat.dram_nc_hit if config.nc.is_dram else lat.sram_nc_hit
+
+
+def remote_miss_latency(config: SystemConfig) -> int:
+    """Latency of a miss that goes all the way to the home node."""
+    lat = config.latency
+    return lat.dram_nc_miss if config.nc.is_dram else lat.remote_access
+
+
+def remote_read_stall(counters: Counters, config: SystemConfig) -> float:
+    """Eq. 1: the total remote read stall, in bus cycles."""
+    lat = config.latency
+    return (
+        counters.read_cluster_hits * lat.cache_to_cache
+        + counters.read_nc_hits * nc_hit_latency(config)
+        + counters.read_pc_hits * lat.pc_hit
+        + counters.read_remote * remote_miss_latency(config)
+        + counters.pc_relocations * lat.page_relocation
+    )
+
+
+def relocation_overhead_cycles(counters: Counters, config: SystemConfig) -> int:
+    """The relocation component of the stall, separated as in Figs. 7/9/11."""
+    return counters.pc_relocations * config.latency.page_relocation
+
+
+def traffic_blocks(counters: Counters) -> int:
+    """Remote data traffic in block transfers (Sec. 6.4)."""
+    return counters.traffic_blocks
+
+
+def miss_ratio_read(counters: Counters) -> float:
+    """Cluster read miss ratio, % of all shared references (Figs. 3-8)."""
+    if counters.refs == 0:
+        return 0.0
+    return 100.0 * counters.read_remote / counters.refs
+
+
+def miss_ratio_write(counters: Counters) -> float:
+    """Cluster write miss ratio, % of all shared references."""
+    if counters.refs == 0:
+        return 0.0
+    return 100.0 * counters.write_remote / counters.refs
+
+
+def relocation_overhead_ratio(counters: Counters, config: SystemConfig) -> float:
+    """Page-relocation overhead scaled to equivalent remote misses, in %.
+
+    Fig. 7 stacks this on top of the miss-ratio bars: each relocation is
+    worth 225/30 remote misses.
+    """
+    if counters.refs == 0:
+        return 0.0
+    lat = config.latency
+    equivalent = counters.pc_relocations * lat.relocation_equivalent_misses
+    return 100.0 * equivalent / counters.refs

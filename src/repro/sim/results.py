@@ -1,0 +1,105 @@
+"""Result container combining counters, configuration, and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..params import SystemConfig
+from ..stats import Counters
+from . import latency as _lat
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run produced."""
+
+    system: str
+    benchmark: str
+    config: SystemConfig
+    counters: Counters
+    refs: int
+    seed: int = 0
+    elapsed_s: float = 0.0
+
+    # ---- headline metrics -------------------------------------------------
+
+    @property
+    def remote_read_stall(self) -> float:
+        """Eq. 1, in bus cycles."""
+        return _lat.remote_read_stall(self.counters, self.config)
+
+    @property
+    def relocation_overhead_cycles(self) -> int:
+        return _lat.relocation_overhead_cycles(self.counters, self.config)
+
+    @property
+    def stall_without_relocation(self) -> float:
+        return self.remote_read_stall - self.relocation_overhead_cycles
+
+    @property
+    def traffic_blocks(self) -> int:
+        return _lat.traffic_blocks(self.counters)
+
+    @property
+    def read_miss_ratio(self) -> float:
+        """% of shared references that are read misses leaving the cluster."""
+        return _lat.miss_ratio_read(self.counters)
+
+    @property
+    def write_miss_ratio(self) -> float:
+        return _lat.miss_ratio_write(self.counters)
+
+    @property
+    def miss_ratio(self) -> float:
+        return self.read_miss_ratio + self.write_miss_ratio
+
+    @property
+    def relocation_overhead_ratio(self) -> float:
+        """Relocations scaled to equivalent remote misses, % of references."""
+        return _lat.relocation_overhead_ratio(self.counters, self.config)
+
+    @property
+    def stall_per_reference(self) -> float:
+        if self.counters.refs == 0:
+            return 0.0
+        return self.remote_read_stall / self.counters.refs
+
+    # ---- ratios used in the figures -----------------------------------------
+
+    def normalized_stall(self, reference: "SimulationResult") -> float:
+        """Remote read stall normalised to a reference system (Figs. 9/11)."""
+        ref = reference.remote_read_stall
+        return self.remote_read_stall / ref if ref else float("inf")
+
+    def normalized_traffic(self, reference: "SimulationResult") -> float:
+        """Remote data traffic normalised to a reference system (Fig. 10)."""
+        ref = reference.traffic_blocks
+        return self.traffic_blocks / ref if ref else float("inf")
+
+    # ---- reporting -------------------------------------------------------------
+
+    def summary(self) -> Dict[str, float]:
+        """Compact numeric summary (used by examples and reports)."""
+        c = self.counters
+        return {
+            "refs": float(c.refs),
+            "read_miss_ratio_pct": self.read_miss_ratio,
+            "write_miss_ratio_pct": self.write_miss_ratio,
+            "relocation_overhead_pct": self.relocation_overhead_ratio,
+            "remote_read_stall_cycles": self.remote_read_stall,
+            "stall_per_ref_cycles": self.stall_per_reference,
+            "traffic_blocks": float(self.traffic_blocks),
+            "nc_read_hits": float(c.read_nc_hits),
+            "pc_read_hits": float(c.read_pc_hits),
+            "relocations": float(c.pc_relocations),
+            "capacity_misses": float(c.remote_capacity),
+            "necessary_misses": float(c.remote_necessary),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulationResult({self.system!r}, {self.benchmark!r}, "
+            f"miss={self.miss_ratio:.2f}%, stall/ref="
+            f"{self.stall_per_reference:.2f}cy)"
+        )

@@ -1,0 +1,115 @@
+"""High-level entry points: ``simulate`` one (system, benchmark) pair, or
+``sweep`` a whole matrix.
+
+Traces are cached per (benchmark, refs, seed, scale, n_procs) within the
+process, since every figure sweeps many systems over identical traces —
+exactly as the paper's trace-driven methodology does.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..params import SystemConfig
+from ..system.builder import build_machine, system_config
+from ..system.placement import FirstTouchPlacement
+from ..trace.record import Trace, TraceSpec
+from ..trace.synthetic import generate_trace
+from .results import SimulationResult
+from .simulator import Simulator
+
+#: default dataset scale: 1/8 of the paper's Table 3 footprints, matched to
+#: the default trace length (see DESIGN.md's scaling argument)
+DEFAULT_SCALE = 0.125
+DEFAULT_REFS = 400_000
+
+_trace_cache: Dict[Tuple[str, int, int, float, int], Trace] = {}
+
+
+def get_trace(
+    benchmark: str,
+    refs: int = DEFAULT_REFS,
+    seed: int = 1,
+    scale: float = DEFAULT_SCALE,
+    n_procs: int = 32,
+) -> Trace:
+    """Generate (or fetch from cache) one benchmark trace."""
+    key = (benchmark.lower(), refs, seed, scale, n_procs)
+    trace = _trace_cache.get(key)
+    if trace is None:
+        spec = TraceSpec(
+            benchmark=benchmark.lower(),
+            refs=refs,
+            seed=seed,
+            scale=scale,
+            n_procs=n_procs,
+        )
+        trace = generate_trace(spec)
+        _trace_cache[key] = trace
+    return trace
+
+
+def clear_trace_cache() -> None:
+    _trace_cache.clear()
+
+
+def run_trace(config: SystemConfig, trace: Trace, system_name: str = "") -> SimulationResult:
+    """Run one prepared trace through one machine configuration."""
+    machine = build_machine(config, dataset_bytes=trace.dataset_bytes)
+    sim = Simulator(machine)
+    start = time.perf_counter()
+    counters = sim.run(trace)
+    elapsed = time.perf_counter() - start
+    counters.check()
+    return SimulationResult(
+        system=system_name or config.name,
+        benchmark=trace.name,
+        config=config,
+        counters=counters,
+        refs=len(trace),
+        seed=int(trace.meta.get("seed", 0)),
+        elapsed_s=elapsed,
+    )
+
+
+def simulate(
+    system: str,
+    benchmark: str,
+    refs: int = DEFAULT_REFS,
+    seed: int = 1,
+    scale: float = DEFAULT_SCALE,
+    config: Optional[SystemConfig] = None,
+    **config_overrides: object,
+) -> SimulationResult:
+    """Simulate one paper system on one benchmark.
+
+    >>> result = simulate("vbp5", "radix", refs=100_000)
+    >>> result.miss_ratio  # doctest: +SKIP
+
+    ``config`` supplies a fully-custom :class:`SystemConfig`; otherwise the
+    named system is built with optional keyword overrides (``cache_assoc``,
+    ``nc_size``, ``threshold_policy``, ``initial_threshold``, ...).
+    """
+    trace = get_trace(benchmark, refs=refs, seed=seed, scale=scale)
+    if config is None:
+        config = system_config(system, **config_overrides)  # type: ignore[arg-type]
+    return run_trace(config, trace, system_name=system)
+
+
+def sweep(
+    systems: Iterable[str],
+    benchmarks: Iterable[str],
+    refs: int = DEFAULT_REFS,
+    seed: int = 1,
+    scale: float = DEFAULT_SCALE,
+    **config_overrides: object,
+) -> Dict[Tuple[str, str], SimulationResult]:
+    """Run a systems x benchmarks matrix; keys are (system, benchmark)."""
+    out: Dict[Tuple[str, str], SimulationResult] = {}
+    for bench in benchmarks:
+        for system in systems:
+            out[(system, bench)] = simulate(
+                system, bench, refs=refs, seed=seed, scale=scale, **config_overrides
+            )
+    return out

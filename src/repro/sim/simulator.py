@@ -1,0 +1,738 @@
+"""The trace-driven protocol engine.
+
+One :class:`Simulator` drives one :class:`~repro.system.machine.Machine`
+through an interleaved shared-reference trace, playing the roles of every
+cluster bus and pseudo-processor:
+
+* intra-cluster MESIR snooping (cache-to-cache supply, mastership transfer
+  on R-state replacement, M->S downgrades);
+* the network cache's bus-side behaviour for each organisation (victim
+  capture, allocate-on-miss, inclusion enforcement on NC evictions);
+* the page cache's local-memory behaviour (block fills, dirty absorption,
+  LRM eviction with cluster-wide page flush);
+* the inter-cluster directory protocol (presence bits, owner flush,
+  invalidations, capacity/necessary classification);
+* both page-relocation mechanisms (R-NUMA directory counters and the
+  `vxp` NC-set victimisation counters) with fixed or adaptive thresholds.
+
+The simulator is *functional with event counting*: it mutates coherence
+state exactly, counts every monitored event in a :class:`repro.stats.Counters`,
+and leaves latency arithmetic to :mod:`repro.sim.latency` (the paper's
+model is contention-free, so counts x constants is exact).
+
+Invariant checked throughout (and by the hypothesis tests): at most one
+dirty copy of any block machine-wide; the directory's owner always has the
+dirty data in an L1, its NC, or its PC frame.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..coherence.states import MESIR, NCState, PCBlockState
+from ..errors import ProtocolError
+from ..params import BusProtocol, SystemConfig
+from ..rdc.base import InclusionPolicy, NCEviction
+from ..rdc.pagecache import PageFrame
+from ..rdc.victim import VictimNC
+from ..stats import Counters, MissClass
+from ..system.machine import Machine
+from ..system.node import Node
+from ..trace.record import Trace
+
+_I = int(MESIR.I)
+_S = int(MESIR.S)
+_E = int(MESIR.E)
+_M = int(MESIR.M)
+_R = int(MESIR.R)
+_O = int(MESIR.O)
+_NC_CLEAN = int(NCState.CLEAN)
+_NC_DIRTY = int(NCState.DIRTY)
+_PC_INVALID = int(PCBlockState.INVALID)
+
+
+class Simulator:
+    """Drives one machine through one trace, tallying monitored events."""
+
+    def __init__(self, machine: Machine) -> None:
+        self.machine = machine
+        self.config: SystemConfig = machine.config
+        self.counters = Counters()
+        self.now = 0  # reference index; the LRM clock
+
+        cfg = self.config
+        self._block_bits = cfg.block_bits
+        self._bpp_bits = cfg.page_bits - cfg.block_bits
+        self._bpp_mask = (1 << self._bpp_bits) - 1
+        self._ppn = cfg.procs_per_node
+        self._l1s = [machine.l1_of(pid) for pid in range(cfg.n_procs)]
+        self._nodes = machine.nodes
+        self._directory = machine.directory
+        self._placement = machine.placement
+        self._dir_counters = machine.dir_counters
+        self._use_o_state = cfg.protocol is BusProtocol.MOESIR
+        self._decrement_on_inval = cfg.pc.decrement_on_invalidation
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+
+    def run(self, trace: Trace) -> Counters:
+        """Simulate the whole trace; returns the accumulated counters."""
+        if trace.placement:
+            for page, home in trace.placement.items():
+                self._placement.touch(page, home)
+        step = self.step
+        for pid, addr, w in zip(
+            trace.pids.tolist(), trace.addrs.tolist(), trace.writes.tolist()
+        ):
+            step(pid, addr, bool(w))
+        return self.counters
+
+    def step(self, pid: int, addr: int, is_write: bool) -> None:
+        """Process one shared reference."""
+        c = self.counters
+        self.now += 1
+        block = addr >> self._block_bits
+        l1 = self._l1s[pid]
+        line = l1.lookup(block)
+
+        if is_write:
+            c.writes += 1
+        else:
+            c.reads += 1
+
+        if line is not None:
+            st = line.state
+            if not is_write:
+                c.l1_read_hits += 1
+                return
+            if st == _M:
+                c.l1_write_hits += 1
+                return
+            if st == _E:
+                line.state = _M
+                c.l1_write_hits += 1
+                return
+            # S, R, or O: write hit needing an upgrade transaction
+            c.l1_write_hits += 1
+            self._upgrade(pid, block, line)
+            return
+
+        self._miss(pid, block, is_write)
+
+    # ------------------------------------------------------------------
+    # write upgrades
+    # ------------------------------------------------------------------
+
+    def _upgrade(self, pid: int, block: int, line) -> None:
+        """Write hit on an S/R copy: gain exclusivity, then mark M."""
+        c = self.counters
+        node_idx = pid // self._ppn
+        node = self._nodes[node_idx]
+        page = block >> self._bpp_bits
+        home = self._placement.home_of(page)
+        assert home is not None  # the block is cached, so the page was touched
+
+        # drop every other copy inside the cluster
+        my_l1 = self._l1s[pid]
+        for l1 in node.l1s:
+            if l1 is not my_l1:
+                l1.remove(block)
+        nc = node.nc
+        if home != node_idx:  # the NC holds remote blocks only
+            if isinstance(nc, VictimNC):
+                nc.invalidate(block)  # a polluting clean copy, if any
+            elif nc.inclusion is not InclusionPolicy.NONE:
+                # inclusion NCs must regain a frame for the soon-dirty
+                # block; an existing dirty frame becomes stale-clean
+                # (ownership moves up to the writing L1)
+                nc.downgrade(block)
+                ev = nc.on_fetch(block)
+                if ev is not None:
+                    self._handle_nc_eviction(node, ev)
+            else:
+                nc.invalidate(block)
+
+        pc = node.pc
+        if pc is not None and home != node_idx:
+            pc.invalidate_block(page, block & self._bpp_mask)
+
+        invalidate = self._directory.upgrade(block, node_idx)
+        for cl in invalidate:
+            self._invalidate_cluster(cl, block, page)
+        c.remote_invalidations += len(invalidate)
+        if home == node_idx:
+            c.local_upgrades += 1
+        else:
+            c.remote_upgrades += 1
+        line.state = _M
+
+    # ------------------------------------------------------------------
+    # miss handling
+    # ------------------------------------------------------------------
+
+    def _miss(self, pid: int, block: int, is_write: bool) -> None:
+        c = self.counters
+        node_idx = pid // self._ppn
+        node = self._nodes[node_idx]
+        page = block >> self._bpp_bits
+        home = self._placement.touch(page, node_idx)
+        local = home == node_idx
+
+        # 1. snoop the cluster bus: peer caches
+        if self._try_peer_supply(pid, node, block, page, home, is_write):
+            return
+
+        # 2. the network cache answers the same bus transaction
+        if not local and self._try_nc(pid, node, node_idx, block, page, is_write):
+            return
+
+        # 3. a relocated page's frame in local memory
+        if not local and self._try_pc(pid, node, node_idx, block, page, is_write):
+            return
+
+        # 4. home memory: a local access or a remote (monitored) one
+        if local:
+            self._local_memory_access(pid, node_idx, block, page, is_write)
+        else:
+            self._remote_access(pid, node, node_idx, block, page, is_write)
+
+    # ---- 1: peer caches ---------------------------------------------------
+
+    def _try_peer_supply(
+        self, pid: int, node: Node, block: int, page: int, home: int, is_write: bool
+    ) -> bool:
+        c = self.counters
+        my_l1 = self._l1s[pid]
+        holders = []
+        for l1 in node.l1s:
+            if l1 is my_l1:
+                continue
+            ln = l1.peek(block)
+            if ln is not None:
+                holders.append((l1, ln))
+        if not holders:
+            return False
+
+        node_idx = node.node_id
+        local = home == node_idx
+        if is_write:
+            for l1, ln in holders:
+                l1.remove(block)
+            nc = node.nc
+            if not local:  # the NC holds remote blocks only
+                if isinstance(nc, VictimNC):
+                    nc.invalidate(block)
+                elif nc.inclusion is not InclusionPolicy.NONE:
+                    # stale-clean the frame, keep inclusion
+                    nc.service_write(block)
+                    ev = nc.on_fetch(block)
+                    if ev is not None:
+                        self._handle_nc_eviction(node, ev)
+                else:
+                    nc.service_write(block)
+            if node.pc is not None and not local:
+                node.pc.invalidate_block(page, block & self._bpp_mask)
+            invalidate = self._directory.upgrade(block, node_idx)
+            for cl in invalidate:
+                self._invalidate_cluster(cl, block, page)
+            c.remote_invalidations += len(invalidate)
+            self._fill(pid, node, block, page, _M)
+            if local:
+                c.local_write_misses += 1
+            else:
+                c.write_cluster_hits += 1
+            return True
+
+        # read: supply via cache-to-cache; a dirty supplier downgrades —
+        # to dirty-shared O under MOESIR (no write-back leaves the L1s),
+        # to S with a write-back to dispose of under plain MESIR
+        pc = node.pc
+        page_resident = pc is not None and home != node_idx and page in pc
+        for l1, ln in holders:
+            if ln.state == _M:
+                if self._use_o_state and home != node_idx and not page_resident:
+                    ln.state = _O
+                else:
+                    ln.state = _S
+                    self._dispose_downgraded_dirty(node, block, page, home)
+            elif ln.state == _E:
+                ln.state = _S
+        self._fill(pid, node, block, page, _S)
+        if local:
+            c.local_read_misses += 1
+        else:
+            c.read_cluster_hits += 1
+        return True
+
+    def _dispose_downgraded_dirty(
+        self, node: Node, block: int, page: int, home: int
+    ) -> None:
+        """An M copy was downgraded to S on the bus; place its write-back.
+
+        Local blocks update local memory for free.  Remote blocks are
+        captured by the victim NC (the pollution the paper accepts), by an
+        inclusive NC's frame, by a relocated page's local frame — or they
+        cross the network to the home node.
+        """
+        c = self.counters
+        node_idx = node.node_id
+        if home == node_idx:
+            if self._directory.owner(block) == node_idx:
+                self._directory.writeback(block, node_idx)
+            return
+        pc = node.pc
+        if pc is not None and page in pc:
+            pc.absorb_dirty(page, block & self._bpp_mask)
+            c.writebacks_absorbed += 1
+            return
+        absorbed, ev = node.nc.accept_dirty_victim(block)
+        if absorbed:
+            c.writebacks_absorbed += 1
+            self._record_nc_victimization(node, block)
+            if ev is not None:
+                self._handle_nc_eviction(node, ev)
+            return
+        c.writebacks_remote += 1
+        self._directory.writeback(block, node_idx)
+
+    # ---- 2: network cache ---------------------------------------------------
+
+    def _try_nc(
+        self, pid: int, node: Node, node_idx: int, block: int, page: int, is_write: bool
+    ) -> bool:
+        c = self.counters
+        nc = node.nc
+        if is_write:
+            st = nc.service_write(block)
+            if st is None:
+                return False
+            if st == _NC_CLEAN:
+                invalidate = self._directory.upgrade(block, node_idx)
+                for cl in invalidate:
+                    self._invalidate_cluster(cl, block, page)
+                c.remote_invalidations += len(invalidate)
+            if node.pc is not None:
+                node.pc.invalidate_block(page, block & self._bpp_mask)
+            self._fill(pid, node, block, page, _M)
+            c.write_nc_hits += 1
+            return True
+
+        st = nc.service_read(block)
+        if st is None:
+            return False
+        if isinstance(nc, VictimNC):
+            # exclusive: the block moved out of the NC into the L1
+            fill = _M if st == _NC_DIRTY else _R
+        else:
+            fill = _S  # the NC keeps the frame (and the dirtiness, if any)
+        self._fill(pid, node, block, page, fill)
+        c.read_nc_hits += 1
+        return True
+
+    # ---- 3: page cache ---------------------------------------------------------
+
+    def _try_pc(
+        self, pid: int, node: Node, node_idx: int, block: int, page: int, is_write: bool
+    ) -> bool:
+        c = self.counters
+        pc = node.pc
+        if pc is None:
+            return False
+        offset = block & self._bpp_mask
+        st = pc.block_state(page, offset)
+        if st == _PC_INVALID:
+            return False
+        pc.record_hit(page, self.now)
+        if is_write:
+            if st == _NC_CLEAN:  # PCBlockState.CLEAN has the same value
+                invalidate = self._directory.upgrade(block, node_idx)
+                for cl in invalidate:
+                    self._invalidate_cluster(cl, block, page)
+                c.remote_invalidations += len(invalidate)
+            pc.invalidate_block(page, offset)  # ownership moves to the L1
+            self._fill(pid, node, block, page, _M)
+            c.write_pc_hits += 1
+        else:
+            self._fill(pid, node, block, page, _S)
+            c.read_pc_hits += 1
+        return True
+
+    # ---- 4a: local home memory ---------------------------------------------------
+
+    def _local_memory_access(
+        self, pid: int, node_idx: int, block: int, page: int, is_write: bool
+    ) -> None:
+        c = self.counters
+        reply = self._directory.access(block, node_idx, is_write)
+        if reply.owner_to_flush is not None:
+            self._flush_owner(reply.owner_to_flush, block, page, is_write)
+        for cl in reply.invalidate:
+            if cl != reply.owner_to_flush:
+                self._invalidate_cluster(cl, block, page)
+        c.remote_invalidations += sum(
+            1 for cl in reply.invalidate if cl != reply.owner_to_flush
+        )
+        node = self._nodes[node_idx]
+        if is_write:
+            fill = _M
+            c.local_write_misses += 1
+        else:
+            only_us = self._directory.presence_mask(block) == (1 << node_idx)
+            fill = _E if only_us else _S
+            c.local_read_misses += 1
+        self._fill(pid, node, block, page, fill)
+
+    # ---- 4b: remote access ----------------------------------------------------------
+
+    def _remote_access(
+        self, pid: int, node: Node, node_idx: int, block: int, page: int, is_write: bool
+    ) -> None:
+        c = self.counters
+        home = self._placement.home_of(page)
+        assert home is not None and home != node_idx
+        reply = self._directory.access(block, node_idx, is_write)
+
+        if reply.owner_to_flush is not None:
+            self._flush_owner(reply.owner_to_flush, block, page, is_write)
+        else:
+            # the home cluster may hold a silently-dirtied (E->M) copy that
+            # its bus snoop would catch
+            self._snoop_home_dirty(home, block, is_write)
+
+        for cl in reply.invalidate:
+            if cl != reply.owner_to_flush:
+                self._invalidate_cluster(cl, block, page)
+        c.remote_invalidations += sum(
+            1 for cl in reply.invalidate if cl != reply.owner_to_flush
+        )
+
+        if reply.miss_class is MissClass.CAPACITY:
+            c.remote_capacity += 1
+        else:
+            c.remote_necessary += 1
+        if is_write:
+            c.write_remote += 1
+        else:
+            c.read_remote += 1
+
+        pc = node.pc
+        page_resident = pc is not None and page in pc
+
+        # R-NUMA relocation counters live at the directory and count
+        # capacity misses to pages not yet relocated
+        if (
+            self._dir_counters is not None
+            and reply.miss_class is MissClass.CAPACITY
+            and pc is not None
+            and not page_resident
+        ):
+            assert node.threshold is not None
+            if self._dir_counters.record_capacity_miss(
+                page, node_idx, node.threshold.value
+            ):
+                self._relocate_page(node, page)
+                self._dir_counters.reset(page, node_idx)
+                page_resident = True
+
+        if page_resident:
+            assert pc is not None
+            offset = block & self._bpp_mask
+            if is_write:
+                pc.frame(page).last_miss = self.now  # the page did miss
+            else:
+                pc.record_fill(page, offset, self.now)
+                c.pc_fills += 1
+            fill = _M if is_write else _S  # relocated pages behave locally
+        else:
+            # allocate-on-miss NCs take a frame for the fetched block
+            ev = node.nc.on_fetch(block)
+            if ev is not None:
+                self._handle_nc_eviction(node, ev)
+            fill = _M if is_write else _R
+
+        self._fill(pid, node, block, page, fill)
+
+    def _snoop_home_dirty(self, home: int, block: int, is_write: bool) -> None:
+        """Home-bus snoop for exclusive copies the directory cannot see.
+
+        The home cluster may hold the block E (granted when it was the sole
+        sharer) or M (after a silent E->M write hit).  A remote request
+        rides the home node's bus, so those copies are downgraded (read) or
+        invalidated (write) exactly as a real snooping bus would — without
+        this, a stale E copy could silently become M while remote copies
+        exist.
+        """
+        home_node = self._nodes[home]
+        for l1 in home_node.l1s:
+            ln = l1.peek(block)
+            if ln is not None and (ln.state == _M or ln.state == _E):
+                if is_write:
+                    l1.remove(block)
+                else:
+                    ln.state = _S
+                return  # E/M are exclusive; no other copy can exist
+
+    # ------------------------------------------------------------------
+    # fills and victim disposal
+    # ------------------------------------------------------------------
+
+    def _fill(self, pid: int, node: Node, block: int, page: int, state: int) -> None:
+        """Insert the fetched block into the requesting L1, then dispose of
+        the line it displaced."""
+        evicted = self._l1s[pid].insert(block, state)
+        if evicted is not None:
+            self._handle_l1_victim(node, evicted)
+
+    def _handle_l1_victim(self, node: Node, line) -> None:
+        st = line.state
+        if st == _S or st == _E:
+            return  # clean non-masters drop silently (and E is local-only)
+        block = line.block
+        page = block >> self._bpp_bits
+        node_idx = node.node_id
+        home = self._placement.home_of(page)
+        c = self.counters
+
+        if st == _M or st == _O:
+            if home == node_idx:
+                if self._directory.owner(block) == node_idx:
+                    self._directory.writeback(block, node_idx)
+                return  # local memory write, free
+            pc = node.pc
+            if pc is not None and page in pc:
+                pc.absorb_dirty(page, block & self._bpp_mask)
+                c.writebacks_absorbed += 1
+                return
+            absorbed, ev = node.nc.accept_dirty_victim(block)
+            if absorbed:
+                c.writebacks_absorbed += 1
+                self._record_nc_victimization(node, block)
+                if ev is not None:
+                    self._handle_nc_eviction(node, ev)
+                return
+            c.writebacks_remote += 1
+            self._directory.writeback(block, node_idx)
+            return
+
+        if st == _R:
+            # replacement transaction for the last clean copy in the node
+            for l1 in node.l1s:
+                ln = l1.peek(block)
+                if ln is not None and ln.state == _S:
+                    ln.state = _R  # a peer inherits mastership
+                    return
+            pc = node.pc
+            if pc is not None and page in pc:
+                frame = pc.frame(page)
+                offset = block & self._bpp_mask
+                if frame.states[offset] == _PC_INVALID:
+                    frame.states[offset] = _NC_CLEAN  # deposit, LRM untouched
+                return
+            accepted, ev = node.nc.accept_clean_victim(block)
+            if accepted:
+                self._record_nc_victimization(node, block)
+            if ev is not None:
+                self._handle_nc_eviction(node, ev)
+            return
+
+        raise ProtocolError(f"victimised line in impossible state {st}")
+
+    def _handle_nc_eviction(self, node: Node, ev: NCEviction) -> None:
+        """Dispose of a block replaced out of the NC, enforcing inclusion."""
+        c = self.counters
+        c.nc_evictions += 1
+        block = ev.block
+        dirty = ev.dirty
+        inclusion = node.nc.inclusion
+        if inclusion is InclusionPolicy.DIRTY_ONLY:
+            for l1 in node.l1s:
+                ln = l1.peek(block)
+                if ln is not None and (ln.state == _M or ln.state == _O):
+                    l1.remove(block)
+                    c.nc_inclusion_evictions += 1
+                    dirty = True
+                    break  # at most one dirty copy within the cluster
+        elif inclusion is InclusionPolicy.FULL:
+            for l1 in node.l1s:
+                ln = l1.remove(block)
+                if ln is not None:
+                    c.nc_inclusion_evictions += 1
+                    if ln.state == _M or ln.state == _O:
+                        dirty = True
+
+        page = block >> self._bpp_bits
+        node_idx = node.node_id
+        pc = node.pc
+        if dirty:
+            if pc is not None and page in pc:
+                pc.absorb_dirty(page, block & self._bpp_mask)
+                c.writebacks_absorbed += 1
+            else:
+                c.writebacks_remote += 1
+                self._directory.writeback(block, node_idx)
+        else:
+            if pc is not None and page in pc:
+                frame = pc.frame(page)
+                offset = block & self._bpp_mask
+                if frame.states[offset] == _PC_INVALID:
+                    frame.states[offset] = _NC_CLEAN
+
+    # ------------------------------------------------------------------
+    # inter-cluster actions
+    # ------------------------------------------------------------------
+
+    def _invalidate_cluster(self, cl: int, block: int, page: int) -> None:
+        """Deliver an invalidation for a (clean-copy) block to one cluster."""
+        node = self._nodes[cl]
+        found = False
+        for l1 in node.l1s:
+            ln = l1.remove(block)
+            if ln is not None:
+                found = True
+                if ln.state == _M or ln.state == _O:
+                    raise ProtocolError(
+                        f"invalidation found a dirty copy of {block:#x} in "
+                        f"cluster {cl}; owner flush should have handled it"
+                    )
+        st = node.nc.invalidate(block)
+        if st is not None:
+            found = True
+        if st == _NC_DIRTY:
+            raise ProtocolError(
+                f"invalidation found a dirty NC copy of {block:#x} in cluster {cl}"
+            )
+        if node.pc is not None:
+            pc_state = node.pc.block_state(page, block & self._bpp_mask)
+            if pc_state != _PC_INVALID:
+                found = True
+            was_dirty = node.pc.invalidate_block(page, block & self._bpp_mask)
+            if was_dirty:
+                raise ProtocolError(
+                    f"invalidation found a dirty PC copy of {block:#x} in "
+                    f"cluster {cl}"
+                )
+        if not found and self._decrement_on_inval:
+            # Sec. 3.4: the copy was already victimised — the count that
+            # victimisation added predicts a coherence miss now, so undo it
+            if self._dir_counters is not None:
+                self._dir_counters.decrement(page, cl)
+            elif node.nc_counters is not None:
+                set_idx = node.nc.set_index_of(block)
+                if set_idx is not None:
+                    node.nc_counters.decrement(set_idx)
+
+    def _flush_owner(self, cl: int, block: int, page: int, for_write: bool) -> None:
+        """The directory's owner must surrender its dirty copy.
+
+        For a read the copy is downgraded and the data written back home
+        (one network write-back); for a write the copy is invalidated and
+        the data forwarded with the reply (no extra transfer counted).
+        """
+        c = self.counters
+        node = self._nodes[cl]
+        offset = block & self._bpp_mask
+        found = False
+        for l1 in node.l1s:
+            ln = l1.peek(block)
+            if ln is not None and (ln.state == _M or ln.state == _O):
+                if for_write:
+                    l1.remove(block)
+                else:
+                    ln.state = _S
+                    # a stale-dirty frame below the L1 copy cleans too
+                    node.nc.downgrade(block)
+                found = True
+                break
+        if not found:
+            if node.nc.probe(block) == _NC_DIRTY:
+                if for_write:
+                    node.nc.invalidate(block)
+                else:
+                    node.nc.downgrade(block)
+                found = True
+        if not found and node.pc is not None:
+            if node.pc.block_state(page, offset) == _NC_DIRTY:
+                if for_write:
+                    node.pc.invalidate_block(page, offset)
+                else:
+                    node.pc.mark_clean(page, offset)
+                found = True
+        if not found:
+            raise ProtocolError(
+                f"directory says cluster {cl} owns block {block:#x} dirty, "
+                "but no dirty copy exists there"
+            )
+        if for_write:
+            # every remaining (clean) copy in the owner cluster dies too
+            for l1 in node.l1s:
+                l1.remove(block)
+            node.nc.invalidate(block)
+            if node.pc is not None:
+                node.pc.invalidate_block(page, offset)
+        else:
+            c.writebacks_remote += 1  # the sharing write-back crosses the network
+
+    # ------------------------------------------------------------------
+    # page relocation
+    # ------------------------------------------------------------------
+
+    def _record_nc_victimization(self, node: Node, block: int) -> None:
+        """`vxp`: count a victim entering the NC; maybe trigger relocation."""
+        counters = node.nc_counters
+        if counters is None:
+            return
+        nc = node.nc
+        set_idx = nc.set_index_of(block)
+        assert set_idx is not None and node.threshold is not None
+        if not counters.record_victimization(set_idx, node.threshold.value):
+            return
+        pc = node.pc
+        assert pc is not None and isinstance(nc, VictimNC)
+        exclude = {b >> self._bpp_bits for b in nc.set_blocks(set_idx) if (
+            b >> self._bpp_bits) in pc}
+        page = counters.predominant_page(nc.set_blocks(set_idx), exclude)
+        counters.reset(set_idx)
+        if page is not None:
+            self._relocate_page(node, page)
+
+    def _relocate_page(self, node: Node, page: int) -> None:
+        """Relocate a remote page into the node's page cache (225 cycles)."""
+        c = self.counters
+        pc = node.pc
+        assert pc is not None
+        c.pc_relocations += 1
+        evicted = pc.allocate(page, self.now)
+        if evicted is not None:
+            c.pc_evictions += 1
+            self._flush_page_from_cluster(node, evicted)
+            assert node.threshold is not None
+            if node.threshold.on_frame_reuse(evicted.hits):
+                pc.reset_hit_counters()
+
+    def _flush_page_from_cluster(self, node: Node, frame: PageFrame) -> None:
+        """A page leaves the PC: purge it from the whole cluster.
+
+        Dirty blocks (in the frame, the L1s, or the NC) are written home;
+        clean copies are dropped.  The re-mapping makes every future access
+        to the page miss again — the cost the paper attributes to
+        relocation churn.
+        """
+        c = self.counters
+        page = frame.page
+        node_idx = node.node_id
+        base = page << self._bpp_bits
+        for offset in range(self.config.blocks_per_page):
+            block = base + offset
+            dirty = frame.states[offset] == _NC_DIRTY
+            for l1 in node.l1s:
+                ln = l1.remove(block)
+                if ln is not None and (ln.state == _M or ln.state == _O):
+                    dirty = True
+            st = node.nc.invalidate(block)
+            if st == _NC_DIRTY:
+                dirty = True
+            if dirty:
+                c.pc_flush_writebacks += 1
+                self._directory.writeback(block, node_idx)

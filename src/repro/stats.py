@@ -1,0 +1,193 @@
+"""Event counters and derived performance metrics.
+
+The paper's performance model (Sec. 4) monitors processor-cache misses to
+remote data and their outcomes, then evaluates the remote read stall
+
+    RS = N_hit^NC L_hit^NC + N_hit^PC L_hit^PC + N_miss L_miss + N_rel T_rel
+
+plus the remote data traffic (read misses + write misses + write-backs).
+:class:`Counters` is the raw event tally filled in by the simulator;
+:class:`repro.sim.results.SimulationResult` combines it with a
+:class:`repro.params.LatencyModel` to produce the figures' metrics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, fields
+from typing import Dict
+
+
+class MissClass(enum.Enum):
+    """Classification of a remote miss at the home directory (Sec. 2).
+
+    * ``NECESSARY`` — cold misses and coherence misses: the cluster never had
+      the block, or it was invalidated since.
+    * ``CAPACITY`` — the presence bits say the cluster should still have the
+      block; it was lost to replacement somewhere in the cluster hierarchy.
+      (Conflict misses are folded into this class at the directory, which is
+      exactly why the paper wants the NC to filter them out.)
+    """
+
+    NECESSARY = "necessary"
+    CAPACITY = "capacity"
+
+
+class Outcome(enum.Enum):
+    """Where a processor-cache miss was satisfied."""
+
+    CLUSTER_CACHE = "cluster_cache"  #: peer L1 in the same node (bus c2c)
+    NC_HIT = "nc_hit"
+    PC_HIT = "pc_hit"
+    REMOTE = "remote"  #: had to go to the home node
+    LOCAL_MEMORY = "local_memory"  #: home is the local node (not monitored)
+
+
+@dataclass
+class Counters:
+    """Flat tally of every event the model cares about.
+
+    All counters are machine-wide.  ``reads``/``writes`` count *shared*
+    references only — the paper expresses miss ratios as a percentage of all
+    shared (non-stack) references.
+    """
+
+    # reference counts
+    reads: int = 0
+    writes: int = 0
+
+    # L1 hits (shared references that hit in the issuing processor's cache)
+    l1_read_hits: int = 0
+    l1_write_hits: int = 0
+
+    # misses to LOCAL data (home == local node); not monitored by Eq. 1 but
+    # tracked so totals add up
+    local_read_misses: int = 0
+    local_write_misses: int = 0
+
+    # misses to REMOTE data, by outcome (reads)
+    read_cluster_hits: int = 0
+    read_nc_hits: int = 0
+    read_pc_hits: int = 0
+    read_remote: int = 0
+
+    # misses to REMOTE data, by outcome (writes)
+    write_cluster_hits: int = 0
+    write_nc_hits: int = 0
+    write_pc_hits: int = 0
+    write_remote: int = 0
+
+    # remote accesses by directory classification
+    remote_capacity: int = 0
+    remote_necessary: int = 0
+
+    # write upgrades (write hit on a shared copy) that needed a remote
+    # invalidation round; no data transfer, so not part of data traffic
+    remote_upgrades: int = 0
+    local_upgrades: int = 0
+
+    # write-backs of dirty blocks that crossed the network to the home node
+    writebacks_remote: int = 0
+    # dirty victims absorbed locally (by the victim NC or by a PC frame)
+    writebacks_absorbed: int = 0
+
+    # network cache internals
+    nc_insertions: int = 0  #: victims accepted / frames allocated in the NC
+    nc_evictions: int = 0  #: blocks replaced out of the NC
+    nc_inclusion_evictions: int = 0  #: L1 copies forced out to keep inclusion
+
+    # page cache internals
+    pc_relocations: int = 0
+    pc_evictions: int = 0
+    pc_flush_writebacks: int = 0  #: dirty blocks written home on PC eviction
+    pc_fills: int = 0  #: blocks filled into PC frames from remote fetches
+
+    # invalidations delivered across the network (coherence actions)
+    remote_invalidations: int = 0
+
+    def copy(self) -> "Counters":
+        return Counters(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def as_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    # ---- totals ---------------------------------------------------------
+
+    @property
+    def refs(self) -> int:
+        """All shared references."""
+        return self.reads + self.writes
+
+    @property
+    def read_remote_misses(self) -> int:
+        """Read misses to remote data (all outcomes past the L1)."""
+        return (
+            self.read_cluster_hits
+            + self.read_nc_hits
+            + self.read_pc_hits
+            + self.read_remote
+        )
+
+    @property
+    def write_remote_misses(self) -> int:
+        """Write misses to remote data (all outcomes past the L1)."""
+        return (
+            self.write_cluster_hits
+            + self.write_nc_hits
+            + self.write_pc_hits
+            + self.write_remote
+        )
+
+    @property
+    def cluster_misses_read(self) -> int:
+        """Read misses that left the cluster (the figures' miss ratio)."""
+        return self.read_remote
+
+    @property
+    def cluster_misses_write(self) -> int:
+        return self.write_remote
+
+    @property
+    def remote_accesses(self) -> int:
+        return self.read_remote + self.write_remote
+
+    @property
+    def traffic_blocks(self) -> int:
+        """Remote data traffic in blocks (Sec. 6.4).
+
+        Read misses + write misses that fetched a block from the home node,
+        plus every dirty block written back across the network.
+        ``writebacks_remote`` (cache/NC victims) and ``pc_flush_writebacks``
+        (dirty blocks flushed home when a page leaves the page cache) are
+        disjoint tallies.
+        """
+        return (
+            self.read_remote
+            + self.write_remote
+            + self.writebacks_remote
+            + self.pc_flush_writebacks
+        )
+
+    def check(self) -> None:
+        """Internal-consistency assertions (used by tests)."""
+        assert self.reads >= self.l1_read_hits >= 0
+        assert self.writes >= self.l1_write_hits >= 0
+        assert (
+            self.reads
+            == self.l1_read_hits + self.local_read_misses + self.read_remote_misses
+        ), "read accounting does not add up"
+        assert (
+            self.writes
+            == self.l1_write_hits
+            + self.local_write_misses
+            + self.write_remote_misses
+        ), "write accounting does not add up"
+        assert self.remote_capacity + self.remote_necessary == self.remote_accesses
+
+
+def merge(a: Counters, b: Counters) -> Counters:
+    """Return the element-wise sum of two counter sets."""
+    out = Counters()
+    for f in fields(Counters):
+        setattr(out, f.name, getattr(a, f.name) + getattr(b, f.name))
+    return out

@@ -1,0 +1,15 @@
+"""Machine assembly: page placement, cluster nodes, and named systems."""
+
+from .placement import FirstTouchPlacement
+from .node import Node
+from .machine import Machine
+from .builder import SYSTEM_NAMES, build_machine, system_config
+
+__all__ = [
+    "FirstTouchPlacement",
+    "Node",
+    "Machine",
+    "SYSTEM_NAMES",
+    "build_machine",
+    "system_config",
+]

@@ -1,0 +1,80 @@
+"""The whole clustered DSM machine: nodes + directory + placement."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..coherence.directory import Directory
+from ..params import SystemConfig
+from ..rdc.relocation import DirectoryRelocationCounters
+from .node import Node
+from .placement import FirstTouchPlacement
+
+
+class Machine:
+    """Structural state of one simulated system configuration."""
+
+    __slots__ = ("config", "nodes", "directory", "placement", "dir_counters")
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        nodes: List[Node],
+        placement: Optional[FirstTouchPlacement] = None,
+        dir_counters: Optional[DirectoryRelocationCounters] = None,
+    ) -> None:
+        self.config = config
+        self.nodes = nodes
+        self.directory = Directory(config.n_nodes)
+        self.placement = placement or FirstTouchPlacement()
+        self.dir_counters = dir_counters
+
+    def node_of_pid(self, pid: int) -> Node:
+        return self.nodes[pid // self.config.procs_per_node]
+
+    def l1_of(self, pid: int):
+        node = self.nodes[pid // self.config.procs_per_node]
+        return node.l1s[pid % self.config.procs_per_node]
+
+    # ---- global invariants (exercised by property tests) -----------------
+
+    def dirty_copies_of(self, block: int) -> int:
+        """Count dirty copies of a block across the whole machine.
+
+        Coherence requires this to be <= 1 at every quiescent point.
+        """
+        from ..coherence.states import MESIR, NCState, PCBlockState
+
+        bpp = self.config.blocks_per_page
+        page, offset = divmod(block, bpp)
+        count = 0
+        for node in self.nodes:
+            for l1 in node.l1s:
+                line = l1.peek(block)
+                if line is not None and line.state in (MESIR.M, MESIR.O):
+                    count += 1
+            if node.nc.probe(block) == NCState.DIRTY:
+                count += 1
+            if node.pc is not None and node.pc.block_state(page, offset) == int(
+                PCBlockState.DIRTY
+            ):
+                count += 1
+        return count
+
+    def valid_copy_nodes(self, block: int) -> "set[int]":
+        """Nodes holding any valid copy of a block (L1, NC, or PC)."""
+        from ..coherence.states import NCState, PCBlockState
+
+        bpp = self.config.blocks_per_page
+        page, offset = divmod(block, bpp)
+        holders = set()
+        for node in self.nodes:
+            if node.resident_in_l1s(block):
+                holders.add(node.node_id)
+            elif node.nc.probe(block) is not None:
+                holders.add(node.node_id)
+            elif node.pc is not None and node.pc.block_state(page, offset) != int(
+                PCBlockState.INVALID
+            ):
+                holders.add(node.node_id)
+        return holders

@@ -1,0 +1,42 @@
+"""Page placement: which node is a page's home.
+
+The paper places data with a **first-touch** policy (Sec. 5.2): a page's
+home is the node of the first processor to reference it.  SPLASH-2 codes
+are optimised so that first-touch is close to optimal — our synthetic
+generators imitate this by having each processor initialise/first-touch its
+own partition.
+
+Generators may also supply an explicit pre-placement map, which models the
+paper's fix to LU (whose natural first-touch would put every page on
+cluster 0 because the master processor initialises the matrix).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+
+class FirstTouchPlacement:
+    """Lazily assigns each page's home to its first toucher."""
+
+    def __init__(self, preset: Optional[Mapping[int, int]] = None) -> None:
+        self._home: Dict[int, int] = dict(preset) if preset else {}
+
+    def touch(self, page: int, node: int) -> int:
+        """Home of ``page``, assigning ``node`` if this is the first touch."""
+        home = self._home.get(page)
+        if home is None:
+            self._home[page] = node
+            return node
+        return home
+
+    def home_of(self, page: int) -> Optional[int]:
+        """Home of ``page`` if assigned, else None."""
+        return self._home.get(page)
+
+    def pages_homed_at(self, node: int) -> int:
+        """How many pages live on ``node`` (placement-balance metric)."""
+        return sum(1 for h in self._home.values() if h == node)
+
+    def n_pages(self) -> int:
+        return len(self._home)

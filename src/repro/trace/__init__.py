@@ -1,0 +1,26 @@
+"""Memory-reference traces: records, synthetic generators, I/O, analysis.
+
+The paper drives its evaluation with SPARC traces of eight SPLASH-2
+benchmarks.  Those traces are not available, so this package provides
+deterministic *synthetic* generators (one per benchmark) that reproduce the
+sharing structure each application is known for — dataset size (Table 3),
+spatial locality, access-pattern regularity, read/write mix, and the size
+and shape of the remote working set.  See DESIGN.md for the substitution
+argument.
+"""
+
+from .record import Trace, TraceSpec
+from .io import load_trace, save_trace
+from .interleave import interleave_blocks, round_robin
+from .stats import TraceCharacteristics, characterize
+
+__all__ = [
+    "Trace",
+    "TraceSpec",
+    "load_trace",
+    "save_trace",
+    "interleave_blocks",
+    "round_robin",
+    "TraceCharacteristics",
+    "characterize",
+]

@@ -1,0 +1,92 @@
+"""Merging per-processor streams into one machine-wide trace.
+
+Two levels of merging:
+
+* :func:`merge_streams` — combine several concurrent activities of a
+  *single* processor (e.g. a sequential read stream and a scatter-write
+  stream) into one ordered stream, preserving each activity's order;
+* :func:`round_robin` — interleave the per-processor streams of one phase
+  reference-by-reference, which is how the trace-driven simulator models
+  the 32 processors progressing together (barriers between phases come out
+  naturally because phases are interleaved separately and concatenated).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+Stream = Tuple[np.ndarray, np.ndarray]  # (byte addresses int64, write flags uint8)
+
+
+def merge_streams(
+    streams: Sequence[Stream], rng: Optional[np.random.Generator] = None
+) -> Stream:
+    """Proportionally interleave one processor's concurrent activities.
+
+    Each stream's internal order is preserved.  With ``rng``, merge points
+    are randomised (still order-preserving); otherwise the merge is a
+    deterministic proportional round-robin.
+    """
+    streams = [s for s in streams if len(s[0])]
+    if not streams:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.uint8)
+    keys: List[np.ndarray] = []
+    for addrs, writes in streams:
+        assert len(addrs) == len(writes)
+        n = len(addrs)
+        if rng is not None:
+            keys.append(np.sort(rng.random(n)))
+        else:
+            keys.append((np.arange(n, dtype=np.float64) + 0.5) / n)
+    allkeys = np.concatenate(keys)
+    order = np.argsort(allkeys, kind="stable")
+    addrs = np.concatenate([s[0] for s in streams])[order]
+    writes = np.concatenate([s[1] for s in streams])[order]
+    return addrs, writes
+
+
+def round_robin(per_proc: Sequence[Stream]) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Interleave per-processor streams reference-by-reference.
+
+    Processor ``p``'s k-th reference is scheduled at virtual time
+    ``k * n_procs + p``; gaps left by shorter streams are compacted.
+    Returns (pids, addrs, writes).
+    """
+    n_procs = len(per_proc)
+    if n_procs == 0:
+        return (
+            np.empty(0, dtype=np.int32),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.uint8),
+        )
+    key_parts: List[np.ndarray] = []
+    pid_parts: List[np.ndarray] = []
+    for p, (addrs, writes) in enumerate(per_proc):
+        assert len(addrs) == len(writes)
+        n = len(addrs)
+        key_parts.append(np.arange(n, dtype=np.int64) * n_procs + p)
+        pid_parts.append(np.full(n, p, dtype=np.int32))
+    keys = np.concatenate(key_parts)
+    order = np.argsort(keys, kind="stable")
+    pids = np.concatenate(pid_parts)[order]
+    addrs = np.concatenate([s[0] for s in per_proc])[order]
+    writes = np.concatenate([s[1] for s in per_proc])[order]
+    return pids, addrs, writes
+
+
+def interleave_blocks(
+    phases: Sequence[Tuple[np.ndarray, np.ndarray, np.ndarray]]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Concatenate already-interleaved phases into the final trace arrays."""
+    if not phases:
+        return (
+            np.empty(0, dtype=np.int32),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.uint8),
+        )
+    pids = np.concatenate([p[0] for p in phases])
+    addrs = np.concatenate([p[1] for p in phases])
+    writes = np.concatenate([p[2] for p in phases])
+    return pids, addrs, writes

@@ -1,0 +1,71 @@
+"""Trace persistence: compressed ``.npz`` with a JSON metadata sidecar field.
+
+Generating a trace is cheap, but experiments sweep many systems over the
+same trace; saving lets a bench generate once and reuse across processes.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..errors import TraceError
+from .record import Trace
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write a trace to ``path`` (``.npz``)."""
+    path = Path(path)
+    meta = {
+        "version": _FORMAT_VERSION,
+        "name": trace.name,
+        "dataset_bytes": trace.dataset_bytes,
+        "placement": (
+            {str(k): v for k, v in trace.placement.items()} if trace.placement else None
+        ),
+        "meta": trace.meta,
+    }
+    np.savez_compressed(
+        path,
+        pids=trace.pids,
+        addrs=trace.addrs,
+        writes=trace.writes,
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    )
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace file not found: {path}")
+    with np.load(path) as data:
+        try:
+            meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
+            pids = data["pids"]
+            addrs = data["addrs"]
+            writes = data["writes"]
+        except KeyError as exc:
+            raise TraceError(f"malformed trace file {path}: missing {exc}") from exc
+    if meta.get("version") != _FORMAT_VERSION:
+        raise TraceError(
+            f"trace file {path} has version {meta.get('version')}, "
+            f"expected {_FORMAT_VERSION}"
+        )
+    placement = meta.get("placement")
+    if placement is not None:
+        placement = {int(k): int(v) for k, v in placement.items()}
+    return Trace(
+        meta["name"],
+        pids,
+        addrs,
+        writes,
+        meta["dataset_bytes"],
+        placement,
+        meta.get("meta"),
+    )

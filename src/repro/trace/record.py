@@ -1,0 +1,117 @@
+"""Trace containers.
+
+A :class:`Trace` is three parallel numpy arrays — processor id, byte
+address, is-write flag — plus the metadata the simulator needs (dataset
+size for fraction-sized page caches, an optional explicit page-placement
+map).  Only *shared* references are recorded: the paper expresses all miss
+ratios as a percentage of shared (non-stack) references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..errors import TraceError
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Parameters of a synthetic trace generation request."""
+
+    benchmark: str
+    refs: int = 400_000
+    seed: int = 1
+    n_procs: int = 32
+    scale: float = 1.0  #: dataset scale factor (1.0 = the paper's Table 3 size)
+
+    def __post_init__(self) -> None:
+        if self.refs <= 0:
+            raise TraceError("refs must be positive")
+        if self.n_procs <= 0:
+            raise TraceError("n_procs must be positive")
+        if not (0.0 < self.scale <= 4.0):
+            raise TraceError("scale must be in (0, 4]")
+
+
+class Trace:
+    """An interleaved shared-reference trace for the whole machine."""
+
+    __slots__ = ("name", "pids", "addrs", "writes", "dataset_bytes", "placement", "meta")
+
+    def __init__(
+        self,
+        name: str,
+        pids: np.ndarray,
+        addrs: np.ndarray,
+        writes: np.ndarray,
+        dataset_bytes: int,
+        placement: Optional[Dict[int, int]] = None,
+        meta: Optional[Dict[str, object]] = None,
+    ) -> None:
+        if not (len(pids) == len(addrs) == len(writes)):
+            raise TraceError("pids/addrs/writes must have equal length")
+        if dataset_bytes <= 0:
+            raise TraceError("dataset_bytes must be positive")
+        self.name = name
+        self.pids = np.asarray(pids, dtype=np.int32)
+        self.addrs = np.asarray(addrs, dtype=np.int64)
+        self.writes = np.asarray(writes, dtype=np.uint8)
+        self.dataset_bytes = int(dataset_bytes)
+        self.placement = placement
+        self.meta = dict(meta) if meta else {}
+
+    def __len__(self) -> int:
+        return len(self.pids)
+
+    def __iter__(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate (pid, addr, is_write) as plain Python ints."""
+        return zip(self.pids.tolist(), self.addrs.tolist(), self.writes.tolist())
+
+    @property
+    def write_fraction(self) -> float:
+        if len(self) == 0:
+            return 0.0
+        return float(self.writes.sum()) / len(self)
+
+    @property
+    def n_procs(self) -> int:
+        return int(self.pids.max()) + 1 if len(self) else 0
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A sub-trace (used by tests and incremental runs)."""
+        return Trace(
+            self.name,
+            self.pids[start:stop],
+            self.addrs[start:stop],
+            self.writes[start:stop],
+            self.dataset_bytes,
+            self.placement,
+            self.meta,
+        )
+
+    def validate(self, n_procs: int, address_limit: Optional[int] = None) -> None:
+        """Raise :class:`TraceError` on out-of-range pids/addresses."""
+        if len(self) == 0:
+            raise TraceError("empty trace")
+        if int(self.pids.min()) < 0 or int(self.pids.max()) >= n_procs:
+            raise TraceError(
+                f"pid out of range [0, {n_procs}): "
+                f"[{int(self.pids.min())}, {int(self.pids.max())}]"
+            )
+        if int(self.addrs.min()) < 0:
+            raise TraceError("negative address in trace")
+        limit = address_limit if address_limit is not None else self.dataset_bytes
+        if int(self.addrs.max()) >= limit:
+            raise TraceError(
+                f"address {int(self.addrs.max()):#x} beyond limit {limit:#x}"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mb = self.dataset_bytes / (1 << 20)
+        return (
+            f"Trace({self.name!r}, refs={len(self)}, dataset={mb:.2f}MB, "
+            f"writes={self.write_fraction:.1%})"
+        )

@@ -1,0 +1,136 @@
+"""Shared address-space layout for synthetic benchmarks.
+
+A :class:`Layout` allocates named, page-aligned :class:`Region` objects in
+a single shared heap, mirroring how a SPLASH-2 program carves its shared
+arena into arrays.  Regions know how to partition themselves across
+processors and how to compute the first-touch page-placement map the
+generator hands to the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..errors import TraceError
+
+PAGE = 4096
+WORD = 4
+
+
+def _round_up(n: int, align: int) -> int:
+    return (n + align - 1) // align * align
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous, page-aligned byte range of the shared space."""
+
+    name: str
+    start: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.start % PAGE or self.size <= 0:
+            raise TraceError(f"region {self.name!r} must be page-aligned, non-empty")
+
+    @property
+    def end(self) -> int:
+        return self.start + self.size
+
+    @property
+    def n_words(self) -> int:
+        return self.size // WORD
+
+    @property
+    def n_pages(self) -> int:
+        return (self.size + PAGE - 1) // PAGE
+
+    @property
+    def first_page(self) -> int:
+        return self.start // PAGE
+
+    def word_addr(self, word_index: int) -> int:
+        """Byte address of the i-th word (bounds-checked)."""
+        if not 0 <= word_index < self.n_words:
+            raise TraceError(
+                f"word {word_index} out of region {self.name!r} "
+                f"({self.n_words} words)"
+            )
+        return self.start + word_index * WORD
+
+    def partition(self, n: int) -> List["Region"]:
+        """Split into ``n`` page-aligned sub-regions of near-equal size.
+
+        Every partition gets at least one page; the region must therefore
+        span at least ``n`` pages.
+        """
+        if n <= 0:
+            raise TraceError("partition count must be positive")
+        if self.n_pages < n:
+            raise TraceError(
+                f"region {self.name!r} has {self.n_pages} pages, cannot "
+                f"be split {n} ways"
+            )
+        base_pages, extra = divmod(self.n_pages, n)
+        parts: List[Region] = []
+        page = self.first_page
+        for i in range(n):
+            pages = base_pages + (1 if i < extra else 0)
+            start = page * PAGE
+            size = min(pages * PAGE, self.end - start)
+            parts.append(Region(f"{self.name}[{i}]", start, size))
+            page += pages
+        return parts
+
+    def pages(self) -> range:
+        return range(self.first_page, self.first_page + self.n_pages)
+
+
+class Layout:
+    """Sequential allocator of page-aligned regions in the shared heap."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+        self._regions: Dict[str, Region] = {}
+
+    def alloc(self, name: str, nbytes: int) -> Region:
+        if name in self._regions:
+            raise TraceError(f"region {name!r} already allocated")
+        if nbytes <= 0:
+            raise TraceError("region size must be positive")
+        size = _round_up(nbytes, PAGE)
+        region = Region(name, self._cursor, size)
+        self._cursor += size
+        self._regions[name] = region
+        return region
+
+    def __getitem__(self, name: str) -> Region:
+        return self._regions[name]
+
+    @property
+    def total_bytes(self) -> int:
+        return self._cursor
+
+    def regions(self) -> List[Region]:
+        return list(self._regions.values())
+
+
+def place_partitions(parts: List[Region], procs_per_node: int) -> Dict[int, int]:
+    """Home each per-processor partition's pages at its owner's node.
+
+    ``parts[i]`` belongs to processor ``i``; its pages go to node
+    ``i // procs_per_node``.  This reproduces the paper's (optimised)
+    first-touch outcome without spending trace length on an init phase.
+    """
+    placement: Dict[int, int] = {}
+    for pid, part in enumerate(parts):
+        node = pid // procs_per_node
+        for page in part.pages():
+            placement[page] = node
+    return placement
+
+
+def place_round_robin(region: Region, n_nodes: int) -> Dict[int, int]:
+    """Stripe a region's pages across nodes (shared read-mostly data)."""
+    return {page: i % n_nodes for i, page in enumerate(region.pages())}

@@ -1,0 +1,82 @@
+"""Trace characterisation: the knobs the paper's analysis turns on.
+
+The paper sorts applications by *spatial locality*, *regularity*, the
+*size/sparseness of the remote working set*, and the *read/write mix*.
+:func:`characterize` measures all of these on a generated trace so that
+tests can assert each synthetic benchmark lands in its intended class
+(see ``tests/trace/test_characteristics.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .record import Trace
+
+_BLOCK_BITS = 6
+_PAGE_BITS = 12
+
+
+@dataclass(frozen=True)
+class TraceCharacteristics:
+    """Summary statistics of one trace."""
+
+    refs: int
+    write_fraction: float
+    #: distinct words touched / words spanned by touched blocks — 1.0 means
+    #: every touched block is fully read (maximal spatial locality)
+    block_utilization: float
+    #: distinct blocks touched / blocks spanned by touched pages
+    page_utilization: float
+    distinct_blocks: int
+    distinct_pages: int
+    footprint_bytes: int  #: distinct pages x page size
+    #: fraction of references whose page is homed away from the referencing
+    #: node (needs the trace's placement map; 0.0 if absent)
+    remote_fraction: float
+    #: mean references per distinct touched block (temporal reuse)
+    block_reuse: float
+
+
+def characterize(trace: Trace, procs_per_node: int = 4) -> TraceCharacteristics:
+    """Measure locality/sharing statistics of a trace."""
+    addrs = trace.addrs
+    words = addrs >> 2
+    blocks = addrs >> _BLOCK_BITS
+    pages = addrs >> _PAGE_BITS
+
+    distinct_words = np.unique(words).size
+    distinct_blocks_arr = np.unique(blocks)
+    distinct_blocks = distinct_blocks_arr.size
+    distinct_pages_arr = np.unique(pages)
+    distinct_pages = distinct_pages_arr.size
+
+    words_per_block = 1 << (_BLOCK_BITS - 2)
+    blocks_per_page = 1 << (_PAGE_BITS - _BLOCK_BITS)
+    block_util = distinct_words / (distinct_blocks * words_per_block)
+    page_util = distinct_blocks / (distinct_pages * blocks_per_page)
+
+    remote_fraction = 0.0
+    if trace.placement:
+        homes = np.array(
+            [trace.placement.get(int(p), -1) for p in pages.tolist()],
+            dtype=np.int64,
+        )
+        nodes = trace.pids // procs_per_node
+        known = homes >= 0
+        if known.any():
+            remote_fraction = float(np.mean(homes[known] != nodes[known]))
+
+    return TraceCharacteristics(
+        refs=len(trace),
+        write_fraction=trace.write_fraction,
+        block_utilization=float(block_util),
+        page_utilization=float(page_util),
+        distinct_blocks=distinct_blocks,
+        distinct_pages=distinct_pages,
+        footprint_bytes=distinct_pages * (1 << _PAGE_BITS),
+        remote_fraction=remote_fraction,
+        block_reuse=len(trace) / max(1, distinct_blocks),
+    )

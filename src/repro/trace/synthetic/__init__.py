@@ -1,0 +1,54 @@
+"""Registry of the eight synthetic SPLASH-2-like benchmarks (Table 3)."""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from ...errors import UnknownBenchmarkError
+from ..record import Trace, TraceSpec
+from .base import SyntheticBenchmark
+from .cholesky import Cholesky
+from .fft import FFT
+from .lu import LU
+from .nbody import Barnes, FMM
+from .ocean import Ocean
+from .radix import Radix
+from .raytrace import Raytrace
+
+#: name -> generator class, in the paper's Table 3 order
+BENCHMARKS: Dict[str, Type[SyntheticBenchmark]] = {
+    cls.name: cls
+    for cls in (Barnes, Cholesky, FFT, FMM, LU, Ocean, Radix, Raytrace)
+}
+
+BENCHMARK_NAMES = tuple(BENCHMARKS)
+
+
+def get_benchmark(name: str) -> SyntheticBenchmark:
+    """Instantiate a benchmark generator by name."""
+    try:
+        return BENCHMARKS[name.lower()]()
+    except KeyError:
+        raise UnknownBenchmarkError(name, list(BENCHMARKS)) from None
+
+
+def generate_trace(spec: TraceSpec) -> Trace:
+    """Generate the trace described by ``spec``."""
+    return get_benchmark(spec.benchmark).generate(spec)
+
+
+__all__ = [
+    "BENCHMARKS",
+    "BENCHMARK_NAMES",
+    "SyntheticBenchmark",
+    "get_benchmark",
+    "generate_trace",
+    "Barnes",
+    "Cholesky",
+    "FFT",
+    "FMM",
+    "LU",
+    "Ocean",
+    "Radix",
+    "Raytrace",
+]

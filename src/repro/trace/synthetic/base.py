@@ -1,0 +1,115 @@
+"""Framework shared by the eight synthetic SPLASH-2-like generators.
+
+Each generator reproduces the *sharing structure* its benchmark is known
+for (and that the paper's analysis leans on): dataset size (Table 3),
+spatial locality, access regularity, read/write mix, and the size and
+sparseness of the remote working set.  The generators are deterministic
+given (benchmark, seed, refs, scale).
+
+Scaling
+-------
+The paper's traces have hundreds of millions of references; ours are
+bounded (default 400k), so datasets are scaled by ``TraceSpec.scale``
+(default 1/8 set by the runner) and the access patterns keep every
+*relative* relationship the paper's conclusions use: remote working set
+vs. the 16 KB NC, page demand vs. the page-cache fraction of the dataset,
+and read/write mixes.  ``scale=1.0`` reproduces the Table 3 footprints
+(useful with proportionally longer traces).
+"""
+
+from __future__ import annotations
+
+import abc
+import zlib
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...errors import TraceError
+from ..interleave import Stream, interleave_blocks, round_robin
+from ..record import Trace, TraceSpec
+from ..regions import PAGE, Layout, Region
+
+MB = 1 << 20
+
+#: A phase is one per-processor list of streams; phases are barriers.
+Phase = List[Stream]
+
+
+class SyntheticBenchmark(abc.ABC):
+    """One synthetic SPLASH-2-like workload."""
+
+    #: registry key, e.g. ``"radix"``
+    name: str = ""
+    #: the paper's Table 3 problem-size string
+    paper_params: str = ""
+    #: the paper's Table 3 shared-memory footprint in MB
+    paper_mb: float = 0.0
+
+    # ---- public API ---------------------------------------------------------
+
+    def dataset_bytes(self, scale: float) -> int:
+        """Scaled shared-data footprint (sizes fraction-based page caches)."""
+        return max(PAGE, int(self.paper_mb * MB * scale))
+
+    def generate(self, spec: TraceSpec) -> Trace:
+        """Build the interleaved trace for this benchmark."""
+        if spec.benchmark != self.name:
+            raise TraceError(
+                f"spec is for {spec.benchmark!r}, generator is {self.name!r}"
+            )
+        rng = np.random.default_rng(self._seed_material(spec.seed))
+        layout = Layout()
+        phases, placement, meta = self._build(spec, rng, layout)
+        parts = [round_robin(phase) for phase in phases if phase]
+        pids, addrs, writes = interleave_blocks(parts)
+        if len(pids) == 0:
+            raise TraceError(f"{self.name}: generator produced an empty trace")
+        trace = Trace(
+            self.name,
+            pids,
+            addrs,
+            writes,
+            dataset_bytes=self.dataset_bytes(spec.scale),
+            placement=placement,
+            meta={
+                "paper_params": self.paper_params,
+                "paper_mb": self.paper_mb,
+                "scale": spec.scale,
+                "seed": spec.seed,
+                **meta,
+            },
+        )
+        trace.validate(spec.n_procs, address_limit=layout.total_bytes)
+        return trace
+
+    # ---- subclass contract ---------------------------------------------------
+
+    @abc.abstractmethod
+    def _build(
+        self, spec: TraceSpec, rng: np.random.Generator, layout: Layout
+    ) -> Tuple[List[Phase], Dict[int, int], Dict[str, object]]:
+        """Produce (phases, page placement, extra metadata)."""
+
+    # ---- helpers ----------------------------------------------------------------
+
+    def _seed_material(self, seed: int) -> int:
+        """Mix the benchmark name into the seed so apps differ at equal seeds."""
+        return (zlib.crc32(self.name.encode()) << 16) ^ (seed & 0xFFFFFFFF)
+
+    @staticmethod
+    def per_proc_budget(spec: TraceSpec) -> int:
+        return max(1, spec.refs // spec.n_procs)
+
+    @staticmethod
+    def alloc_partitionable(layout: Layout, name: str, nbytes: int, parts: int) -> Region:
+        """Allocate a region guaranteed to split ``parts`` ways."""
+        return layout.alloc(name, max(nbytes, parts * PAGE))
+
+    @staticmethod
+    def writes_like(addrs: np.ndarray, write: bool) -> Stream:
+        return addrs, np.full(len(addrs), 1 if write else 0, dtype=np.uint8)
+
+    @staticmethod
+    def scaled(nbytes: float, scale: float, minimum: int = PAGE) -> int:
+        return max(minimum, int(nbytes * scale))

@@ -1,0 +1,99 @@
+"""Synthetic LU: dense blocked LU factorisation (512x512, 2.16 MB).
+
+The paper's characterisation (Secs. 6.1-6.3): **regular access pattern,
+high spatial locality, small remote working set** — small enough to fit
+the 16 KB NC, which is why the page-indexed `vp`/`vpp`/`vxp` variants are
+the *worst* case for LU (all blocks of the hot pivot page collide in one
+NC set and the working set gets pushed into the slower page cache).
+
+Model: the matrix is partitioned into per-processor panels (owner-homed,
+the paper's fixed first-touch for LU).  Each iteration all processors read
+the rotating owner's *pivot panel* in three passes, interleaved with
+full-coverage updates of their own panel halves.  The combined
+per-iteration footprint (two panels, ~4x the 16 KB cache) evicts the pivot
+between passes, so the re-read passes are exactly the remote capacity
+misses a 16 KB NC absorbs, while the rotation supplies a cold-miss floor.
+
+Note on scale: panels must overwhelm the 16 KB L1 for the eviction
+dynamics to exist at all, so the LU dataset is floored at 512 KB (32
+panels x 4 pages) regardless of ``TraceSpec.scale``; the paper-size
+footprint is reached at ``scale >= 0.24``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..patterns import sequential_words
+from ..record import TraceSpec
+from ..regions import PAGE, Layout, place_partitions
+from .base import Phase, SyntheticBenchmark
+
+
+class LU(SyntheticBenchmark):
+    name = "lu"
+    paper_params = "512 x 512"
+    paper_mb = 2.16
+
+    n_iters = 5
+    read_passes = 3  # one cold pass + two capacity passes over the pivot
+    # 4-page (16 KB) panels: pivot + own panel = 4x the ways of the 2-way
+    # L1 (guaranteed eviction between passes) while the pivot exactly fills
+    # the 4-way 16 KB NC — the paper's "small remote working set that fits
+    # the NC"
+    min_panel_pages = 4
+
+    def dataset_bytes(self, scale: float) -> int:
+        return max(32 * self.min_panel_pages * PAGE, super().dataset_bytes(scale))
+
+    def _build(
+        self, spec: TraceSpec, rng: np.random.Generator, layout: Layout
+    ) -> Tuple[List[Phase], Dict[int, int], Dict[str, object]]:
+        n = spec.n_procs
+        ppn = max(1, n // 8)
+        matrix = self.alloc_partitionable(
+            layout, "matrix", self.dataset_bytes(spec.scale), n
+        )
+        panels = matrix.partition(n)
+        placement = place_partitions(panels, ppn)
+
+        budget = self.per_proc_budget(spec) // self.n_iters
+        # 60% pivot reads across the passes, 40% local panel updates; the
+        # stride adapts to the budget but is capped at one touch per block
+        # so every pass covers the whole panel (maximal page locality)
+        pass_len = max(16, int(budget * 0.6) // self.read_passes)
+        update_len = max(16, int(budget * 0.4) // (self.read_passes - 1))
+
+        phases: List[Phase] = []
+        covered = 0
+        for it in range(self.n_iters):
+            pivot = panels[it % n]
+            stride_r = min(16, max(1, -(-pivot.n_words // pass_len)))
+            covered = min(pass_len, pivot.n_words // stride_r)
+            phase: Phase = []
+            for p in range(n):
+                # a finished pivot panel is never rewritten: its owner
+                # updates the *next* panel it owns instead (n must be > 1)
+                own = panels[p if p != it % n else (p + 1) % n]
+                stride_w = min(16, max(1, -(-own.n_words // update_len)))
+                wcov = min(update_len, own.n_words // stride_w)
+                pieces = []
+                for r in range(self.read_passes):
+                    reads = sequential_words(pivot, 0, covered, stride=stride_r)
+                    pieces.append(self.writes_like(reads, False))
+                    if r < self.read_passes - 1:
+                        # full-coverage update between passes evicts the
+                        # pivot from the 16 KB cache
+                        upd = sequential_words(
+                            own, r * (own.n_words // 2), wcov, stride_w
+                        )
+                        pieces.append(self.writes_like(upd, True))
+                addrs = np.concatenate([s[0] for s in pieces])
+                writes = np.concatenate([s[1] for s in pieces])
+                phase.append((addrs, writes))
+            phases.append(phase)
+
+        meta = {"panel_bytes": panels[0].size, "pivot_pass_words": covered}
+        return phases, placement, meta

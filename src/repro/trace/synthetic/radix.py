@@ -1,0 +1,131 @@
+"""Synthetic Radix: the SPLASH-2 radix sort permutation (1M integers, 9.87 MB).
+
+The paper's characterisation — Radix is its stress case: **irregular,
+write-dominated, very low spatial locality, a large and sparse remote
+working set**.  Consequences the model must reproduce:
+
+* huge write and write-back traffic (Fig. 10), strongly reduced by a
+  victim NC that re-captures dirty scatter blocks between bursts;
+* the dirty-inclusion `nc` actively hurts (Fig. 4): its NC conflicts force
+  dirty L1 blocks out, inflating write-backs;
+* page caches thrash — destination pages are written by many nodes, so
+  replicas are invalidated constantly and relocation never amortises
+  (Figs. 6/7/9: high relocation overhead, adaptive thresholds essential);
+* repeated permutation passes turn later scatter writes into *capacity*
+  write misses (presence bits stay set), Fig. 3's "predominant reduction
+  in write capacity misses".
+
+Model: per pass, every processor streams its own key partition (local
+reads) while scattering writes into per-(processor, digit) runs spread
+over the whole destination array — 128 concurrently-active runs per
+processor, one block each per pass, revisited on every pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..interleave import merge_streams
+from ..patterns import sequential_words
+from ..record import TraceSpec
+from ..regions import Layout, place_partitions, place_round_robin
+from .base import Phase, SyntheticBenchmark
+
+
+def cumcount(values: np.ndarray) -> np.ndarray:
+    """Occurrence index of each element within its equal-value group.
+
+    ``cumcount([3, 5, 3, 3, 5]) == [0, 0, 1, 2, 1]`` — used to advance a
+    per-digit destination run pointer in source order, vectorised.
+    """
+    order = np.argsort(values, kind="stable")
+    sorted_vals = values[order]
+    group_start = np.zeros(len(values), dtype=np.int64)
+    if len(values):
+        new_group = np.empty(len(values), dtype=bool)
+        new_group[0] = True
+        new_group[1:] = sorted_vals[1:] != sorted_vals[:-1]
+        starts = np.flatnonzero(new_group)
+        group_start[starts] = np.arange(len(values))[starts]
+        group_start = np.maximum.accumulate(group_start)
+    ranks = np.arange(len(values), dtype=np.int64) - group_start
+    out = np.empty(len(values), dtype=np.int64)
+    out[order] = ranks
+    return out
+
+
+class Radix(SyntheticBenchmark):
+    name = "radix"
+    paper_params = "1M integers"
+    paper_mb = 9.87
+
+    n_digits = 128
+    n_passes = 3
+
+    def _build(
+        self, spec: TraceSpec, rng: np.random.Generator, layout: Layout
+    ) -> Tuple[List[Phase], Dict[int, int], Dict[str, object]]:
+        n = spec.n_procs
+        ppn = max(1, n // 8)
+        n_nodes = max(1, n // ppn)
+        total = self.dataset_bytes(spec.scale)
+        src = self.alloc_partitionable(layout, "keys", int(total * 0.47), n)
+        dst = self.alloc_partitionable(layout, "ranks", int(total * 0.47), n)
+        hist = layout.alloc("histogram", max(4096, int(total * 0.06)))
+
+        src_parts = src.partition(n)
+        placement = place_partitions(src_parts, ppn)
+        # destination pages are first-touched by whoever's keys land there —
+        # effectively scattered; model as round-robin homes
+        placement.update(place_round_robin(dst, n_nodes))
+        placement.update(place_round_robin(hist, n_nodes))
+
+        budget = self.per_proc_budget(spec) // self.n_passes
+        keys_per_pass = max(64, int(budget * 0.42))
+        rank_reads = max(32, int(budget * 0.16))
+
+        digit_words = dst.n_words // self.n_digits
+        run_words = max(16, digit_words // n)  # each proc's slot per digit
+
+        phases: List[Phase] = []
+        for pp in range(self.n_passes):
+            phase: Phase = []
+            for p in range(n):
+                own = src_parts[p]
+                covered = min(own.n_words, keys_per_pass)
+                reads = sequential_words(own, (pp * covered) % own.n_words, covered, 1)
+
+                digits = rng.integers(0, self.n_digits, size=covered)
+                offsets = cumcount(digits) % run_words
+                dest_words = (
+                    digits * digit_words + p * run_words + offsets
+                ) % dst.n_words
+                writes = dst.start + dest_words * 4
+
+                streams = [
+                    self.writes_like(reads, False),
+                    self.writes_like(writes, True),
+                ]
+                if pp > 0:
+                    # the next pass consumes the permuted output: each
+                    # processor reads its position-slice of the rank array,
+                    # freshly scattered by everyone — the remote *read*
+                    # component of Radix (its read stall in Figs. 9/11)
+                    slice_words = dst.n_words // n
+                    rstride = min(16, max(1, -(-slice_words // rank_reads)))
+                    n_refs = min(rank_reads, slice_words // rstride)
+                    rr = sequential_words(dst, p * slice_words, n_refs, rstride)
+                    streams.append(self.writes_like(rr, False))
+
+                merged = merge_streams(streams, rng=None)
+                phase.append(merged)
+            phases.append(phase)
+
+        meta = {
+            "n_digits": self.n_digits,
+            "run_words": run_words,
+            "dst_pages": dst.n_pages,
+        }
+        return phases, placement, meta

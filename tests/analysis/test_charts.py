@@ -1,0 +1,74 @@
+"""Tests for the terminal bar-chart renderers."""
+
+from __future__ import annotations
+
+from repro.analysis.charts import bar_chart, stacked_chart
+
+
+class TestBarChart:
+    def test_contains_all_labels_and_values(self):
+        txt = bar_chart(
+            "T",
+            groups=["lu", "fft"],
+            series=["base", "vb"],
+            values={
+                ("base", "lu"): 2.0,
+                ("vb", "lu"): 1.0,
+                ("base", "fft"): 1.5,
+                ("vb", "fft"): 1.5,
+            },
+        )
+        for token in ("T", "lu", "fft", "base", "vb", "2.00", "1.00"):
+            assert token in txt
+
+    def test_bars_proportional(self):
+        txt = bar_chart(
+            "T", ["g"], ["a", "b"],
+            {("a", "g"): 4.0, ("b", "g"): 2.0},
+            width=20,
+        )
+        line_a = next(l for l in txt.splitlines() if " a " in l)
+        line_b = next(l for l in txt.splitlines() if " b " in l)
+        assert line_a.count("#") == 2 * line_b.count("#")
+
+    def test_reference_ruler(self):
+        txt = bar_chart(
+            "T", ["g"], ["a"], {("a", "g"): 0.5},
+            width=20, reference=1.0,
+        )
+        assert "|" in txt.splitlines()[1][14:]  # the ruler past the bar
+        assert "marks 1.00" in txt
+
+    def test_zero_and_missing_values(self):
+        txt = bar_chart("T", ["g"], ["a", "b"], {("a", "g"): 0.0})
+        assert "0.00" in txt
+        assert " b " not in txt  # missing series is skipped
+
+    def test_handles_all_zero(self):
+        txt = bar_chart("T", ["g"], ["a"], {("a", "g"): 0.0})
+        assert "T" in txt
+
+
+class TestStackedChart:
+    def test_components_rendered_with_distinct_fills(self):
+        txt = stacked_chart(
+            "T", ["radix"], ["ncp5"],
+            {("ncp5", "radix"): {"read": 4.0, "write": 10.0, "relocation": 5.0}},
+            width=19,
+        )
+        row = next(l for l in txt.splitlines() if "ncp5" in l)
+        assert "#" in row and "=" in row and "%" in row
+        assert "19.00" in row
+
+    def test_scale_shared_across_groups(self):
+        txt = stacked_chart(
+            "T", ["a", "b"], ["s"],
+            {
+                ("s", "a"): {"read": 10.0},
+                ("s", "b"): {"read": 5.0},
+            },
+            width=10,
+        )
+        rows = [l for l in txt.splitlines() if " s " in l]
+        assert rows[0].count("#") == 10
+        assert rows[1].count("#") == 5

@@ -1,0 +1,81 @@
+"""Unit tests for aggregation helpers and report formatting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import geometric_mean, normalize_map, stacked_miss_bars
+from repro.analysis.report import format_grid, format_stacked_bars
+from repro.sim.results import SimulationResult
+from repro.stats import Counters
+from repro.system.builder import system_config
+
+
+def result(system, bench, read_remote=10, relocations=0):
+    c = Counters()
+    c.reads = 100
+    c.read_remote = read_remote
+    c.l1_read_hits = 100 - read_remote
+    c.pc_relocations = relocations
+    return SimulationResult(system, bench, system_config(system), c, refs=100)
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_empty_and_nonpositive(self):
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([1.0, 0.0]) == 0.0
+
+
+class TestNormalizeMap:
+    def test_stall_normalisation(self):
+        results = {
+            ("dinf", "lu"): result("dinf", "lu", read_remote=10),
+            ("vb", "lu"): result("vb", "lu", read_remote=5),
+        }
+        norm = normalize_map(results, "dinf", "stall")
+        assert norm[("dinf", "lu")] == pytest.approx(1.0)
+        # vb: 5*30 vs dinf: 10*33
+        assert norm[("vb", "lu")] == pytest.approx(150 / 330)
+
+    def test_traffic_normalisation(self):
+        results = {
+            ("dinf", "lu"): result("dinf", "lu", read_remote=10),
+            ("vb", "lu"): result("vb", "lu", read_remote=5),
+        }
+        norm = normalize_map(results, "dinf", "traffic")
+        assert norm[("vb", "lu")] == pytest.approx(0.5)
+
+    def test_unknown_metric(self):
+        with pytest.raises(ValueError):
+            normalize_map({("dinf", "lu"): result("dinf", "lu")}, "dinf", "area")
+
+
+class TestStackedBars:
+    def test_components(self):
+        r = result("ncp5", "lu", read_remote=10, relocations=2)
+        bars = stacked_miss_bars(r)
+        assert bars["read"] == pytest.approx(10.0)
+        assert bars["write"] == 0.0
+        assert bars["relocation"] == pytest.approx(15.0)  # 2 x 7.5 / 100
+
+
+class TestFormatters:
+    def test_grid_contains_rows_and_cols(self):
+        txt = format_grid("T", ["r1", "r2"], ["c1"], lambda r, c: 1.5)
+        assert "T" in txt and "r1" in txt and "c1" in txt and "1.50" in txt
+
+    def test_grid_none_renders_dash(self):
+        txt = format_grid("T", ["r"], ["c"], lambda r, c: None)
+        assert "-" in txt.splitlines()[-1]
+
+    def test_stacked_bars_renders_components(self):
+        stacks = {("r", "c"): {"read": 1.0, "write": 2.0, "relocation": 3.0}}
+        txt = format_stacked_bars("T", ["r"], ["c"], stacks)
+        assert "1.00r+2.00w+3.00p" in txt
+
+    def test_stacked_bars_missing_cell(self):
+        txt = format_stacked_bars("T", ["r"], ["c"], {})
+        assert "-" in txt.splitlines()[-2]

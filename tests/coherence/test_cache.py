@@ -1,0 +1,132 @@
+"""Unit tests for the generic set-associative LRU cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.cache import SetAssocCache
+from repro.errors import ConfigurationError
+from repro.params import CacheGeometry
+
+
+@pytest.fixture
+def cache():
+    # 1 KB, 2-way, 64 B blocks -> 16 blocks, 8 sets
+    return SetAssocCache(CacheGeometry(1024, 2))
+
+
+class TestGeometry:
+    def test_counts(self, cache):
+        assert cache.assoc == 2
+        assert cache.n_sets == 8
+
+    def test_indexing_masks_low_bits(self, cache):
+        assert cache.set_index(0) == 0
+        assert cache.set_index(8) == 0
+        assert cache.set_index(9) == 1
+
+    def test_page_index_shift(self):
+        c = SetAssocCache(CacheGeometry(1024, 2), index_shift=6)
+        # blocks 0..63 (one 4 KB page) all land in set 0
+        assert {c.set_index(b) for b in range(64)} == {0}
+        assert c.set_index(64) == 1
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SetAssocCache(CacheGeometry(1024, 2), index_shift=-1)
+
+
+class TestLookupInsert:
+    def test_miss_returns_none(self, cache):
+        assert cache.lookup(5) is None
+
+    def test_insert_then_lookup(self, cache):
+        cache.insert(5, 3)
+        line = cache.lookup(5)
+        assert line is not None and line.state == 3
+
+    def test_insert_returns_no_victim_when_room(self, cache):
+        assert cache.insert(0, 1) is None
+        assert cache.insert(8, 1) is None  # same set, second way
+
+    def test_lru_eviction_order(self, cache):
+        cache.insert(0, 1)
+        cache.insert(8, 1)
+        victim = cache.insert(16, 1)  # same set: evicts LRU = block 0
+        assert victim is not None and victim.block == 0
+        assert 8 in cache and 16 in cache
+
+    def test_lookup_promotes_to_mru(self, cache):
+        cache.insert(0, 1)
+        cache.insert(8, 1)
+        cache.lookup(0)  # promote
+        victim = cache.insert(16, 1)
+        assert victim.block == 8
+
+    def test_peek_does_not_promote(self, cache):
+        cache.insert(0, 1)
+        cache.insert(8, 1)
+        cache.peek(0)
+        victim = cache.insert(16, 1)
+        assert victim.block == 0
+
+    def test_different_sets_do_not_interfere(self, cache):
+        cache.insert(0, 1)
+        cache.insert(1, 1)
+        cache.insert(8, 1)
+        cache.insert(9, 1)
+        assert len(cache) == 4
+
+    def test_victim_candidate_matches_insert(self, cache):
+        cache.insert(0, 1)
+        cache.insert(8, 1)
+        cand = cache.victim_candidate(16)
+        victim = cache.insert(16, 1)
+        assert cand is victim
+
+    def test_victim_candidate_none_when_room(self, cache):
+        cache.insert(0, 1)
+        assert cache.victim_candidate(8) is None
+
+
+class TestRemove:
+    def test_remove_returns_line(self, cache):
+        cache.insert(3, 2)
+        line = cache.remove(3)
+        assert line.block == 3 and line.state == 2
+        assert 3 not in cache
+
+    def test_remove_absent_returns_none(self, cache):
+        assert cache.remove(3) is None
+
+    def test_clear(self, cache):
+        for b in range(16):
+            cache.insert(b, 1)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestInspection:
+    def test_len_counts_all_sets(self, cache):
+        for b in range(16):
+            cache.insert(b, 1)
+        assert len(cache) == 16
+
+    def test_occupancy(self, cache):
+        assert cache.occupancy() == 0.0
+        for b in range(8):
+            cache.insert(b, 1)
+        assert cache.occupancy() == pytest.approx(0.5)
+
+    def test_lines_iterates_everything(self, cache):
+        inserted = {0, 1, 8, 9}
+        for b in inserted:
+            cache.insert(b, 1)
+        assert {ln.block for ln in cache.lines()} == inserted
+        assert set(cache.blocks()) == inserted
+
+    def test_set_lines_exposes_lru_order(self, cache):
+        cache.insert(0, 1)
+        cache.insert(8, 1)
+        lines = cache.set_lines(0)
+        assert [ln.block for ln in lines] == [0, 8]  # LRU first

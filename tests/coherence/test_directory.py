@@ -1,0 +1,128 @@
+"""Unit tests for the full-map, non-notifying home directory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.directory import Directory
+from repro.errors import ProtocolError
+from repro.stats import MissClass
+
+
+@pytest.fixture
+def d():
+    return Directory(n_nodes=4)
+
+
+class TestAccess:
+    def test_first_access_is_necessary(self, d):
+        reply = d.access(0x10, 1, False)
+        assert reply.miss_class is MissClass.NECESSARY
+        assert reply.owner_to_flush is None
+        assert reply.invalidate == ()
+
+    def test_reaccess_is_capacity(self, d):
+        d.access(0x10, 1, False)
+        reply = d.access(0x10, 1, False)
+        assert reply.miss_class is MissClass.CAPACITY
+
+    def test_read_sets_presence(self, d):
+        d.access(0x10, 1, False)
+        assert d.is_present(0x10, 1)
+        assert not d.is_present(0x10, 2)
+
+    def test_write_claims_ownership(self, d):
+        d.access(0x10, 1, True)
+        assert d.owner(0x10) == 1
+        assert d.presence_mask(0x10) == 0b0010
+
+    def test_write_invalidates_other_sharers(self, d):
+        d.access(0x10, 0, False)
+        d.access(0x10, 2, False)
+        reply = d.access(0x10, 1, True)
+        assert set(reply.invalidate) == {0, 2}
+        assert d.presence_mask(0x10) == 0b0010
+
+    def test_write_after_write_flushes_owner(self, d):
+        d.access(0x10, 0, True)
+        reply = d.access(0x10, 1, True)
+        assert reply.owner_to_flush == 0
+        assert 0 in reply.invalidate
+        assert d.owner(0x10) == 1
+
+    def test_read_of_dirty_block_clears_owner(self, d):
+        d.access(0x10, 0, True)
+        reply = d.access(0x10, 1, False)
+        assert reply.owner_to_flush == 0
+        assert d.owner(0x10) is None
+        assert d.is_present(0x10, 0)  # still a sharer
+
+    def test_invalidated_cluster_refetch_is_necessary(self, d):
+        d.access(0x10, 0, False)
+        d.access(0x10, 1, True)  # invalidates cluster 0
+        reply = d.access(0x10, 0, False)
+        assert reply.miss_class is MissClass.NECESSARY
+
+    def test_owner_rerequest_raises(self, d):
+        d.access(0x10, 0, True)
+        with pytest.raises(ProtocolError):
+            d.access(0x10, 0, False)
+
+
+class TestUpgrade:
+    def test_upgrade_unknown_block_registers(self, d):
+        invalidate = d.upgrade(0x20, 2)
+        assert invalidate == ()
+        assert d.owner(0x20) == 2
+
+    def test_upgrade_invalidates_sharers(self, d):
+        d.access(0x20, 0, False)
+        d.access(0x20, 3, False)
+        invalidate = d.upgrade(0x20, 0)
+        assert invalidate == (3,)
+        assert d.presence_mask(0x20) == 0b0001
+
+    def test_upgrade_by_owner_allowed(self, d):
+        d.access(0x20, 0, True)
+        assert d.upgrade(0x20, 0) == ()
+
+    def test_upgrade_while_other_owner_raises(self, d):
+        d.access(0x20, 0, True)
+        with pytest.raises(ProtocolError):
+            d.upgrade(0x20, 1)
+
+
+class TestWriteback:
+    def test_writeback_clears_owner_keeps_presence(self, d):
+        d.access(0x30, 2, True)
+        d.writeback(0x30, 2)
+        assert d.owner(0x30) is None
+        assert d.is_present(0x30, 2)  # the R-NUMA modification
+
+    def test_writeback_by_non_owner_raises(self, d):
+        d.access(0x30, 2, True)
+        with pytest.raises(ProtocolError):
+            d.writeback(0x30, 1)
+
+    def test_writeback_of_unknown_block_raises(self, d):
+        with pytest.raises(ProtocolError):
+            d.writeback(0x99, 0)
+
+    def test_capacity_after_writeback(self, d):
+        """Presence bits stay on across write-backs => capacity on refetch."""
+        d.access(0x30, 2, True)
+        d.writeback(0x30, 2)
+        reply = d.access(0x30, 2, False)
+        assert reply.miss_class is MissClass.CAPACITY
+
+
+class TestInspection:
+    def test_entries_created_lazily(self, d):
+        assert d.n_entries() == 0
+        d.access(1, 0, False)
+        d.access(2, 0, False)
+        assert d.n_entries() == 2
+
+    def test_presence_mask_of_unknown_block(self, d):
+        assert d.presence_mask(0xDEAD) == 0
+        assert d.owner(0xDEAD) is None

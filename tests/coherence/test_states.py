@@ -1,0 +1,41 @@
+"""Unit tests for the MESIR / NC / PC state enumerations."""
+
+from repro.coherence.states import MESIR, NCState, PCBlockState
+
+
+class TestMESIR:
+    def test_validity(self):
+        assert not MESIR.I.is_valid
+        for st in (MESIR.S, MESIR.E, MESIR.M, MESIR.R):
+            assert st.is_valid
+
+    def test_dirty_only_m(self):
+        assert MESIR.M.is_dirty
+        for st in (MESIR.I, MESIR.S, MESIR.E, MESIR.R):
+            assert not st.is_dirty
+
+    def test_masters(self):
+        """M, E, and R answer bus replacement/ownership duties; S and I don't."""
+        assert MESIR.M.is_master and MESIR.E.is_master and MESIR.R.is_master
+        assert not MESIR.S.is_master and not MESIR.I.is_master
+
+    def test_int_values_stable(self):
+        # the simulator caches these as plain ints
+        assert int(MESIR.I) == 0 and int(MESIR.M) == 3 and int(MESIR.R) == 4
+
+
+class TestNCState:
+    def test_validity(self):
+        assert not NCState.INVALID.is_valid
+        assert NCState.CLEAN.is_valid and NCState.DIRTY.is_valid
+
+
+class TestPCBlockState:
+    def test_validity(self):
+        assert not PCBlockState.INVALID.is_valid
+        assert PCBlockState.CLEAN.is_valid and PCBlockState.DIRTY.is_valid
+
+    def test_values_match_ncstate(self):
+        # the simulator compares them interchangeably
+        assert int(PCBlockState.CLEAN) == int(NCState.CLEAN)
+        assert int(PCBlockState.DIRTY) == int(NCState.DIRTY)

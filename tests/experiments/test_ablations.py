@@ -1,0 +1,44 @@
+"""Smoke + structure tests for the ablation drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import BENCHES, ablations
+
+TINY = 8_000
+
+
+def test_ostate_columns():
+    r = ablations.ostate(refs=TINY)
+    labels = {k[0] for k in r.data}
+    assert {"mesir", "moesir", "mesir:wb", "moesir:wb"} == labels
+    # the paper's conclusion: stall near-identical across protocols
+    for b in BENCHES:
+        m, o = r.data[("mesir", b)], r.data[("moesir", b)]
+        assert o <= m * 1.2 + 0.5
+
+
+def test_decrement_columns():
+    r = ablations.decrement(refs=TINY)
+    labels = {k[0] for k in r.data}
+    assert {"base", "decrement", "base:rel", "decrement:rel"} == labels
+    for b in BENCHES:
+        # decrementing counters can only slow relocation down
+        assert r.data[("decrement:rel", b)] <= r.data[("base:rel", b)] + 1e-9
+
+
+def test_counter_sharing_columns():
+    r = ablations.counter_sharing(refs=TINY)
+    labels = {k[0] for k in r.data}
+    assert {"share1", "share2", "share4", "share8"} <= labels
+
+
+def test_nc_size_monotone_for_capacity_apps():
+    r = ablations.nc_size(refs=60_000)
+    # a bigger victim NC can only help (no inclusion): normalised stall
+    # must be non-increasing in NC size, modulo small indexing noise
+    for b in BENCHES:
+        small = r.data[("vb1k", b)]
+        large = r.data[("vb64k", b)]
+        assert large <= small * 1.05 + 1e-9

@@ -1,0 +1,113 @@
+"""Smoke + structure tests for every experiment driver.
+
+Each driver runs at a very small trace length; the tests assert the
+regenerated table has the paper's rows and columns, not specific values
+(shape assertions at realistic fidelity live in tests/integration).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, BENCHES
+from repro.experiments import (
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    tables,
+)
+
+TINY = 8_000
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table1", "table2", "table3",
+            "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
+            "fig09", "fig10", "fig11",
+            "abl_ostate", "abl_decrement", "abl_counter_sharing",
+            "abl_nc_size",
+        }
+
+
+class TestTables:
+    def test_table1_reflects_latency_model(self):
+        t = tables.table1()
+        assert "13" in t.table and "33" in t.table
+
+    def test_table2_lists_all_events(self):
+        t = tables.table2()
+        for token in ("DRAM access", "Tag checking", "225"):
+            assert token in t.table
+
+    def test_table3_lists_all_benchmarks(self):
+        t = tables.table3()
+        for name in BENCHES:
+            assert name in t.table
+
+
+@pytest.mark.parametrize(
+    "module,columns",
+    [
+        (fig04, ["nc", "vb"]),
+        (fig05, ["vb", "vp"]),
+        (fig08, ["vbp5", "vpp5"]),
+    ],
+)
+def test_two_column_figures(module, columns):
+    result = module.run(refs=TINY)
+    for bench in BENCHES:
+        assert bench in result.table
+    for col, b in [(c, b) for c in columns for b in BENCHES]:
+        assert (col, b) in result.data
+
+
+def test_fig03_has_nine_configurations():
+    result = fig03.run(refs=TINY)
+    labels = {k[0] for k in result.data}
+    assert len(labels) == 9
+    assert "2w-vb16" in labels and "1w-vb0" in labels
+
+
+def test_fig06_compares_policies():
+    result = fig06.run(refs=TINY)
+    assert {k[0] for k in result.data} == {"adaptive", "fixed"}
+
+
+def test_fig07_has_twelve_columns():
+    result = fig07.run(refs=TINY)
+    labels = {k[0] for k in result.data}
+    assert len(labels) == 12
+    assert {"base", "nc", "vb", "p5", "ncp9", "vbp7"} <= labels
+
+
+def test_fig09_normalises_to_dinf():
+    result = fig09.run(refs=TINY)
+    assert ("base", "lu") in result.data
+    assert all(v >= 0 for v in result.data.values())
+    # NCS can never be worse than base (same misses, faster service)
+    for b in BENCHES:
+        assert result.data[("ncs", b)] <= result.data[("base", b)] + 1e-9
+
+
+def test_fig10_traffic_normalised():
+    result = fig10.run(refs=TINY)
+    assert ("vbp", "radix") in result.data
+    assert all(v >= 0 for v in result.data.values())
+
+
+def test_fig11_threshold_variants():
+    result = fig11.run(refs=TINY)
+    assert {k[0] for k in result.data} == {"ncp5", "vxp5-t32", "vxp5-t64"}
+
+
+def test_experiment_result_str_contains_title():
+    result = fig04.run(refs=TINY)
+    assert "fig04" in str(result)

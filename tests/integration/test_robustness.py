@@ -1,0 +1,50 @@
+"""Robustness: the qualitative relations hold across seeds and scales.
+
+A reproduction whose shapes depend on one lucky seed is not a
+reproduction; these re-check the cheapest load-bearing orderings at
+other seeds and a different dataset scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.runner import simulate
+
+REFS = 120_000
+
+
+@pytest.mark.parametrize("seed", [2, 3])
+class TestSeedRobustness:
+    def test_victim_beats_inclusion_on_radix(self, seed):
+        nc = simulate("nc", "radix", refs=REFS, seed=seed)
+        vb = simulate("vb", "radix", refs=REFS, seed=seed)
+        assert vb.miss_ratio < nc.miss_ratio
+
+    def test_victim_never_hurts_barnes(self, seed):
+        base = simulate("base", "barnes", refs=REFS, seed=seed)
+        vb = simulate("vb", "barnes", refs=REFS, seed=seed)
+        assert vb.miss_ratio <= base.miss_ratio + 1e-9
+
+    def test_page_indexing_hurts_lu(self, seed):
+        vb = simulate("vb", "lu", refs=REFS, seed=seed)
+        vp = simulate("vp", "lu", refs=REFS, seed=seed)
+        assert vp.miss_ratio > vb.miss_ratio
+
+
+@pytest.mark.parametrize("scale", [0.0625, 0.25])
+class TestScaleRobustness:
+    def test_ncs_floor_holds(self, scale):
+        ncs = simulate("ncs", "barnes", refs=REFS, scale=scale)
+        base = simulate("base", "barnes", refs=REFS, scale=scale)
+        assert ncs.miss_ratio <= base.miss_ratio
+
+    def test_fft_stays_necessary_dominated(self, scale):
+        r = simulate("base", "fft", refs=REFS, scale=scale)
+        c = r.counters
+        assert c.remote_necessary > c.remote_capacity
+
+    def test_radix_inclusion_pathology_survives(self, scale):
+        nc = simulate("nc", "radix", refs=REFS, scale=scale)
+        vb = simulate("vb", "radix", refs=REFS, scale=scale)
+        assert nc.write_miss_ratio > vb.write_miss_ratio

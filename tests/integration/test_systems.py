@@ -1,0 +1,88 @@
+"""Integration: every named system runs every benchmark cleanly.
+
+Runs each (system, benchmark) pair at moderate trace length; the
+simulator's internal ProtocolError assertions plus Counters.check() make
+these strong end-to-end coherence tests, not just smoke tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.runner import simulate
+from repro.system.builder import SYSTEM_NAMES
+from repro.trace.synthetic import BENCHMARK_NAMES
+
+REFS = 40_000
+
+ALL_SYSTEMS = [n if n != "p" else "p5" for n in SYSTEM_NAMES] + [
+    "ncp5",
+    "vbp5",
+    "vpp5",
+    "vxp5",
+    "ncp9",
+]
+
+
+@pytest.mark.parametrize("system", ALL_SYSTEMS)
+def test_system_runs_barnes(system):
+    r = simulate(system, "barnes", refs=REFS)
+    r.counters.check()
+    assert r.counters.refs > 0
+
+
+@pytest.mark.parametrize("bench", BENCHMARK_NAMES)
+def test_vxp_runs_every_benchmark(bench):
+    """vxp exercises the most machinery (victim NC + NC-set counters + PC)."""
+    r = simulate("vxp5", bench, refs=REFS)
+    r.counters.check()
+
+
+@pytest.mark.parametrize("bench", BENCHMARK_NAMES)
+def test_ncd_runs_every_benchmark(bench):
+    """Full inclusion is the easiest policy to break."""
+    r = simulate("ncd", bench, refs=REFS)
+    r.counters.check()
+
+
+@pytest.mark.parametrize("bench", BENCHMARK_NAMES)
+def test_ncp_runs_every_benchmark(bench):
+    r = simulate("ncp5", bench, refs=REFS)
+    r.counters.check()
+
+
+class TestCrossSystemInvariants:
+    """Relations that must hold regardless of workload details."""
+
+    @pytest.mark.parametrize("bench", BENCHMARK_NAMES)
+    def test_infinite_ncs_floor(self, bench):
+        """No finite-NC system can miss less than the infinite NC."""
+        ncs = simulate("ncs", bench, refs=REFS)
+        for system in ("base", "nc", "vb", "vp"):
+            r = simulate(system, bench, refs=REFS)
+            assert r.miss_ratio >= ncs.miss_ratio - 1e-9
+
+    @pytest.mark.parametrize("bench", BENCHMARK_NAMES)
+    def test_victim_nc_never_hurts(self, bench):
+        """No inclusion => vb can never miss more than base (Sec. 3.1)."""
+        base = simulate("base", bench, refs=REFS)
+        vb = simulate("vb", bench, refs=REFS)
+        assert vb.miss_ratio <= base.miss_ratio + 1e-9
+        vp = simulate("vp", bench, refs=REFS)
+        assert vp.miss_ratio <= base.miss_ratio + 1e-9
+
+    @pytest.mark.parametrize("bench", BENCHMARK_NAMES)
+    def test_identical_misses_ncs_vs_dinf(self, bench):
+        """Infinite SRAM and DRAM NCs differ only in latency, not misses."""
+        a = simulate("ncs", bench, refs=REFS)
+        b = simulate("dinf", bench, refs=REFS)
+        assert a.miss_ratio == pytest.approx(b.miss_ratio)
+        assert a.remote_read_stall < b.remote_read_stall or a.remote_read_stall == 0
+
+    @pytest.mark.parametrize("bench", BENCHMARK_NAMES)
+    def test_refs_conserved_across_systems(self, bench):
+        refs = {
+            simulate(s, bench, refs=REFS).counters.refs
+            for s in ("base", "vb", "ncd", "vxp5")
+        }
+        assert len(refs) == 1

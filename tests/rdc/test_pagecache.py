@@ -1,0 +1,134 @@
+"""Unit tests for the page cache (LRM replacement, block-grain states)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.states import PCBlockState
+from repro.errors import ConfigurationError
+from repro.rdc.pagecache import PageCache
+
+BPP = 64  # blocks per 4 KB page
+
+
+@pytest.fixture
+def pc():
+    return PageCache(capacity_frames=3, blocks_per_page=BPP)
+
+
+class TestAllocation:
+    def test_empty(self, pc):
+        assert len(pc) == 0 and not pc.full
+        assert 5 not in pc
+
+    def test_allocate_below_capacity(self, pc):
+        assert pc.allocate(5, now=1) is None
+        assert 5 in pc
+
+    def test_double_allocate_rejected(self, pc):
+        pc.allocate(5, now=1)
+        with pytest.raises(ConfigurationError):
+            pc.allocate(5, now=2)
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PageCache(0, BPP)
+        with pytest.raises(ConfigurationError):
+            PageCache(4, 0)
+
+    def test_new_frame_starts_invalid(self, pc):
+        pc.allocate(5, now=1)
+        assert pc.block_state(5, 0) == int(PCBlockState.INVALID)
+        assert pc.frame(5).valid_blocks() == 0
+
+
+class TestLRM:
+    def test_least_recently_missed_evicted(self, pc):
+        pc.allocate(1, now=1)
+        pc.allocate(2, now=2)
+        pc.allocate(3, now=3)
+        pc.record_hit(1, now=10)  # page 1 missed recently
+        evicted = pc.allocate(4, now=11)
+        assert evicted.page == 2  # oldest last_miss
+
+    def test_fill_updates_lrm_clock(self, pc):
+        pc.allocate(1, now=1)
+        pc.allocate(2, now=2)
+        pc.allocate(3, now=3)
+        pc.record_fill(1, 0, now=9)
+        evicted = pc.allocate(4, now=10)
+        assert evicted.page == 2
+
+    def test_lrm_candidate_none_below_capacity(self, pc):
+        pc.allocate(1, now=1)
+        assert pc.lrm_candidate() is None
+
+
+class TestBlockStates:
+    def test_fill_clean(self, pc):
+        pc.allocate(5, now=1)
+        pc.record_fill(5, 7, now=2)
+        assert pc.block_state(5, 7) == int(PCBlockState.CLEAN)
+
+    def test_absorb_dirty(self, pc):
+        pc.allocate(5, now=1)
+        pc.absorb_dirty(5, 7)
+        assert pc.block_state(5, 7) == int(PCBlockState.DIRTY)
+
+    def test_mark_clean(self, pc):
+        pc.allocate(5, now=1)
+        pc.absorb_dirty(5, 7)
+        pc.mark_clean(5, 7)
+        assert pc.block_state(5, 7) == int(PCBlockState.CLEAN)
+
+    def test_invalidate_block_reports_dirtiness(self, pc):
+        pc.allocate(5, now=1)
+        pc.absorb_dirty(5, 7)
+        assert pc.invalidate_block(5, 7) is True
+        assert pc.invalidate_block(5, 7) is False
+        assert pc.block_state(5, 7) == int(PCBlockState.INVALID)
+
+    def test_invalidate_block_of_absent_page(self, pc):
+        assert pc.invalidate_block(9, 0) is False
+
+    def test_block_state_of_absent_page(self, pc):
+        assert pc.block_state(9, 0) == int(PCBlockState.INVALID)
+
+    def test_dirty_offsets(self, pc):
+        pc.allocate(5, now=1)
+        pc.absorb_dirty(5, 3)
+        pc.absorb_dirty(5, 9)
+        pc.record_fill(5, 1, now=2)
+        assert pc.frame(5).dirty_offsets() == [3, 9]
+
+
+class TestHitCounters:
+    def test_hits_saturate(self):
+        pc = PageCache(2, BPP, hit_counter_max=3)
+        pc.allocate(5, now=1)
+        for i in range(10):
+            pc.record_hit(5, now=i)
+        assert pc.frame(5).hits == 3
+
+    def test_reset_hit_counters(self, pc):
+        pc.allocate(5, now=1)
+        pc.record_hit(5, now=2)
+        pc.reset_hit_counters()
+        assert pc.frame(5).hits == 0
+
+
+class TestMetrics:
+    def test_fragmentation_empty(self, pc):
+        assert pc.fragmentation() == 0.0
+
+    def test_fragmentation_partial(self, pc):
+        pc.allocate(5, now=1)
+        for off in range(16):
+            pc.record_fill(5, off, now=2)
+        assert pc.fragmentation() == pytest.approx(1 - 16 / 64)
+
+    def test_drop(self, pc):
+        pc.allocate(5, now=1)
+        frame = pc.drop(5)
+        assert frame is not None and 5 not in pc
+        assert pc.drop(5) is None

@@ -1,0 +1,121 @@
+"""Unit tests for relocation counters and threshold policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rdc.adaptive import AdaptiveThreshold, FixedThreshold
+from repro.rdc.relocation import (
+    DirectoryRelocationCounters,
+    NCSetRelocationCounters,
+)
+
+
+class TestDirectoryCounters:
+    def test_counts_per_page_cluster_pair(self):
+        c = DirectoryRelocationCounters()
+        assert not c.record_capacity_miss(page=1, cluster=0, threshold=2)
+        assert not c.record_capacity_miss(1, 0, 2)
+        assert c.record_capacity_miss(1, 0, 2)  # 3 > 2
+        assert c.count(1, 0) == 3
+
+    def test_pairs_are_independent(self):
+        c = DirectoryRelocationCounters()
+        c.record_capacity_miss(1, 0, 10)
+        assert c.count(1, 1) == 0
+        assert c.count(2, 0) == 0
+
+    def test_reset(self):
+        c = DirectoryRelocationCounters()
+        c.record_capacity_miss(1, 0, 10)
+        c.reset(1, 0)
+        assert c.count(1, 0) == 0
+
+    def test_n_counters_tracks_memory_overhead(self):
+        c = DirectoryRelocationCounters()
+        for page in range(5):
+            c.record_capacity_miss(page, 0, 10)
+        c.record_capacity_miss(0, 3, 10)
+        assert c.n_counters() == 6
+
+
+class TestNCSetCounters:
+    def test_threshold_crossing(self):
+        c = NCSetRelocationCounters(n_sets=4, page_shift_blocks=6)
+        assert not c.record_victimization(0, threshold=1)
+        assert c.record_victimization(0, threshold=1)
+        assert c.count(0) == 2
+
+    def test_sets_independent(self):
+        c = NCSetRelocationCounters(4, 6)
+        c.record_victimization(0, 10)
+        assert c.count(1) == 0
+
+    def test_reset(self):
+        c = NCSetRelocationCounters(4, 6)
+        c.record_victimization(2, 10)
+        c.reset(2)
+        assert c.count(2) == 0
+
+    def test_n_counters_is_set_count(self):
+        assert NCSetRelocationCounters(64, 6).n_counters() == 64
+
+    def test_predominant_page(self):
+        c = NCSetRelocationCounters(4, page_shift_blocks=6)
+        # blocks of page 1 (64..127) twice, page 2 once
+        assert c.predominant_page([64, 65, 130], exclude=set()) == 1
+
+    def test_predominant_page_excludes(self):
+        c = NCSetRelocationCounters(4, 6)
+        assert c.predominant_page([64, 65, 130], exclude={1}) == 2
+
+    def test_predominant_page_empty(self):
+        c = NCSetRelocationCounters(4, 6)
+        assert c.predominant_page([], exclude=set()) is None
+        assert c.predominant_page([64], exclude={1}) is None
+
+
+class TestFixedThreshold:
+    def test_never_adjusts(self):
+        t = FixedThreshold(32)
+        for _ in range(100):
+            assert not t.on_frame_reuse(0)
+        assert t.value == 32
+
+
+class TestAdaptiveThreshold:
+    def test_raises_on_thrashing(self):
+        t = AdaptiveThreshold(initial=8, increment=2, break_even=12, window=4)
+        adjusted = [t.on_frame_reuse(0) for _ in range(4)]
+        assert adjusted == [False, False, False, True]
+        assert t.value == 10
+        assert t.adjustments == 1
+
+    def test_no_adjustment_when_amortised(self):
+        t = AdaptiveThreshold(initial=8, increment=2, break_even=12, window=4)
+        for _ in range(4):
+            assert not t.on_frame_reuse(20)  # hits > break-even
+        assert t.value == 8
+
+    def test_window_resets_after_check(self):
+        t = AdaptiveThreshold(initial=8, increment=2, break_even=12, window=2)
+        t.on_frame_reuse(0)
+        t.on_frame_reuse(0)  # adjusts
+        assert t.value == 10
+        t.on_frame_reuse(0)
+        assert t.value == 10  # new window, not yet full
+        t.on_frame_reuse(0)
+        assert t.value == 12
+
+    def test_mixed_reuses_balance(self):
+        t = AdaptiveThreshold(initial=8, increment=2, break_even=12, window=2)
+        t.on_frame_reuse(24)  # +12
+        t.on_frame_reuse(0)   # -12 -> indicator 0, not negative
+        assert t.value == 8
+
+    def test_paper_defaults_shape(self):
+        """The paper's policy: init 32, +8, break-even 12, window 2x frames."""
+        t = AdaptiveThreshold(initial=32, increment=8, break_even=12, window=256)
+        for _ in range(256):
+            t.on_frame_reuse(2)
+        assert t.value == 40

@@ -1,0 +1,159 @@
+"""Unit tests for the inclusion-style and infinite network caches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.states import NCState
+from repro.params import CacheGeometry
+from repro.rdc.base import InclusionPolicy
+from repro.rdc.dram import FullInclusionDramNC
+from repro.rdc.infinite import InfiniteNC
+from repro.rdc.none import NullNC
+from repro.rdc.sram import DirtyInclusionNC
+
+GEOM = CacheGeometry(1024, 4)  # 16 blocks, 4 sets
+
+
+class TestDirtyInclusionNC:
+    def test_policy_flags(self):
+        nc = DirtyInclusionNC(GEOM)
+        assert nc.inclusion is InclusionPolicy.DIRTY_ONLY
+        assert not nc.is_dram
+
+    def test_allocates_on_fetch(self):
+        nc = DirtyInclusionNC(GEOM)
+        assert nc.on_fetch(0x10) is None
+        assert nc.probe(0x10) == NCState.CLEAN
+
+    def test_fetch_of_resident_block_is_noop(self):
+        nc = DirtyInclusionNC(GEOM)
+        nc.on_fetch(0x10)
+        nc.accept_dirty_victim(0x10)
+        nc.on_fetch(0x10)
+        assert nc.probe(0x10) == NCState.DIRTY
+        assert len(nc) == 1
+
+    def test_fetch_overflow_reports_eviction(self):
+        nc = DirtyInclusionNC(GEOM)
+        for i in range(4):
+            assert nc.on_fetch(i * 4) is None  # fill set 0
+        ev = nc.on_fetch(16)
+        assert ev is not None and ev.block == 0
+
+    def test_read_hit_keeps_frame(self):
+        nc = DirtyInclusionNC(GEOM)
+        nc.on_fetch(0x10)
+        assert nc.service_read(0x10) == NCState.CLEAN
+        assert nc.probe(0x10) == NCState.CLEAN
+
+    def test_write_hit_stales_frame(self):
+        nc = DirtyInclusionNC(GEOM)
+        nc.on_fetch(0x10)
+        nc.accept_dirty_victim(0x10)
+        assert nc.service_write(0x10) == NCState.DIRTY
+        assert nc.probe(0x10) == NCState.CLEAN  # ownership moved to the L1
+
+    def test_clean_victims_not_captured_when_frame_lost(self):
+        nc = DirtyInclusionNC(GEOM)
+        accepted, ev = nc.accept_clean_victim(0x10)
+        assert not accepted and ev is None
+
+    def test_clean_victim_with_frame_is_absorbed_quietly(self):
+        nc = DirtyInclusionNC(GEOM)
+        nc.on_fetch(0x10)
+        accepted, ev = nc.accept_clean_victim(0x10)
+        assert accepted and ev is None
+
+    def test_dirty_victim_without_frame_declined(self):
+        nc = DirtyInclusionNC(GEOM)
+        accepted, _ = nc.accept_dirty_victim(0x10)
+        assert not accepted
+
+    def test_dirty_victim_absorbed_into_frame(self):
+        nc = DirtyInclusionNC(GEOM)
+        nc.on_fetch(0x10)
+        accepted, _ = nc.accept_dirty_victim(0x10)
+        assert accepted
+        assert nc.probe(0x10) == NCState.DIRTY
+
+    def test_invalidate_and_downgrade(self):
+        nc = DirtyInclusionNC(GEOM)
+        nc.on_fetch(0x10)
+        nc.accept_dirty_victim(0x10)
+        assert nc.downgrade(0x10)
+        assert nc.invalidate(0x10) == NCState.CLEAN
+
+
+class TestFullInclusionDramNC:
+    def test_policy_flags(self):
+        nc = FullInclusionDramNC(GEOM)
+        assert nc.inclusion is InclusionPolicy.FULL
+        assert nc.is_dram
+
+    def test_allocate_and_hit(self):
+        nc = FullInclusionDramNC(GEOM)
+        nc.on_fetch(0x10)
+        assert nc.service_read(0x10) == NCState.CLEAN
+
+    def test_eviction_reported(self):
+        nc = FullInclusionDramNC(GEOM)
+        for i in range(5):
+            ev = nc.on_fetch(i * 4)
+        assert ev is not None and ev.block == 0
+
+    def test_resident_blocks(self):
+        nc = FullInclusionDramNC(GEOM)
+        nc.on_fetch(1)
+        nc.on_fetch(2)
+        assert set(nc.resident_blocks()) == {1, 2}
+
+
+class TestInfiniteNC:
+    @pytest.mark.parametrize("is_dram", [False, True])
+    def test_latency_class(self, is_dram):
+        assert InfiniteNC(is_dram=is_dram).is_dram == is_dram
+
+    def test_never_evicts(self):
+        nc = InfiniteNC()
+        for b in range(10_000):
+            assert nc.on_fetch(b) is None
+        assert len(nc) == 10_000
+
+    def test_retains_until_invalidation(self):
+        nc = InfiniteNC()
+        nc.on_fetch(0x10)
+        assert nc.service_read(0x10) == NCState.CLEAN
+        assert nc.invalidate(0x10) == NCState.CLEAN
+        assert nc.service_read(0x10) is None
+
+    def test_dirty_absorb_and_write_hit(self):
+        nc = InfiniteNC()
+        nc.accept_dirty_victim(0x10)
+        assert nc.service_write(0x10) == NCState.DIRTY
+        assert nc.probe(0x10) == NCState.CLEAN  # stale under the new M
+
+    def test_clean_victim_accepted(self):
+        nc = InfiniteNC()
+        accepted, ev = nc.accept_clean_victim(0x10)
+        assert accepted and ev is None
+
+    def test_downgrade(self):
+        nc = InfiniteNC()
+        nc.accept_dirty_victim(5)
+        assert nc.downgrade(5)
+        assert nc.probe(5) == NCState.CLEAN
+
+
+class TestNullNC:
+    def test_everything_declines(self):
+        nc = NullNC()
+        assert nc.on_fetch(1) is None
+        assert nc.accept_clean_victim(1) == (False, None)
+        assert nc.accept_dirty_victim(1) == (False, None)
+        assert nc.service_read(1) is None
+        assert nc.service_write(1) is None
+        assert nc.invalidate(1) is None
+        assert not nc.downgrade(1)
+        assert list(nc.resident_blocks()) == []
+        assert nc.set_index_of(1) is None

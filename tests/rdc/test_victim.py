@@ -1,0 +1,131 @@
+"""Unit tests for the network victim cache (the paper's proposal)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.states import NCState
+from repro.params import CacheGeometry, NCIndexing
+from repro.rdc.base import InclusionPolicy
+from repro.rdc.victim import VictimNC
+
+
+@pytest.fixture
+def vb():
+    # 1 KB 4-way: 16 blocks, 4 sets
+    return VictimNC(CacheGeometry(1024, 4), NCIndexing.BLOCK)
+
+
+@pytest.fixture
+def vp():
+    return VictimNC(CacheGeometry(1024, 4), NCIndexing.PAGE, blocks_per_page=64)
+
+
+class TestPolicyFlags:
+    def test_no_inclusion(self, vb):
+        assert vb.inclusion is InclusionPolicy.NONE
+
+    def test_sram_latency_class(self, vb):
+        assert not vb.is_dram
+
+
+class TestAllocation:
+    def test_never_allocates_on_fetch(self, vb):
+        assert vb.on_fetch(0x10) is None
+        assert vb.probe(0x10) is None
+
+    def test_accepts_clean_victim(self, vb):
+        accepted, ev = vb.accept_clean_victim(0x10)
+        assert accepted and ev is None
+        assert vb.probe(0x10) == NCState.CLEAN
+
+    def test_accepts_dirty_victim(self, vb):
+        accepted, ev = vb.accept_dirty_victim(0x10)
+        assert accepted and ev is None
+        assert vb.probe(0x10) == NCState.DIRTY
+
+    def test_dirty_refresh_of_existing_clean(self, vb):
+        vb.accept_clean_victim(0x10)
+        accepted, ev = vb.accept_dirty_victim(0x10)
+        assert accepted and ev is None
+        assert vb.probe(0x10) == NCState.DIRTY
+        assert len(vb) == 1
+
+    def test_set_overflow_reports_eviction(self, vb):
+        # a fifth same-set block overflows the 4-way set
+        for i in range(4):
+            vb.accept_clean_victim(i * 4)
+        accepted, ev = vb.accept_dirty_victim(16)
+        assert accepted
+        assert ev is not None and ev.block == 0  # LRU of set 0
+        assert not ev.dirty
+
+    def test_eviction_carries_dirtiness(self, vb):
+        vb.accept_dirty_victim(0)
+        for i in range(1, 5):
+            _, ev = vb.accept_clean_victim(i * 4)
+        assert ev is not None and ev.block == 0 and ev.dirty
+
+
+class TestHits:
+    def test_read_hit_removes_line(self, vb):
+        vb.accept_clean_victim(0x10)
+        assert vb.service_read(0x10) == NCState.CLEAN
+        assert vb.probe(0x10) is None  # exclusive swap
+
+    def test_write_hit_removes_line(self, vb):
+        vb.accept_dirty_victim(0x10)
+        assert vb.service_write(0x10) == NCState.DIRTY
+        assert vb.probe(0x10) is None
+
+    def test_miss_returns_none(self, vb):
+        assert vb.service_read(0x10) is None
+        assert vb.service_write(0x10) is None
+
+
+class TestCoherence:
+    def test_invalidate_returns_state(self, vb):
+        vb.accept_dirty_victim(0x10)
+        assert vb.invalidate(0x10) == NCState.DIRTY
+        assert vb.invalidate(0x10) is None
+
+    def test_downgrade(self, vb):
+        vb.accept_dirty_victim(0x10)
+        assert vb.downgrade(0x10)
+        assert vb.probe(0x10) == NCState.CLEAN
+        assert not vb.downgrade(0x10)  # already clean
+
+    def test_flush_page(self, vb):
+        vb.accept_clean_victim(64)  # page 1, offset 0
+        vb.accept_dirty_victim(65)
+        vb.accept_clean_victim(130)  # page 2
+        flushed = dict(vb.flush_page(1, 6))
+        assert flushed == {64: False, 65: True}
+        assert vb.probe(130) is not None
+
+
+class TestIndexing:
+    def test_block_indexing_spreads_a_page(self, vb):
+        sets = {vb.set_index_of(b) for b in range(16)}
+        assert len(sets) == 4  # blocks of one page spread over all sets
+
+    def test_page_indexing_concentrates_a_page(self, vp):
+        sets = {vp.set_index_of(b) for b in range(64)}
+        assert sets == {0}  # one page -> one set
+
+    def test_page_indexing_separates_pages(self, vp):
+        assert vp.set_index_of(0) != vp.set_index_of(64)
+
+    def test_set_blocks_lists_residents(self, vp):
+        vp.accept_clean_victim(3)
+        vp.accept_clean_victim(7)
+        assert sorted(vp.set_blocks(0)) == [3, 7]
+
+    def test_page_set_overflow(self, vp):
+        """5 blocks of the same page overflow its single 4-way set."""
+        evictions = []
+        for off in range(5):
+            _, ev = vp.accept_clean_victim(off)
+            if ev:
+                evictions.append(ev.block)
+        assert evictions == [0]

@@ -1,0 +1,114 @@
+"""Unit tests for Eq. 1 arithmetic and the result container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import LatencyModel, SystemConfig
+from repro.sim import latency as lat
+from repro.sim.results import SimulationResult
+from repro.stats import Counters
+from repro.system.builder import system_config
+
+
+def counters(**kw) -> Counters:
+    c = Counters()
+    for k, v in kw.items():
+        setattr(c, k, v)
+    return c
+
+
+class TestLatencySelection:
+    def test_sram_system_latencies(self):
+        cfg = system_config("vb")
+        assert lat.nc_hit_latency(cfg) == 1
+        assert lat.remote_miss_latency(cfg) == 30
+
+    def test_dram_system_latencies(self):
+        cfg = system_config("ncd")
+        assert lat.nc_hit_latency(cfg) == 13
+        assert lat.remote_miss_latency(cfg) == 33
+
+    def test_infinite_dram_latencies(self):
+        cfg = system_config("dinf")
+        assert lat.nc_hit_latency(cfg) == 13
+        assert lat.remote_miss_latency(cfg) == 33
+
+    def test_base_has_no_tag_penalty(self):
+        assert lat.remote_miss_latency(system_config("base")) == 30
+
+
+class TestEquationOne:
+    def test_reads_only(self):
+        cfg = system_config("vbp")
+        c = counters(
+            read_cluster_hits=10,
+            read_nc_hits=100,
+            read_pc_hits=50,
+            read_remote=20,
+            write_remote=999,  # must not contribute
+            pc_relocations=2,
+        )
+        expected = 10 * 1 + 100 * 1 + 50 * 10 + 20 * 30 + 2 * 225
+        assert lat.remote_read_stall(c, cfg) == expected
+
+    def test_dram_nc_weights(self):
+        cfg = system_config("ncd")
+        c = counters(read_nc_hits=10, read_remote=10)
+        assert lat.remote_read_stall(c, cfg) == 10 * 13 + 10 * 33
+
+    def test_relocation_overhead(self):
+        cfg = system_config("ncp5")
+        c = counters(pc_relocations=4)
+        assert lat.relocation_overhead_cycles(c, cfg) == 900
+
+    def test_miss_ratios(self):
+        c = counters(reads=50, writes=50, read_remote=10, write_remote=5)
+        assert lat.miss_ratio_read(c) == pytest.approx(10.0)
+        assert lat.miss_ratio_write(c) == pytest.approx(5.0)
+
+    def test_relocation_ratio_in_equivalent_misses(self):
+        cfg = system_config("ncp5")
+        c = counters(reads=100, pc_relocations=4)
+        # 4 relocations x 7.5 equivalent misses / 100 refs = 30%
+        assert lat.relocation_overhead_ratio(c, cfg) == pytest.approx(30.0)
+
+    def test_zero_refs_safe(self):
+        c = Counters()
+        assert lat.miss_ratio_read(c) == 0.0
+        assert lat.relocation_overhead_ratio(c, system_config("ncp5")) == 0.0
+
+
+class TestSimulationResult:
+    def _result(self, system="vb", **kw):
+        cfg = system_config(system)
+        c = counters(**kw)
+        return SimulationResult(system, "lu", cfg, c, refs=c.refs)
+
+    def test_stall_properties_consistent(self):
+        r = self._result(
+            "vbp", reads=100, read_nc_hits=10, read_remote=5, pc_relocations=2,
+            l1_read_hits=85,
+        )
+        assert r.remote_read_stall == 10 * 1 + 5 * 30 + 2 * 225
+        assert r.relocation_overhead_cycles == 450
+        assert r.stall_without_relocation == r.remote_read_stall - 450
+
+    def test_normalized_stall(self):
+        a = self._result(reads=10, read_remote=10, l1_read_hits=0)
+        b = self._result(reads=10, read_remote=5, read_nc_hits=5, l1_read_hits=0)
+        assert b.normalized_stall(a) == pytest.approx((5 * 30 + 5 * 1) / 300)
+
+    def test_normalized_traffic(self):
+        a = self._result(reads=4, read_remote=4, l1_read_hits=0)
+        b = self._result(reads=4, read_remote=2, read_nc_hits=2, l1_read_hits=0)
+        assert b.normalized_traffic(a) == pytest.approx(0.5)
+
+    def test_zero_reference_is_inf(self):
+        a = self._result()
+        b = self._result(reads=1, read_remote=1, l1_read_hits=0)
+        assert b.normalized_stall(a) == float("inf")
+
+    def test_summary_keys(self):
+        s = self._result(reads=10, l1_read_hits=10).summary()
+        assert {"refs", "remote_read_stall_cycles", "traffic_blocks"} <= set(s)

@@ -1,0 +1,161 @@
+"""Scripted scenarios for page-cache eviction (LRM) and the vxp pathway.
+
+These exercise the costliest corner of the protocol: a page leaving the
+PC must be purged from the whole cluster, its dirty blocks written home,
+and later references must miss remotely again (the re-mapping cost the
+paper charges to relocation churn).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.states import MESIR, PCBlockState
+from repro.params import RelocationCounters
+from repro.system.builder import build_machine, system_config
+from repro.sim.simulator import Simulator
+from tests.conftest import Harness, addr, tiny_config
+
+
+def tiny_pc_harness(system: str = "p5", frames: int = 2, **kw) -> Harness:
+    """A harness whose page caches hold only ``frames`` pages."""
+    cfg = tiny_config(system, **kw)
+    # dataset size chosen so fraction-based sizing yields `frames` frames
+    dataset = frames * 4096 * 5
+    return Harness(cfg, dataset_bytes=dataset)
+
+
+def force_relocation(h: Harness, page: int, home: int = 1, pid: int = 0) -> None:
+    """Capacity-miss page `page` until it lands in pid's node's PC."""
+    h.home(page, home)
+    h.home(8, 0)
+    h.home(9, 0)
+    node = pid // h.config.procs_per_node
+    pc = h.machine.nodes[node].pc
+    for _ in range(60):
+        if page in pc:
+            return
+        for off in (0, 16):
+            h.read(pid, addr(page, off))
+            h.read(pid, addr(8, off))
+            h.read(pid, addr(9, off))
+            h.read(pid, addr(8, (off + 32) % 64))
+            h.read(pid, addr(9, (off + 32) % 64))
+    raise AssertionError(f"page {page} never relocated")
+
+
+class TestLRMEviction:
+    def test_capacity_respected(self):
+        h = tiny_pc_harness(frames=2)
+        for page in (0, 1, 2):
+            force_relocation(h, page)
+        pc = h.machine.nodes[0].pc
+        assert len(pc) <= 2
+        assert h.counters.pc_evictions >= 1
+
+    def test_evicted_page_purged_from_l1s(self):
+        h = tiny_pc_harness(frames=1)
+        force_relocation(h, 0)
+        h.read(0, addr(0, 0))  # cache a block of the resident page
+        assert h.l1_state(0, addr(0, 0)) is not None
+        force_relocation(h, 1)  # evicts page 0
+        assert 0 not in h.machine.nodes[0].pc
+        assert h.l1_state(0, addr(0, 0)) is None  # re-mapping flushed it
+
+    def test_dirty_blocks_written_home_on_eviction(self):
+        h = tiny_pc_harness(frames=1)
+        force_relocation(h, 0)
+        h.write(0, addr(0, 5))
+        # park the dirty data in the PC frame by evicting the L1 copy
+        for off in (5,):
+            h.read(0, addr(8, off))
+            h.read(0, addr(9, off))
+        assert h.pc_state(0, addr(0, 5)) == PCBlockState.DIRTY
+        before = h.counters.pc_flush_writebacks
+        force_relocation(h, 1)
+        assert h.counters.pc_flush_writebacks == before + 1
+        # the directory must agree the data went home
+        assert h.machine.directory.owner(addr(0, 5) >> 6) is None
+
+    def test_dirty_l1_copy_of_evicted_page_flushes(self):
+        h = tiny_pc_harness(frames=1)
+        force_relocation(h, 0)
+        h.write(0, addr(0, 7))  # dirty in L1, INVALID in PC
+        before = h.counters.pc_flush_writebacks
+        force_relocation(h, 1)
+        assert h.counters.pc_flush_writebacks == before + 1
+        assert h.l1_state(0, addr(0, 7)) is None
+
+    def test_reference_after_eviction_misses_remotely(self):
+        h = tiny_pc_harness(frames=1)
+        force_relocation(h, 0)
+        force_relocation(h, 1)
+        remote_before = h.counters.read_remote
+        h.read(0, addr(0, 50))  # a block never cached: must go remote
+        assert h.counters.read_remote == remote_before + 1
+
+    def test_lrm_picks_stalest_page(self):
+        h = tiny_pc_harness(frames=2)
+        force_relocation(h, 0)
+        force_relocation(h, 1)
+        # page 1 misses again (fresher), page 0 goes stale
+        h.machine.nodes[0].pc.record_hit(1, now=10**9)
+        force_relocation(h, 2)
+        pc = h.machine.nodes[0].pc
+        assert 1 in pc and 2 in pc and 0 not in pc
+
+
+class TestVxpPathway:
+    def test_victimizations_drive_relocation(self):
+        h = tiny_pc_harness("vxp5", frames=4)
+        h.home(0, 1)
+        h.home(8, 0)
+        h.home(9, 0)
+        pc = h.machine.nodes[0].pc
+        for _ in range(60):
+            if 0 in pc:
+                break
+            for off in (0, 16, 32):
+                h.read(0, addr(0, off))
+                h.read(0, addr(8, off))
+                h.read(0, addr(9, off))
+                h.read(0, addr(8, (off + 8) % 64))
+                h.read(0, addr(9, (off + 8) % 64))
+        assert 0 in pc, "NC-set victimisation counters never relocated page 0"
+        assert h.counters.pc_relocations >= 1
+
+    def test_counter_resets_after_trigger(self):
+        h = tiny_pc_harness("vxp5", frames=4)
+        h.home(0, 1)
+        h.home(8, 0)
+        h.home(9, 0)
+        pc = h.machine.nodes[0].pc
+        for _ in range(60):
+            if 0 in pc:
+                break
+            for off in (0, 16, 32):
+                h.read(0, addr(0, off))
+                h.read(0, addr(8, off))
+                h.read(0, addr(9, off))
+                h.read(0, addr(8, (off + 8) % 64))
+                h.read(0, addr(9, (off + 8) % 64))
+        node = h.machine.nodes[0]
+        assert node.nc_counters is not None
+        # counters reset when they fire, so none can run far past threshold
+        for s_idx in range(node.nc_counters.n_sets):
+            assert node.nc_counters.count(s_idx) <= node.threshold.value + 1
+
+
+class TestConfigGuards:
+    def test_vxp_requires_victim_nc(self):
+        from repro.errors import ConfigurationError
+        from repro.params import NCConfig, NCKind, PCConfig, SystemConfig
+
+        with pytest.raises(ConfigurationError):
+            SystemConfig(
+                nc=NCConfig(kind=NCKind.NONE),
+                pc=PCConfig(
+                    enabled=True, fraction=0.2,
+                    counters=RelocationCounters.NC_SET,
+                ),
+            )

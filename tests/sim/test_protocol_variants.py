@@ -1,0 +1,148 @@
+"""Tests for the optional protocol variants and counter refinements:
+MOESIR's O state, decrement-on-invalidation, and NC-set counter sharing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coherence.states import MESIR, NCState
+from repro.params import BusProtocol
+from repro.sim.runner import simulate
+from tests.conftest import Harness, addr, tiny_config
+
+
+def moesir_harness(system="vb", **kw):
+    return Harness(tiny_config(system, protocol=BusProtocol.MOESIR, **kw))
+
+
+class TestOState:
+    def test_peer_read_keeps_dirty_shared(self):
+        h = moesir_harness()
+        h.home(0, 1)
+        h.write(0, addr(0))
+        h.read(1, addr(0))
+        assert h.l1_state(0, addr(0)) == MESIR.O
+        assert h.l1_state(1, addr(0)) == MESIR.S
+        # the whole point: no write-back entered the victim NC
+        assert h.nc_state(0, addr(0)) is None
+        assert h.counters.writebacks_absorbed == 0
+
+    def test_mesir_downgrade_pollutes_instead(self):
+        h = Harness(tiny_config("vb"))
+        h.home(0, 1)
+        h.write(0, addr(0))
+        h.read(1, addr(0))
+        assert h.l1_state(0, addr(0)) == MESIR.S
+        assert h.nc_state(0, addr(0)) == NCState.DIRTY
+
+    def test_o_holder_write_upgrades_to_m(self):
+        h = moesir_harness()
+        h.home(0, 1)
+        h.write(0, addr(0))
+        h.read(1, addr(0))
+        h.write(0, addr(0))  # upgrade from O
+        assert h.l1_state(0, addr(0)) == MESIR.M
+        assert h.l1_state(1, addr(0)) is None
+
+    def test_o_victim_captured_dirty(self):
+        h = moesir_harness()
+        h.home(0, 1)
+        h.home(2, 0)
+        h.home(3, 0)
+        h.write(0, addr(0))
+        h.read(1, addr(0))  # pid0 -> O
+        # evict pid0's O copy
+        block_off = 0
+        for page in (2, 3):
+            h.read(0, addr(page, block_off))
+            h.read(0, addr(page, block_off + 16))
+        assert h.nc_state(0, addr(0)) == NCState.DIRTY
+        assert h.counters.writebacks_absorbed == 1
+
+    def test_remote_read_flushes_o_owner(self):
+        h = moesir_harness()
+        h.home(0, 1)
+        h.write(0, addr(0))
+        h.read(1, addr(0))  # O in pid0
+        h.read(2, addr(0))  # home cluster reads: owner flush finds the O copy
+        assert h.l1_state(0, addr(0)) == MESIR.S
+        assert h.counters.writebacks_remote == 1
+
+    def test_o_single_dirty_copy_invariant(self):
+        h = moesir_harness()
+        h.home(0, 1)
+        h.write(0, addr(0))
+        h.read(1, addr(0))
+        assert h.machine.dirty_copies_of(addr(0) >> 6) == 1
+
+    def test_moesir_runs_end_to_end(self):
+        r = simulate("vb", "radix", refs=30_000, protocol=BusProtocol.MOESIR)
+        r.counters.check()
+
+
+class TestDecrementOnInvalidation:
+    def test_directory_counter_corrected(self):
+        h = Harness(
+            tiny_config("p5", decrement_on_invalidation=True)
+        )
+        h.home(0, 1)
+        h.home(2, 0)
+        h.home(3, 0)
+        # build up a capacity-miss count on page 0 for cluster 0
+        for _ in range(3):
+            h.read(0, addr(0, 0))
+            for page in (2, 3):
+                h.read(0, addr(page, 0))
+                h.read(0, addr(page, 16))
+        counters = h.machine.dir_counters
+        before = counters.count(0, 0)
+        assert before >= 2
+        # the copy is already victimised; the home node's write sends a
+        # (late) invalidation that finds nothing -> decrement
+        h.write(2, addr(0, 0))
+        assert counters.count(0, 0) == before - 1
+
+    def test_no_decrement_when_copy_present(self):
+        h = Harness(tiny_config("p5", decrement_on_invalidation=True))
+        h.home(0, 1)
+        h.read(0, addr(0, 0))
+        for _ in range(2):
+            h.read(0, addr(0, 16))
+            h.read(0, addr(0, 0))
+        counters = h.machine.dir_counters
+        before = counters.count(0, 0)
+        h.write(2, addr(0, 0))  # invalidation finds the cached copy
+        assert counters.count(0, 0) == before
+
+    def test_end_to_end(self):
+        r = simulate("ncp5", "barnes", refs=30_000, decrement_on_invalidation=True)
+        r.counters.check()
+
+
+class TestCounterSharing:
+    def test_shared_counters_aggregate_sets(self):
+        from repro.rdc.relocation import NCSetRelocationCounters
+
+        c = NCSetRelocationCounters(n_sets=8, page_shift_blocks=6, sharing=4)
+        assert c.n_counters() == 2
+        c.record_victimization(0, threshold=10)
+        c.record_victimization(3, threshold=10)
+        assert c.count(0) == c.count(3) == 2
+        assert c.count(4) == 0
+        assert list(c.shared_sets(5)) == [4, 5, 6, 7]
+
+    def test_vxp_with_sharing_runs(self):
+        r = simulate("vxp5", "barnes", refs=30_000, nc_counter_sharing=8)
+        r.counters.check()
+
+    def test_sharing_reduces_counter_memory(self):
+        from repro.system.builder import build_machine, system_config
+
+        m1 = build_machine(system_config("vxp5"), dataset_bytes=1 << 20)
+        m8 = build_machine(
+            system_config("vxp5", nc_counter_sharing=8), dataset_bytes=1 << 20
+        )
+        assert m8.nodes[0].nc_counters.n_counters() * 8 == (
+            m1.nodes[0].nc_counters.n_counters()
+        )

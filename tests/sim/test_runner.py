@@ -1,0 +1,61 @@
+"""Unit tests for the high-level simulate/sweep entry points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownBenchmarkError, UnknownSystemError
+from repro.sim.runner import clear_trace_cache, get_trace, simulate, sweep
+
+
+class TestGetTrace:
+    def test_cache_returns_same_object(self):
+        clear_trace_cache()
+        a = get_trace("lu", refs=5_000)
+        b = get_trace("lu", refs=5_000)
+        assert a is b
+
+    def test_cache_distinguishes_params(self):
+        clear_trace_cache()
+        a = get_trace("lu", refs=5_000)
+        b = get_trace("lu", refs=5_000, seed=2)
+        c = get_trace("lu", refs=6_000)
+        assert a is not b and a is not c
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(UnknownBenchmarkError):
+            get_trace("linpack")
+
+
+class TestSimulate:
+    def test_returns_consistent_result(self):
+        r = simulate("vb", "lu", refs=20_000)
+        assert r.system == "vb" and r.benchmark == "lu"
+        assert r.counters.refs == r.refs
+        r.counters.check()
+
+    def test_deterministic(self):
+        a = simulate("vb", "lu", refs=20_000)
+        b = simulate("vb", "lu", refs=20_000)
+        assert a.counters.as_dict() == b.counters.as_dict()
+
+    def test_unknown_system(self):
+        with pytest.raises(UnknownSystemError):
+            simulate("warp", "lu", refs=5_000)
+
+    def test_config_overrides_forwarded(self):
+        r = simulate("vb", "lu", refs=20_000, cache_assoc=4)
+        assert r.config.cache.assoc == 4
+
+    def test_elapsed_recorded(self):
+        assert simulate("base", "lu", refs=5_000).elapsed_s > 0
+
+
+class TestSweep:
+    def test_matrix_keys(self):
+        out = sweep(["base", "vb"], ["lu"], refs=10_000)
+        assert set(out) == {("base", "lu"), ("vb", "lu")}
+
+    def test_same_trace_across_systems(self):
+        out = sweep(["base", "vb"], ["lu"], refs=10_000)
+        assert out[("base", "lu")].refs == out[("vb", "lu")].refs

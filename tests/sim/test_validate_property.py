@@ -1,0 +1,60 @@
+"""Hypothesis: the full invariant sweep holds under random traffic, for
+both protocols and across NC organisations (the strongest end-to-end net
+in the suite — every structural invariant, every few steps)."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.params import BusProtocol
+from repro.sim.validate import check_machine
+from tests.conftest import Harness, addr, tiny_config
+
+_access = st.tuples(
+    st.integers(0, 3),
+    st.integers(0, 4),
+    st.integers(0, 63),
+    st.booleans(),
+)
+
+
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    system=st.sampled_from(["base", "nc", "vb", "ncd", "vbp5", "vxp5"]),
+    protocol=st.sampled_from([BusProtocol.MESIR, BusProtocol.MOESIR]),
+    accesses=st.lists(_access, min_size=1, max_size=250),
+)
+def test_invariants_hold_for_any_interleaving(system, protocol, accesses):
+    h = Harness(tiny_config(system, protocol=protocol))
+    for i in range(5):
+        h.home(i, i % 2)
+    for k, (pid, page, off, is_write) in enumerate(accesses):
+        if is_write:
+            h.write(pid, addr(page, off))
+        else:
+            h.read(pid, addr(page, off))
+        if k % 50 == 49:
+            check_machine(h.machine)
+    check_machine(h.machine)
+    h.counters.check()
+
+
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(accesses=st.lists(_access, min_size=1, max_size=150))
+def test_decrement_refinement_preserves_invariants(accesses):
+    h = Harness(tiny_config("ncp5", decrement_on_invalidation=True))
+    for i in range(5):
+        h.home(i, i % 2)
+    for pid, page, off, is_write in accesses:
+        if is_write:
+            h.write(pid, addr(page, off))
+        else:
+            h.read(pid, addr(page, off))
+    check_machine(h.machine)
+    # counters can never go negative under the decrement refinement
+    counters = h.machine.dir_counters
+    assert counters is not None
+    for page in range(5):
+        for cl in range(2):
+            assert counters.count(page, cl) >= 0

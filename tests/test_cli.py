@@ -1,0 +1,99 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "vxp" in out and "radix" in out and "fig09" in out
+
+
+class TestSimulate:
+    def test_basic_run(self, capsys):
+        assert main(["simulate", "vb", "lu", "--refs", "10000"]) == 0
+        out = capsys.readouterr().out
+        assert "vb / lu" in out
+        assert "read_miss_ratio_pct" in out
+
+    def test_unknown_system_is_clean_error(self, capsys):
+        assert main(["simulate", "warp", "lu", "--refs", "5000"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_benchmark_is_clean_error(self, capsys):
+        assert main(["simulate", "vb", "linpack", "--refs", "5000"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_overrides(self, capsys):
+        assert main([
+            "simulate", "vb", "lu", "--refs", "10000",
+            "--cache-assoc", "4", "--nc-size", "1024", "--moesir",
+        ]) == 0
+
+    def test_pc_options(self, capsys):
+        assert main([
+            "simulate", "ncp5", "barnes", "--refs", "10000",
+            "--threshold", "4", "--fixed-threshold",
+            "--decrement-on-invalidation",
+        ]) == 0
+
+
+class TestSweep:
+    def test_grid_output(self, capsys):
+        assert main(["sweep", "base,vb", "lu", "--refs", "10000"]) == 0
+        out = capsys.readouterr().out
+        assert "base" in out and "vb" in out and "lu" in out
+
+    @pytest.mark.parametrize("metric", ["miss", "stall", "traffic"])
+    def test_metrics(self, capsys, metric):
+        assert main(
+            ["sweep", "base", "lu", "--refs", "8000", "--metric", metric]
+        ) == 0
+
+
+class TestExperiment:
+    def test_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "Page relocation" in capsys.readouterr().out
+
+    def test_unknown_name(self, capsys):
+        assert main(["experiment", "fig99"]) == 2
+        assert "available" in capsys.readouterr().err
+
+    def test_fig04_tiny(self, capsys):
+        assert main(["experiment", "fig04", "--refs", "6000"]) == 0
+        assert "fig04" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_stats(self, capsys):
+        assert main(["trace", "radix", "--refs", "10000", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "write fraction" in out
+
+    def test_save(self, capsys, tmp_path):
+        out_file = tmp_path / "t.npz"
+        assert main(
+            ["trace", "lu", "--refs", "10000", "--out", str(out_file)]
+        ) == 0
+        assert out_file.exists()
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as e:
+            main(["--version"])
+        assert e.value.code == 0
+
+
+class TestSweepChart:
+    def test_chart_mode(self, capsys):
+        assert main(
+            ["sweep", "base,vb", "lu", "--refs", "8000", "--metric",
+             "stall", "--chart"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "#" in out and "base" in out

@@ -1,0 +1,50 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ReproError,
+    TraceError,
+    UnknownBenchmarkError,
+    UnknownSystemError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [ConfigurationError, ProtocolError, TraceError]
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_unknown_system_is_configuration_error(self):
+        assert issubclass(UnknownSystemError, ConfigurationError)
+        assert issubclass(UnknownBenchmarkError, ConfigurationError)
+
+    def test_one_except_catches_everything(self):
+        for exc in (
+            ConfigurationError("x"),
+            ProtocolError("x"),
+            TraceError("x"),
+            UnknownSystemError("x", ["a"]),
+            UnknownBenchmarkError("x", ["a"]),
+        ):
+            with pytest.raises(ReproError):
+                raise exc
+
+
+class TestMessages:
+    def test_unknown_system_lists_known(self):
+        err = UnknownSystemError("warp", ["base", "vb"])
+        assert "warp" in str(err)
+        assert "base" in str(err) and "vb" in str(err)
+        assert err.name == "warp"
+        assert err.known == ["base", "vb"]
+
+    def test_unknown_benchmark_lists_known(self):
+        err = UnknownBenchmarkError("linpack", ["lu", "fft"])
+        assert "linpack" in str(err) and "lu" in str(err)

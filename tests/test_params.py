@@ -1,0 +1,159 @@
+"""Unit tests for configuration dataclasses and the latency model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params import (
+    CacheGeometry,
+    LatencyModel,
+    NCConfig,
+    NCIndexing,
+    NCKind,
+    PCConfig,
+    RelocationCounters,
+    SystemConfig,
+)
+
+
+class TestLatencyModel:
+    def test_table2_defaults(self):
+        lat = LatencyModel()
+        assert lat.dram_access == 10
+        assert lat.tag_check == 3
+        assert lat.cache_to_cache == 1
+        assert lat.remote_access == 30
+        assert lat.page_relocation == 225
+
+    def test_table1_composites(self):
+        lat = LatencyModel()
+        assert lat.sram_nc_hit == 1
+        assert lat.sram_nc_miss == 30
+        assert lat.dram_nc_hit == 13
+        assert lat.dram_nc_miss == 33
+        assert lat.pc_hit == 10
+
+    def test_relocation_equivalent(self):
+        assert LatencyModel().relocation_equivalent_misses == pytest.approx(7.5)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(remote_access=-1)
+
+    def test_custom_latencies(self):
+        lat = LatencyModel(dram_access=20, tag_check=5)
+        assert lat.dram_nc_hit == 25
+
+
+class TestCacheGeometry:
+    def test_paper_l1(self):
+        g = CacheGeometry(16 * 1024, 2)
+        assert g.n_blocks == 256 and g.n_sets == 128
+
+    def test_paper_nc(self):
+        g = CacheGeometry(16 * 1024, 4)
+        assert g.n_sets == 64
+
+    def test_ncd(self):
+        g = CacheGeometry(512 * 1024, 4)
+        assert g.n_blocks == 8192
+
+    @pytest.mark.parametrize(
+        "size,assoc,block",
+        [(0, 2, 64), (1024, 0, 64), (1000, 2, 64), (1024, 2, 63), (1024, 3, 64)],
+    )
+    def test_invalid_geometry(self, size, assoc, block):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size, assoc, block)
+
+
+class TestNCConfig:
+    def test_default_is_none(self):
+        assert NCConfig().kind is NCKind.NONE
+
+    def test_infinite_flags(self):
+        assert NCConfig(kind=NCKind.INFINITE_SRAM).is_infinite
+        assert NCConfig(kind=NCKind.INFINITE_DRAM).is_dram
+        assert not NCConfig(kind=NCKind.VICTIM).is_dram
+        assert NCConfig(kind=NCKind.DRAM_FULL_INCLUSION, size=512 * 1024).is_dram
+
+    def test_geometry_for_finite(self):
+        nc = NCConfig(kind=NCKind.VICTIM, size=16 * 1024, assoc=4)
+        assert nc.geometry(64).n_sets == 64
+
+    def test_geometry_rejected_for_infinite(self):
+        with pytest.raises(ConfigurationError):
+            NCConfig(kind=NCKind.INFINITE_SRAM).geometry(64)
+
+    def test_bad_finite_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NCConfig(kind=NCKind.VICTIM, size=1000)
+
+
+class TestPCConfig:
+    def test_disabled_default(self):
+        assert not PCConfig().enabled
+
+    def test_needs_exactly_one_size(self):
+        with pytest.raises(ConfigurationError):
+            PCConfig(enabled=True)
+        with pytest.raises(ConfigurationError):
+            PCConfig(enabled=True, size_bytes=1024, fraction=0.2)
+
+    def test_frames_from_bytes(self):
+        pc = PCConfig(enabled=True, size_bytes=512 * 1024)
+        assert pc.frames_for_dataset(10 << 20, 4096) == 128
+
+    def test_frames_from_fraction(self):
+        pc = PCConfig(enabled=True, fraction=0.2)
+        assert pc.frames_for_dataset(1 << 20, 4096) == 51
+
+    def test_frames_at_least_one(self):
+        pc = PCConfig(enabled=True, fraction=0.001)
+        assert pc.frames_for_dataset(4096, 4096) == 1
+
+    def test_disabled_frames_zero(self):
+        assert PCConfig().frames_for_dataset(1 << 20, 4096) == 0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ConfigurationError):
+            PCConfig(enabled=True, fraction=1.5)
+
+
+class TestSystemConfig:
+    def test_paper_defaults(self):
+        cfg = SystemConfig()
+        assert cfg.n_procs == 32
+        assert cfg.block_size == 64
+        assert cfg.block_bits == 6
+        assert cfg.page_bits == 12
+        assert cfg.blocks_per_page == 64
+
+    def test_node_of(self):
+        cfg = SystemConfig()
+        assert cfg.node_of(0) == 0
+        assert cfg.node_of(4) == 1
+        assert cfg.node_of(31) == 7
+        with pytest.raises(ConfigurationError):
+            cfg.node_of(32)
+
+    def test_nc_set_counters_require_victim_nc(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(
+                nc=NCConfig(kind=NCKind.DIRTY_INCLUSION),
+                pc=PCConfig(
+                    enabled=True,
+                    fraction=0.2,
+                    counters=RelocationCounters.NC_SET,
+                ),
+            )
+
+    def test_with_returns_modified_copy(self):
+        cfg = SystemConfig()
+        cfg2 = cfg.with_(name="x")
+        assert cfg2.name == "x" and cfg.name == "custom"
+
+    def test_page_smaller_than_block_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig(cache=CacheGeometry(16 * 1024, 2, 64), page_size=32)

@@ -1,0 +1,221 @@
+"""Property-based tests (hypothesis) on core data structures and on the
+whole protocol engine under random workloads.
+
+The protocol properties are the strongest correctness net in the suite:
+for arbitrary access interleavings on arbitrary system configurations, the
+machine must keep single-writer coherence, directory/owner consistency,
+bounded cache occupancy, and exact reference accounting.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.coherence.cache import SetAssocCache
+from repro.coherence.states import MESIR
+from repro.params import CacheGeometry
+from repro.rdc.adaptive import AdaptiveThreshold
+from repro.rdc.pagecache import PageCache
+from repro.stats import Counters, merge
+from tests.conftest import Harness, addr, tiny_config
+
+# --------------------------------------------------------------------------
+# SetAssocCache vs. a reference model
+# --------------------------------------------------------------------------
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["insert", "lookup", "remove"]),
+                  st.integers(0, 63)),
+        max_size=200,
+    )
+)
+def test_cache_matches_reference_lru_model(ops):
+    cache = SetAssocCache(CacheGeometry(1024, 2))  # 8 sets, 2 ways
+    model = {s: [] for s in range(8)}  # set -> blocks in LRU order
+
+    for op, block in ops:
+        s = block & 7
+        if op == "insert":
+            if block in model[s]:
+                continue  # caller contract: no duplicate inserts
+            victim = cache.insert(block, 1)
+            if len(model[s]) == 2:
+                expected = model[s].pop(0)
+                assert victim is not None and victim.block == expected
+            else:
+                assert victim is None
+            model[s].append(block)
+        elif op == "lookup":
+            line = cache.lookup(block)
+            if block in model[s]:
+                assert line is not None and line.block == block
+                model[s].remove(block)
+                model[s].append(block)  # MRU
+            else:
+                assert line is None
+        else:
+            line = cache.remove(block)
+            if block in model[s]:
+                assert line is not None
+                model[s].remove(block)
+            else:
+                assert line is None
+
+    for s in range(8):
+        assert [ln.block for ln in cache.set_lines(s)] == model[s]
+        assert len(model[s]) <= 2
+
+
+@given(blocks=st.lists(st.integers(0, 10_000), max_size=300))
+def test_cache_never_exceeds_capacity(blocks):
+    cache = SetAssocCache(CacheGeometry(1024, 4))
+    for b in blocks:
+        if cache.peek(b) is None:
+            cache.insert(b, 1)
+    assert len(cache) <= 16
+    for s in range(cache.n_sets):
+        assert len(cache.set_lines(s)) <= 4
+
+
+# --------------------------------------------------------------------------
+# PageCache LRM model
+# --------------------------------------------------------------------------
+
+
+@given(
+    events=st.lists(
+        st.tuples(st.integers(0, 12), st.booleans()), min_size=1, max_size=120
+    )
+)
+def test_pagecache_respects_capacity_and_lrm(events):
+    pc = PageCache(capacity_frames=4, blocks_per_page=8)
+    last_miss = {}
+    for now, (page, is_hit) in enumerate(events):
+        if page in pc:
+            if is_hit:
+                pc.record_hit(page, now)
+            else:
+                pc.record_fill(page, 0, now)
+            last_miss[page] = now
+        else:
+            evicted = pc.allocate(page, now)
+            if evicted is not None:
+                # the evicted page must have the stalest miss time
+                assert last_miss[evicted.page] == min(
+                    last_miss[f.page] for f in [evicted] + list(pc.frames())
+                    if f.page in last_miss
+                ) or last_miss[evicted.page] <= min(
+                    last_miss.get(f.page, now) for f in pc.frames()
+                )
+                del last_miss[evicted.page]
+            last_miss[page] = now
+        assert len(pc) <= 4
+
+
+# --------------------------------------------------------------------------
+# Adaptive threshold: monotone, bounded growth
+# --------------------------------------------------------------------------
+
+
+@given(hits=st.lists(st.integers(0, 63), max_size=400))
+def test_adaptive_threshold_growth_is_bounded(hits):
+    t = AdaptiveThreshold(initial=8, increment=2, break_even=12, window=4)
+    for h in hits:
+        t.on_frame_reuse(h)
+    assert t.value >= 8
+    assert t.value <= 8 + 2 * (len(hits) // 4)
+    assert t.adjustments == (t.value - 8) // 2
+
+
+# --------------------------------------------------------------------------
+# Counters algebra
+# --------------------------------------------------------------------------
+
+
+@given(st.lists(st.integers(0, 1000), min_size=4, max_size=4))
+def test_counters_merge_commutes(vals):
+    a, b = Counters(), Counters()
+    a.reads, a.read_remote = vals[0], vals[1]
+    b.reads, b.read_remote = vals[2], vals[3]
+    ab, ba = merge(a, b), merge(b, a)
+    assert ab.as_dict() == ba.as_dict()
+
+
+# --------------------------------------------------------------------------
+# Whole-engine protocol properties under random workloads
+# --------------------------------------------------------------------------
+
+_access = st.tuples(
+    st.integers(0, 3),  # pid on the 2x2 tiny machine
+    st.integers(0, 5),  # page
+    st.integers(0, 63),  # block offset
+    st.booleans(),  # write?
+)
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    system=st.sampled_from(["base", "nc", "vb", "vp", "ncs", "ncd", "vbp5", "vxp5"]),
+    accesses=st.lists(_access, min_size=1, max_size=300),
+)
+def test_protocol_invariants_hold_under_random_traffic(system, accesses):
+    h = Harness(tiny_config(system))
+    for i in range(6):
+        h.home(i, i % 2)
+
+    touched = set()
+    for pid, page, off, is_write in accesses:
+        a = addr(page, off)
+        touched.add(a >> 6)
+        if is_write:
+            h.write(pid, a)
+        else:
+            h.read(pid, a)
+
+    # 1. exact reference accounting
+    h.counters.check()
+    assert h.counters.refs == len(accesses)
+
+    machine = h.machine
+    for block in touched:
+        # 2. single-writer: at most one dirty copy machine-wide
+        assert machine.dirty_copies_of(block) <= 1
+        # 3. the directory's owner really holds dirty data
+        owner = machine.directory.owner(block)
+        if owner is not None:
+            assert machine.dirty_copies_of(block) == 1
+            assert owner in machine.valid_copy_nodes(block)
+        # 4. presence bits over-approximate residency (non-notifying)
+        mask = machine.directory.presence_mask(block)
+        for node in machine.valid_copy_nodes(block):
+            page = block >> 6
+            home = machine.placement.home_of(page)
+            if node != home:
+                assert (mask >> node) & 1, (
+                    f"node {node} holds block {block:#x} without a presence bit"
+                )
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(accesses=st.lists(_access, min_size=1, max_size=200))
+def test_final_write_value_location_is_tracked(accesses):
+    """After any interleaving, a written block's dirty copy (if any) lives
+    where the directory + snoop logic can find it: re-reading from another
+    node must never raise and must leave memory consistent."""
+    h = Harness(tiny_config("vbp5"))
+    for i in range(6):
+        h.home(i, i % 2)
+    for pid, page, off, is_write in accesses:
+        if is_write:
+            h.write(pid, addr(page, off))
+        else:
+            h.read(pid, addr(page, off))
+    # sweep: a reader from each node touches every written block
+    for page in range(6):
+        for off in (0, 21, 63):
+            h.read(0, addr(page, off))
+            h.read(2, addr(page, off))
+    h.counters.check()

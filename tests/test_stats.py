@@ -1,0 +1,89 @@
+"""Unit tests for event counters and their derived totals."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stats import Counters, merge
+
+
+def populated() -> Counters:
+    c = Counters()
+    c.reads = 100
+    c.writes = 40
+    c.l1_read_hits = 60
+    c.l1_write_hits = 20
+    c.local_read_misses = 10
+    c.local_write_misses = 5
+    c.read_cluster_hits = 5
+    c.read_nc_hits = 10
+    c.read_pc_hits = 5
+    c.read_remote = 10
+    c.write_cluster_hits = 3
+    c.write_nc_hits = 4
+    c.write_pc_hits = 2
+    c.write_remote = 6
+    c.remote_capacity = 9
+    c.remote_necessary = 7
+    c.writebacks_remote = 8
+    c.pc_flush_writebacks = 2
+    return c
+
+
+class TestTotals:
+    def test_refs(self):
+        assert populated().refs == 140
+
+    def test_read_remote_misses(self):
+        assert populated().read_remote_misses == 30
+
+    def test_write_remote_misses(self):
+        assert populated().write_remote_misses == 15
+
+    def test_cluster_misses(self):
+        c = populated()
+        assert c.cluster_misses_read == 10
+        assert c.cluster_misses_write == 6
+        assert c.remote_accesses == 16
+
+    def test_traffic_blocks(self):
+        # reads + writes that crossed + write-backs + PC flush write-backs
+        assert populated().traffic_blocks == 10 + 6 + 8 + 2
+
+    def test_check_passes_on_consistent(self):
+        populated().check()
+
+    def test_check_catches_read_mismatch(self):
+        c = populated()
+        c.reads += 1
+        with pytest.raises(AssertionError):
+            c.check()
+
+    def test_check_catches_classification_mismatch(self):
+        c = populated()
+        c.remote_capacity += 1
+        with pytest.raises(AssertionError):
+            c.check()
+
+
+class TestCopyMerge:
+    def test_copy_is_independent(self):
+        a = populated()
+        b = a.copy()
+        b.reads += 1
+        assert a.reads == 100
+
+    def test_merge_adds_elementwise(self):
+        a, b = populated(), populated()
+        m = merge(a, b)
+        assert m.reads == 200
+        assert m.traffic_blocks == 2 * a.traffic_blocks
+
+    def test_as_dict_round_trip(self):
+        a = populated()
+        d = a.as_dict()
+        assert d["reads"] == 100
+        assert Counters(**d).refs == a.refs
+
+    def test_empty_counters_are_consistent(self):
+        Counters().check()

@@ -1,0 +1,90 @@
+"""Per-benchmark characterisation: each generator must land in the class
+the paper assigns it (spatial locality, access regularity, read/write mix,
+remote-working-set shape).  These assertions pin the substitution argument
+of DESIGN.md."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.record import TraceSpec
+from repro.trace.stats import characterize
+from repro.trace.synthetic import generate_trace
+
+
+@pytest.fixture(scope="module")
+def chars():
+    out = {}
+    for name in ("barnes", "cholesky", "fft", "fmm", "lu", "ocean", "radix", "raytrace"):
+        t = generate_trace(TraceSpec(name, refs=200_000, seed=4))
+        out[name] = characterize(t)
+    return out
+
+
+class TestSpatialLocality:
+    """Page utilisation separates the paper's two application classes."""
+
+    @pytest.mark.parametrize("name,floor", [("lu", 0.5), ("ocean", 0.5),
+                                            ("fft", 0.4), ("cholesky", 0.4)])
+    def test_regular_apps_fill_their_pages(self, chars, name, floor):
+        assert chars[name].page_utilization > floor, (
+            f"{name} should have high spatial locality"
+        )
+
+    @pytest.mark.parametrize("name", ["fmm", "raytrace", "radix"])
+    def test_irregular_apps_leave_pages_sparse(self, chars, name):
+        assert chars[name].page_utilization < 0.35, (
+            f"{name} should have low spatial locality"
+        )
+
+    def test_nbody_reads_are_subblock(self, chars):
+        # tree cells are 2-word touches of 16-word blocks
+        assert chars["barnes"].block_utilization < 0.6
+        assert chars["fmm"].block_utilization < 0.6
+
+    def test_ordering_regular_above_irregular(self, chars):
+        regular = min(chars[n].page_utilization for n in ("lu", "ocean"))
+        irregular = max(chars[n].page_utilization for n in ("fmm", "raytrace"))
+        assert regular > irregular
+
+
+class TestWriteMix:
+    def test_radix_is_write_heavy(self, chars):
+        assert chars["radix"].write_fraction > 0.30
+
+    def test_raytrace_is_read_dominated(self, chars):
+        assert chars["raytrace"].write_fraction < 0.15
+
+    @pytest.mark.parametrize("name", ["barnes", "fmm"])
+    def test_nbody_writes_moderate(self, chars, name):
+        assert 0.02 < chars[name].write_fraction < 0.45
+
+
+class TestRemoteness:
+    """First-touch placement keeps owned data local; shared data remote."""
+
+    def test_lu_mostly_local_with_remote_pivot(self, chars):
+        assert 0.1 < chars["lu"].remote_fraction < 0.8
+
+    def test_raytrace_scene_is_mostly_remote(self, chars):
+        # 7/8 of round-robin scene pages are remote to any node
+        assert chars["raytrace"].remote_fraction > 0.6
+
+    @pytest.mark.parametrize("name", ["fft", "ocean"])
+    def test_partitioned_apps_balance(self, chars, name):
+        assert 0.05 < chars[name].remote_fraction < 0.9
+
+
+class TestFootprintAndReuse:
+    def test_raytrace_has_the_largest_footprint(self, chars):
+        rt = chars["raytrace"].footprint_bytes
+        assert all(
+            rt >= c.footprint_bytes for n, c in chars.items() if n != "raytrace"
+        )
+
+    def test_lu_has_a_small_reused_working_set(self, chars):
+        assert chars["lu"].block_reuse > chars["raytrace"].block_reuse
+
+    @pytest.mark.parametrize("name", ["barnes", "fmm"])
+    def test_nbody_temporal_reuse_exists(self, chars, name):
+        assert chars[name].block_reuse > 1.5

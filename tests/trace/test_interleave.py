@@ -1,0 +1,76 @@
+"""Unit tests for stream merging and round-robin interleaving."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.interleave import interleave_blocks, merge_streams, round_robin
+
+
+def stream(addrs, write=0):
+    a = np.asarray(addrs, dtype=np.int64)
+    return a, np.full(len(a), write, dtype=np.uint8)
+
+
+class TestMergeStreams:
+    def test_preserves_internal_order(self):
+        merged_a, merged_w = merge_streams([stream([1, 2, 3]), stream([10, 20], 1)])
+        reads = [a for a, w in zip(merged_a, merged_w) if w == 0]
+        writes = [a for a, w in zip(merged_a, merged_w) if w == 1]
+        assert reads == [1, 2, 3]
+        assert writes == [10, 20]
+
+    def test_proportional_interleave(self):
+        merged_a, _ = merge_streams([stream([1, 2, 3, 4]), stream([10, 20, 30, 40], 1)])
+        # deterministic proportional merge alternates equal-length streams
+        assert set(merged_a[:2].tolist()) == {1, 10}
+
+    def test_empty_inputs(self):
+        a, w = merge_streams([])
+        assert len(a) == 0 and len(w) == 0
+        a, w = merge_streams([stream([]), stream([5])])
+        assert a.tolist() == [5]
+
+    def test_random_merge_keeps_order(self):
+        rng = np.random.default_rng(3)
+        merged_a, merged_w = merge_streams(
+            [stream(range(100)), stream(range(1000, 1100), 1)], rng=rng
+        )
+        reads = [a for a, w in zip(merged_a, merged_w) if w == 0]
+        assert reads == list(range(100))
+
+
+class TestRoundRobin:
+    def test_equal_lengths_alternate(self):
+        pids, addrs, writes = round_robin([stream([1, 2]), stream([10, 20], 1)])
+        assert pids.tolist() == [0, 1, 0, 1]
+        assert addrs.tolist() == [1, 10, 2, 20]
+        assert writes.tolist() == [0, 1, 0, 1]
+
+    def test_unequal_lengths_compact(self):
+        pids, addrs, _ = round_robin([stream([1, 2, 3]), stream([10])])
+        assert addrs.tolist() == [1, 10, 2, 3]
+        assert pids.tolist() == [0, 1, 0, 0]
+
+    def test_empty(self):
+        pids, addrs, writes = round_robin([])
+        assert len(pids) == len(addrs) == len(writes) == 0
+
+    def test_per_proc_order_preserved(self):
+        streams = [stream(np.arange(i, 50 + i)) for i in range(4)]
+        pids, addrs, _ = round_robin(streams)
+        for p in range(4):
+            mine = addrs[pids == p]
+            assert mine.tolist() == list(range(p, 50 + p))
+
+
+class TestInterleaveBlocks:
+    def test_concatenates_phases(self):
+        p1 = round_robin([stream([1]), stream([2])])
+        p2 = round_robin([stream([3]), stream([4])])
+        pids, addrs, writes = interleave_blocks([p1, p2])
+        assert addrs.tolist() == [1, 2, 3, 4]
+
+    def test_empty(self):
+        pids, addrs, writes = interleave_blocks([])
+        assert len(pids) == 0

@@ -1,0 +1,104 @@
+"""Unit tests for trace containers and persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.io import load_trace, save_trace
+from repro.trace.record import Trace, TraceSpec
+
+
+def small_trace(**kw) -> Trace:
+    defaults = dict(
+        name="t",
+        pids=np.array([0, 1, 2, 3], dtype=np.int32),
+        addrs=np.array([0, 64, 4096, 8192], dtype=np.int64),
+        writes=np.array([0, 1, 0, 1], dtype=np.uint8),
+        dataset_bytes=16384,
+        placement={0: 0, 1: 1, 2: 0},
+        meta={"k": "v"},
+    )
+    defaults.update(kw)
+    return Trace(**defaults)
+
+
+class TestTraceSpec:
+    def test_defaults(self):
+        spec = TraceSpec("radix")
+        assert spec.refs == 400_000 and spec.n_procs == 32
+
+    @pytest.mark.parametrize("kw", [{"refs": 0}, {"n_procs": 0}, {"scale": 0.0}, {"scale": 9.0}])
+    def test_invalid(self, kw):
+        with pytest.raises(TraceError):
+            TraceSpec("radix", **kw)
+
+
+class TestTrace:
+    def test_len_and_iter(self):
+        t = small_trace()
+        assert len(t) == 4
+        assert list(t) == [(0, 0, 0), (1, 64, 1), (2, 4096, 0), (3, 8192, 1)]
+
+    def test_write_fraction(self):
+        assert small_trace().write_fraction == pytest.approx(0.5)
+
+    def test_mismatched_arrays_rejected(self):
+        with pytest.raises(TraceError):
+            small_trace(pids=np.array([0], dtype=np.int32))
+
+    def test_slice(self):
+        s = small_trace().slice(1, 3)
+        assert len(s) == 2 and s.addrs[0] == 64
+
+    def test_validate_pid_range(self):
+        with pytest.raises(TraceError):
+            small_trace().validate(n_procs=2)
+
+    def test_validate_address_limit(self):
+        with pytest.raises(TraceError):
+            small_trace().validate(n_procs=4, address_limit=4096)
+
+    def test_validate_ok(self):
+        small_trace().validate(n_procs=4)
+
+    def test_empty_trace_invalid(self):
+        t = small_trace(
+            pids=np.array([], dtype=np.int32),
+            addrs=np.array([], dtype=np.int64),
+            writes=np.array([], dtype=np.uint8),
+        )
+        with pytest.raises(TraceError):
+            t.validate(n_procs=4)
+
+
+class TestIO:
+    def test_round_trip(self, tmp_path):
+        t = small_trace()
+        path = tmp_path / "t.npz"
+        save_trace(t, path)
+        t2 = load_trace(path)
+        assert t2.name == t.name
+        assert t2.dataset_bytes == t.dataset_bytes
+        assert t2.placement == t.placement
+        assert t2.meta["k"] == "v"
+        np.testing.assert_array_equal(t2.pids, t.pids)
+        np.testing.assert_array_equal(t2.addrs, t.addrs)
+        np.testing.assert_array_equal(t2.writes, t.writes)
+
+    def test_no_placement_round_trip(self, tmp_path):
+        t = small_trace(placement=None)
+        path = tmp_path / "t.npz"
+        save_trace(t, path)
+        assert load_trace(path).placement is None
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_trace(tmp_path / "nope.npz")
+
+    def test_malformed_file(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, junk=np.zeros(3))
+        with pytest.raises(TraceError):
+            load_trace(path)

@@ -1,0 +1,133 @@
+"""Unit tests for the address-space layout and pattern primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.patterns import (
+    block_runs,
+    sequential_words,
+    uniform_words,
+    zipf_ranks,
+)
+from repro.trace.regions import (
+    PAGE,
+    Layout,
+    Region,
+    place_partitions,
+    place_round_robin,
+)
+
+
+class TestRegion:
+    def test_basic_properties(self):
+        r = Region("a", 4096, 8192)
+        assert r.end == 12288
+        assert r.n_words == 2048
+        assert r.n_pages == 2
+        assert r.first_page == 1
+        assert list(r.pages()) == [1, 2]
+
+    def test_word_addr(self):
+        r = Region("a", 4096, 8192)
+        assert r.word_addr(0) == 4096
+        assert r.word_addr(1) == 4100
+        with pytest.raises(TraceError):
+            r.word_addr(2048)
+
+    def test_unaligned_rejected(self):
+        with pytest.raises(TraceError):
+            Region("a", 100, 4096)
+
+    def test_partition_near_equal(self):
+        r = Region("a", 0, 10 * PAGE)
+        parts = r.partition(3)
+        assert [p.n_pages for p in parts] == [4, 3, 3]
+        assert parts[0].start == 0
+        assert parts[-1].end == r.end
+
+    def test_partition_too_many(self):
+        with pytest.raises(TraceError):
+            Region("a", 0, 2 * PAGE).partition(3)
+
+
+class TestLayout:
+    def test_sequential_page_aligned(self):
+        lay = Layout()
+        a = lay.alloc("a", 100)
+        b = lay.alloc("b", 5000)
+        assert a.size == PAGE
+        assert b.start == PAGE
+        assert lay.total_bytes == PAGE + 2 * PAGE
+        assert lay["a"] is a
+
+    def test_duplicate_name(self):
+        lay = Layout()
+        lay.alloc("a", 100)
+        with pytest.raises(TraceError):
+            lay.alloc("a", 100)
+
+
+class TestPlacement:
+    def test_place_partitions(self):
+        parts = Region("a", 0, 8 * PAGE).partition(4)
+        placement = place_partitions(parts, procs_per_node=2)
+        assert placement[0] == 0  # proc 0 -> node 0
+        assert placement[parts[3].first_page] == 1  # proc 3 -> node 1
+
+    def test_place_round_robin(self):
+        r = Region("a", 0, 6 * PAGE)
+        placement = place_round_robin(r, n_nodes=4)
+        assert [placement[p] for p in r.pages()] == [0, 1, 2, 3, 0, 1]
+
+
+class TestPatterns:
+    def test_sequential_words(self):
+        r = Region("a", 4096, 4096)
+        a = sequential_words(r, 0, 4, stride=2)
+        np.testing.assert_array_equal(a, [4096, 4104, 4112, 4120])
+
+    def test_sequential_wraps(self):
+        r = Region("a", 0, 4096)
+        a = sequential_words(r, 1023, 2, stride=1)
+        np.testing.assert_array_equal(a, [1023 * 4, 0])
+
+    def test_sequential_invalid(self):
+        r = Region("a", 0, 4096)
+        with pytest.raises(TraceError):
+            sequential_words(r, 0, -1)
+        with pytest.raises(TraceError):
+            sequential_words(r, 0, 4, stride=0)
+
+    def test_block_runs(self):
+        r = Region("a", 0, 4096)
+        a = block_runs(r, np.array([0, 100]), run_words=2)
+        np.testing.assert_array_equal(a, [0, 4, 400, 404])
+
+    def test_zipf_ranks_bounded_and_skewed(self):
+        rng = np.random.default_rng(1)
+        ranks = zipf_ranks(rng, n_items=100, n_samples=5000, alpha=1.0)
+        assert ranks.min() >= 0 and ranks.max() < 100
+        # rank 0 must dominate rank 50 under a strong skew
+        assert np.sum(ranks == 0) > 5 * np.sum(ranks == 50)
+
+    def test_zipf_alpha_zero_uniformish(self):
+        rng = np.random.default_rng(1)
+        ranks = zipf_ranks(rng, 10, 10_000, alpha=0.0)
+        counts = np.bincount(ranks, minlength=10)
+        assert counts.min() > 800  # roughly uniform
+
+    def test_zipf_invalid(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(TraceError):
+            zipf_ranks(rng, 0, 10, 1.0)
+        with pytest.raises(TraceError):
+            zipf_ranks(rng, 10, 10, -1.0)
+
+    def test_uniform_words_in_region(self):
+        rng = np.random.default_rng(1)
+        r = Region("a", 4096, 4096)
+        a = uniform_words(rng, r, 1000)
+        assert a.min() >= r.start and a.max() < r.end

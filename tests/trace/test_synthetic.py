@@ -1,0 +1,108 @@
+"""Tests common to all eight synthetic benchmark generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError, UnknownBenchmarkError
+from repro.trace.record import TraceSpec
+from repro.trace.synthetic import (
+    BENCHMARK_NAMES,
+    BENCHMARKS,
+    generate_trace,
+    get_benchmark,
+)
+
+SMALL = dict(refs=30_000, seed=2)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {
+        name: generate_trace(TraceSpec(name, **SMALL)) for name in BENCHMARK_NAMES
+    }
+
+
+class TestRegistry:
+    def test_all_eight_present(self):
+        assert set(BENCHMARK_NAMES) == {
+            "barnes",
+            "cholesky",
+            "fft",
+            "fmm",
+            "lu",
+            "ocean",
+            "radix",
+            "raytrace",
+        }
+
+    def test_get_benchmark_case_insensitive(self):
+        assert get_benchmark("RADIX").name == "radix"
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(UnknownBenchmarkError):
+            get_benchmark("linpack")
+
+    def test_wrong_spec_rejected(self):
+        with pytest.raises(TraceError):
+            BENCHMARKS["lu"]().generate(TraceSpec("fft"))
+
+
+class TestGeneratedTraces:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_length_near_request(self, traces, name):
+        t = traces[name]
+        assert 0.4 * SMALL["refs"] <= len(t) <= 2.0 * SMALL["refs"]
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_pids_cover_all_processors(self, traces, name):
+        assert set(np.unique(traces[name].pids)) == set(range(32))
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_placement_covers_every_page(self, traces, name):
+        t = traces[name]
+        pages = set(np.unique(t.addrs >> 12).tolist())
+        assert t.placement is not None
+        missing = pages - set(t.placement)
+        assert not missing, f"{len(missing)} pages without a home"
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_homes_are_valid_nodes(self, traces, name):
+        assert set(traces[name].placement.values()) <= set(range(8))
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_deterministic_for_seed(self, name):
+        a = generate_trace(TraceSpec(name, refs=5_000, seed=9))
+        b = generate_trace(TraceSpec(name, refs=5_000, seed=9))
+        np.testing.assert_array_equal(a.addrs, b.addrs)
+        np.testing.assert_array_equal(a.pids, b.pids)
+        np.testing.assert_array_equal(a.writes, b.writes)
+
+    # fft/lu/ocean are fully regular codes: their access sequences are
+    # deliberately seed-independent (the paper's "regular access pattern"
+    # class has no randomness to seed)
+    @pytest.mark.parametrize(
+        "name", [n for n in BENCHMARK_NAMES if n not in ("fft", "lu", "ocean")]
+    )
+    def test_seed_changes_trace(self, name):
+        a = generate_trace(TraceSpec(name, refs=5_000, seed=1))
+        b = generate_trace(TraceSpec(name, refs=5_000, seed=2))
+        assert not (
+            len(a) == len(b) and bool(np.all(a.addrs == b.addrs))
+        ), f"{name} ignored the seed"
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_dataset_scales(self, name):
+        gen = BENCHMARKS[name]()
+        small = gen.dataset_bytes(0.125)
+        big = gen.dataset_bytes(1.0)
+        assert big >= small
+        # at full scale the dataset matches Table 3 within rounding
+        assert big == pytest.approx(gen.paper_mb * (1 << 20), rel=0.01)
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_meta_records_paper_identity(self, traces, name):
+        t = traces[name]
+        assert t.meta["paper_params"] == BENCHMARKS[name]().paper_params
+        assert t.meta["paper_mb"] == BENCHMARKS[name]().paper_mb

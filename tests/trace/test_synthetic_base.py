@@ -1,0 +1,78 @@
+"""Tests for the synthetic-benchmark base-class machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.record import TraceSpec
+from repro.trace.regions import PAGE, Layout
+from repro.trace.synthetic.base import MB, SyntheticBenchmark
+from repro.trace.synthetic.radix import cumcount
+
+
+class TestHelpers:
+    def test_per_proc_budget(self):
+        spec = TraceSpec("lu", refs=3200, n_procs=32)
+        assert SyntheticBenchmark.per_proc_budget(spec) == 100
+
+    def test_budget_floor(self):
+        spec = TraceSpec("lu", refs=1, n_procs=32)
+        assert SyntheticBenchmark.per_proc_budget(spec) == 1
+
+    def test_alloc_partitionable_floors_size(self):
+        lay = Layout()
+        region = SyntheticBenchmark.alloc_partitionable(lay, "r", 100, 32)
+        assert region.n_pages >= 32
+        region.partition(32)  # must not raise
+
+    def test_writes_like(self):
+        addrs = np.array([4, 8], dtype=np.int64)
+        a, w = SyntheticBenchmark.writes_like(addrs, True)
+        assert w.tolist() == [1, 1]
+        _, w = SyntheticBenchmark.writes_like(addrs, False)
+        assert w.tolist() == [0, 0]
+
+    def test_scaled(self):
+        assert SyntheticBenchmark.scaled(10 * MB, 0.125) == int(1.25 * MB)
+        assert SyntheticBenchmark.scaled(100, 0.01) == PAGE  # the floor
+
+    def test_seed_material_differs_by_name(self):
+        class A(SyntheticBenchmark):
+            name = "aaa"
+
+            def _build(self, spec, rng, layout):  # pragma: no cover
+                raise NotImplementedError
+
+        class B(A):
+            name = "bbb"
+
+        assert A()._seed_material(1) != B()._seed_material(1)
+        assert A()._seed_material(1) == A()._seed_material(1)
+        assert A()._seed_material(1) != A()._seed_material(2)
+
+
+class TestCumcount:
+    def test_docstring_example(self):
+        vals = np.array([3, 5, 3, 3, 5])
+        assert cumcount(vals).tolist() == [0, 0, 1, 2, 1]
+
+    def test_all_equal(self):
+        assert cumcount(np.array([7, 7, 7])).tolist() == [0, 1, 2]
+
+    def test_all_distinct(self):
+        assert cumcount(np.array([4, 2, 9])).tolist() == [0, 0, 0]
+
+    def test_empty(self):
+        assert cumcount(np.array([], dtype=np.int64)).tolist() == []
+
+    def test_matches_naive_reference(self):
+        rng = np.random.default_rng(5)
+        vals = rng.integers(0, 10, size=500)
+        seen: dict = {}
+        expected = []
+        for v in vals.tolist():
+            expected.append(seen.get(v, 0))
+            seen[v] = seen.get(v, 0) + 1
+        assert cumcount(vals).tolist() == expected
