@@ -13,7 +13,7 @@ from repro import build_machine, get_trace, system_config
 from repro.coherence.cache import SetAssocCache
 from repro.params import CacheGeometry
 from repro.sim.simulator import Simulator
-from repro.trace.record import TraceSpec
+from repro.trace.record import Trace, TraceSpec
 from repro.trace.synthetic import generate_trace
 
 
@@ -52,6 +52,43 @@ def test_step_throughput(benchmark, system):
         Simulator(machine).run(trace)
 
     benchmark.pedantic(run_once, rounds=3, iterations=1)
+    benchmark.extra_info["refs_per_sec"] = len(trace) / benchmark.stats.stats.min
+
+
+#: conservative floor for the inlined L1 read-hit fast path; the optimised
+#: loop clears this by a wide margin even on loaded CI machines, while the
+#: pre-optimisation engine (per-reference step()/lookup() calls) does not
+FAST_PATH_FLOOR_REFS_PER_SEC = 400_000.0
+
+
+def test_run_read_hit_fast_path(benchmark):
+    """The hot path in isolation: one processor re-reading an L1-resident
+    footprint, so every reference after the first pass is an inlined
+    read hit.  Records refs/sec and asserts the optimisation floor."""
+    refs = 200_000
+    n_blocks = 128  # 4 KB footprint: fits any configured L1
+    config = system_config("base")
+    block_size = config.cache.block_size
+    addrs = (np.arange(refs, dtype=np.int64) % n_blocks) * block_size
+    trace = Trace(
+        "hitloop",
+        np.zeros(refs, dtype=np.int32),
+        addrs,
+        np.zeros(refs, dtype=np.uint8),
+        dataset_bytes=n_blocks * block_size,
+    )
+
+    def run_once():
+        machine = build_machine(config, dataset_bytes=trace.dataset_bytes)
+        Simulator(machine).run(trace)
+
+    benchmark.pedantic(run_once, rounds=3, iterations=1)
+    refs_per_sec = refs / benchmark.stats.stats.min
+    benchmark.extra_info["refs_per_sec"] = refs_per_sec
+    assert refs_per_sec >= FAST_PATH_FLOOR_REFS_PER_SEC, (
+        f"read-hit fast path regressed: {refs_per_sec:,.0f} refs/s is below "
+        f"the {FAST_PATH_FLOOR_REFS_PER_SEC:,.0f} floor"
+    )
 
 
 @pytest.mark.parametrize("bench", ["radix", "raytrace"])

@@ -40,6 +40,7 @@ from .params import (
     ThresholdPolicy,
 )
 from .stats import Counters, MissClass, Outcome
+from .sim.parallel import default_jobs, run_parallel_sweep, throughput_report
 from .sim.results import SimulationResult
 from .sim.runner import (
     DEFAULT_REFS,
@@ -50,6 +51,7 @@ from .sim.runner import (
     simulate,
     sweep,
 )
+from .trace.io import clear_disk_trace_cache, trace_cache_dir
 from .sim.simulator import Simulator
 from .system.builder import SYSTEM_NAMES, build_machine, system_config
 from .trace.record import Trace, TraceSpec
@@ -90,6 +92,11 @@ __all__ = [
     "run_trace",
     "get_trace",
     "clear_trace_cache",
+    "clear_disk_trace_cache",
+    "trace_cache_dir",
+    "run_parallel_sweep",
+    "default_jobs",
+    "throughput_report",
     "DEFAULT_REFS",
     "DEFAULT_SCALE",
     # traces

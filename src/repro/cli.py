@@ -10,6 +10,8 @@ experiment
     Regenerate one paper table/figure (or ``all``) and print it.
 trace
     Generate, save, load, and characterise benchmark traces.
+perf
+    Measure engine throughput (refs/sec) and print a report.
 list
     Show the available systems, benchmarks, and experiments.
 
@@ -18,8 +20,9 @@ Examples
 ::
 
     python -m repro simulate vbp5 radix --refs 200000
-    python -m repro sweep base,vb,ncd barnes,radix --metric stall
-    python -m repro experiment fig09 --refs 400000
+    python -m repro sweep base,vb,ncd barnes,radix --metric stall --jobs 4
+    python -m repro experiment fig09 --refs 400000 --jobs 4
+    python -m repro perf --refs 40000 --out throughput.txt
     python -m repro trace radix --refs 100000 --out radix.npz --stats
     python -m repro list
 """
@@ -36,7 +39,15 @@ from .analysis.report import format_grid
 from .errors import ReproError
 from .experiments import ALL_EXPERIMENTS
 from .params import BusProtocol, ThresholdPolicy
-from .sim.runner import DEFAULT_REFS, DEFAULT_SCALE, get_trace, simulate
+from .sim.parallel import default_jobs, throughput_report, timed_sweep
+from .sim.runner import (
+    DEFAULT_REFS,
+    DEFAULT_SCALE,
+    get_trace,
+    resolve_sweep_configs,
+    simulate,
+    sweep,
+)
 from .system.builder import SYSTEM_NAMES
 from .trace.io import save_trace
 from .trace.stats import characterize
@@ -93,13 +104,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     systems = [s.strip() for s in args.systems.split(",") if s.strip()]
     benches = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
-    results = {}
-    for bench in benches:
-        for system in systems:
-            results[(system, bench)] = simulate(
-                system, bench, refs=args.refs, seed=args.seed,
-                scale=args.scale, **_sim_kwargs(args),
-            )
+    results = sweep(
+        systems, benches, refs=args.refs, seed=args.seed, scale=args.scale,
+        jobs=args.jobs, **_sim_kwargs(args),
+    )
 
     if args.metric == "miss":
         cell = lambda b, s: results[(s, b)].miss_ratio  # noqa: E731
@@ -129,6 +137,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
     if args.refs is not None:
         os.environ["REPRO_BENCH_REFS"] = str(args.refs)
+    if args.jobs is not None:
+        # experiment drivers read REPRO_JOBS through common.default_jobs()
+        os.environ["REPRO_JOBS"] = str(args.jobs)
     for name in names:
         print(ALL_EXPERIMENTS[name]())
         print()
@@ -152,6 +163,22 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.out:
         save_trace(trace, args.out)
         print(f"saved to {args.out}")
+    return 0
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+    benches = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+    configs = resolve_sweep_configs(systems)
+    results, wall = timed_sweep(
+        configs, benches, refs=args.refs, seed=args.seed, jobs=args.jobs
+    )
+    report = throughput_report(results, wall_s=wall, jobs=args.jobs)
+    print(report)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+        print(f"report written to {args.out}")
     return 0
 
 
@@ -185,13 +212,36 @@ def build_parser() -> argparse.ArgumentParser:
                    default="miss")
     p.add_argument("--chart", action="store_true",
                    help="draw horizontal bars instead of a number grid")
+    p.add_argument("--jobs", type=int, default=default_jobs(),
+                   help="worker processes for the matrix "
+                        "(default: REPRO_JOBS or CPU count)")
     _add_sim_options(p)
     p.set_defaults(func=_cmd_sweep)
 
     p = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p.add_argument("name", help="fig03..fig11, table1..table3, or 'all'")
     p.add_argument("--refs", type=int, default=None)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for the figure's sweeps "
+                        "(default: REPRO_JOBS or serial)")
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "perf", help="measure engine throughput and print a report"
+    )
+    p.add_argument("--systems", default="base,vb,vpp5",
+                   help="comma-separated system names (default %(default)s)")
+    p.add_argument("--benchmarks", default="barnes",
+                   help="comma-separated benchmark names (default %(default)s)")
+    p.add_argument("--refs", type=int, default=40_000,
+                   help="references per trace (default %(default)s)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes (default serial — single-core "
+                        "refs/sec is the regression-tracked number)")
+    p.add_argument("--out", default=None,
+                   help="also write the report to this file")
+    p.set_defaults(func=_cmd_perf)
 
     p = sub.add_parser("trace", help="generate/inspect a benchmark trace")
     p.add_argument("benchmark")

@@ -15,12 +15,14 @@ before masking, which implements the paper's two victim-NC indexing schemes
   bits (`vp`), which maps all blocks of a page into the same set.
 
 LRU is maintained by list order within each set (index 0 = LRU, last =
-MRU).  Sets are tiny (2-4 ways), so list scans beat any fancier structure.
+MRU).  Sets are tiny (2-4 ways), so list scans stay cheap; a cache-wide
+``block -> line`` tag map makes the hit/miss decision O(1) so the per-set
+list is only touched when LRU order actually changes.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from ..errors import ConfigurationError
 from ..params import CacheGeometry
@@ -47,7 +49,7 @@ class CacheLine:
 class SetAssocCache:
     """Set-associative cache of block numbers with per-set LRU replacement."""
 
-    __slots__ = ("geometry", "assoc", "n_sets", "_set_mask", "_shift", "_sets")
+    __slots__ = ("geometry", "assoc", "n_sets", "_set_mask", "_shift", "_sets", "_tag")
 
     def __init__(self, geometry: CacheGeometry, index_shift: int = 0) -> None:
         if index_shift < 0:
@@ -58,6 +60,8 @@ class SetAssocCache:
         self._set_mask = self.n_sets - 1
         self._shift = index_shift
         self._sets: List[List[CacheLine]] = [[] for _ in range(self.n_sets)]
+        # resident-block index; always consistent with the union of _sets
+        self._tag: Dict[int, CacheLine] = {}
 
     # ---- indexing -------------------------------------------------------
 
@@ -73,25 +77,21 @@ class SetAssocCache:
 
     def lookup(self, block: int) -> Optional[CacheLine]:
         """Find a block and promote it to MRU; ``None`` on miss."""
+        line = self._tag.get(block)
+        if line is None:
+            return None
         lines = self._sets[(block >> self._shift) & self._set_mask]
-        for i, line in enumerate(lines):
-            if line.block == block:
-                if i != len(lines) - 1:
-                    del lines[i]
-                    lines.append(line)
-                return line
-        return None
+        if lines[-1] is not line:
+            lines.remove(line)
+            lines.append(line)
+        return line
 
     def peek(self, block: int) -> Optional[CacheLine]:
         """Find a block without disturbing LRU order (snoops use this)."""
-        lines = self._sets[(block >> self._shift) & self._set_mask]
-        for line in lines:
-            if line.block == block:
-                return line
-        return None
+        return self._tag.get(block)
 
     def __contains__(self, block: int) -> bool:
-        return self.peek(block) is not None
+        return block in self._tag
 
     # ---- mutation -------------------------------------------------------
 
@@ -105,7 +105,10 @@ class SetAssocCache:
         victim = None
         if len(lines) >= self.assoc:
             victim = lines.pop(0)
-        lines.append(CacheLine(block, state))
+            del self._tag[victim.block]
+        line = CacheLine(block, state)
+        lines.append(line)
+        self._tag[block] = line
         return victim
 
     def victim_candidate(self, block: int) -> Optional[CacheLine]:
@@ -117,21 +120,21 @@ class SetAssocCache:
 
     def remove(self, block: int) -> Optional[CacheLine]:
         """Remove a block (invalidation / victim-cache swap-out)."""
-        lines = self._sets[(block >> self._shift) & self._set_mask]
-        for i, line in enumerate(lines):
-            if line.block == block:
-                del lines[i]
-                return line
-        return None
+        line = self._tag.pop(block, None)
+        if line is None:
+            return None
+        self._sets[(block >> self._shift) & self._set_mask].remove(line)
+        return line
 
     def clear(self) -> None:
         for lines in self._sets:
             lines.clear()
+        self._tag.clear()
 
     # ---- inspection -----------------------------------------------------
 
     def __len__(self) -> int:
-        return sum(len(lines) for lines in self._sets)
+        return len(self._tag)
 
     def lines(self) -> Iterator[CacheLine]:
         """Iterate over all resident lines (arbitrary order)."""

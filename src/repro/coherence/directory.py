@@ -24,22 +24,46 @@ driven by the :class:`DirectoryReply` returned from :meth:`Directory.access`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import ProtocolError
 from ..stats import MissClass
 
+_CAPACITY = MissClass.CAPACITY
+_NECESSARY = MissClass.NECESSARY
 
-@dataclass
+
 class DirectoryReply:
-    """What the home node tells the requester (and the simulator) to do."""
+    """What the home node tells the requester (and the simulator) to do.
 
-    miss_class: MissClass
-    #: cluster that holds the dirty copy and must supply/flush it, or None
-    owner_to_flush: Optional[int]
-    #: clusters whose copies must be invalidated (writes only)
-    invalidate: Tuple[int, ...]
+    A plain ``__slots__`` record rather than a dataclass: one is built per
+    directory access, squarely on the simulator's miss path.
+    """
+
+    __slots__ = ("miss_class", "owner_to_flush", "invalidate")
+
+    def __init__(
+        self,
+        miss_class: MissClass,
+        owner_to_flush: Optional[int],
+        invalidate: Tuple[int, ...],
+    ) -> None:
+        self.miss_class = miss_class
+        #: cluster that holds the dirty copy and must supply/flush it, or None
+        self.owner_to_flush = owner_to_flush
+        #: clusters whose copies must be invalidated (writes only)
+        self.invalidate = invalidate
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DirectoryReply({self.miss_class}, owner={self.owner_to_flush}, "
+            f"invalidate={self.invalidate})"
+        )
+
+
+#: shared replies for accesses that require no flush and no invalidations
+_NOOP_NECESSARY = DirectoryReply(_NECESSARY, None, ())
+_NOOP_CAPACITY = DirectoryReply(_CAPACITY, None, ())
 
 
 class Directory:
@@ -72,7 +96,7 @@ class Directory:
             self._entries[block] = entry
         presence, owner = entry
 
-        miss_class = MissClass.CAPACITY if presence & bit else MissClass.NECESSARY
+        miss_class = _CAPACITY if presence & bit else _NECESSARY
 
         if owner == cluster:
             # The requester supposedly holds the dirty copy, yet the request
@@ -85,9 +109,13 @@ class Directory:
         owner_to_flush = owner if owner >= 0 else None
 
         if is_write:
-            invalidate = tuple(
-                c for c in range(self.n_nodes) if (presence >> c) & 1 and c != cluster
-            )
+            others = presence & ~bit
+            if others:
+                invalidate = tuple(
+                    c for c in range(self.n_nodes) if (others >> c) & 1
+                )
+            else:
+                invalidate = ()
             entry[0] = bit
             entry[1] = cluster
         else:
@@ -97,6 +125,10 @@ class Directory:
             # updated, ownership is dropped (no O state in MESIR).
             entry[1] = -1
 
+        if owner_to_flush is None and not invalidate:
+            # nothing for the requester to do — the overwhelmingly common
+            # case; reuse immutable replies instead of allocating one per miss
+            return _NOOP_CAPACITY if miss_class is _CAPACITY else _NOOP_NECESSARY
         return DirectoryReply(miss_class, owner_to_flush, invalidate)
 
     def upgrade(self, block: int, cluster: int) -> Tuple[int, ...]:
@@ -117,9 +149,11 @@ class Directory:
                 f"upgrade of block {block:#x} by cluster {cluster} while "
                 f"cluster {owner} owns it dirty"
             )
-        invalidate = tuple(
-            c for c in range(self.n_nodes) if (presence >> c) & 1 and c != cluster
-        )
+        others = presence & ~bit
+        if others:
+            invalidate = tuple(c for c in range(self.n_nodes) if (others >> c) & 1)
+        else:
+            invalidate = ()
         entry[0] = bit
         entry[1] = cluster
         return invalidate

@@ -11,7 +11,15 @@ structural tables.  ``benchmarks/`` wraps these in pytest-benchmark.
 """
 
 from . import ablations, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, tables
-from .common import BENCHES, ExperimentResult, default_refs, run_matrix
+from .common import (
+    BENCHES,
+    ExperimentResult,
+    default_jobs,
+    default_refs,
+    merge_timings,
+    run_matrix,
+    run_matrix_timed,
+)
 
 #: experiment id -> callable returning an ExperimentResult
 ALL_EXPERIMENTS = {
@@ -39,7 +47,10 @@ __all__ = [
     "BENCHES",
     "ExperimentResult",
     "default_refs",
+    "default_jobs",
     "run_matrix",
+    "run_matrix_timed",
+    "merge_timings",
     "fig03",
     "fig04",
     "fig05",

@@ -13,11 +13,12 @@ trade-off without touching code.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 
 from ..sim.results import SimulationResult
-from ..sim.runner import DEFAULT_REFS, simulate
+from ..sim.runner import DEFAULT_REFS, sweep
 
 #: Table 3 order, used for every figure's rows
 BENCHES = (
@@ -45,6 +46,19 @@ def default_refs() -> int:
     return DEFAULT_REFS
 
 
+def default_jobs() -> int:
+    """Worker processes for experiment sweeps (env ``REPRO_JOBS`` or 1).
+
+    Experiments default to serial so unit tests and one-off figure runs
+    stay dependency-free; set ``REPRO_JOBS`` (or pass ``--jobs`` to the
+    CLI) to fan matrices out over a process pool.
+    """
+    raw = os.environ.get("REPRO_JOBS")
+    if raw:
+        return max(1, int(raw))
+    return 1
+
+
 @dataclass
 class ExperimentResult:
     """One regenerated figure/table: identification, data, rendered text."""
@@ -55,12 +69,79 @@ class ExperimentResult:
     data: Dict[Tuple[str, str], float] = field(default_factory=dict)
     results: Dict[Tuple[str, str], SimulationResult] = field(default_factory=dict)
     notes: str = ""
+    #: sweep wall-clock and per-cell engine timings (see run_matrix_timed)
+    timing: Dict[str, float] = field(default_factory=dict)
 
     def __str__(self) -> str:
         out = [f"== {self.experiment}: {self.title} ==", self.table]
         if self.notes:
             out.append(self.notes)
         return "\n".join(out)
+
+
+def matrix_timing(
+    results: Dict[Tuple[str, str], SimulationResult], wall_s: float, jobs: int
+) -> Dict[str, float]:
+    """Aggregate throughput numbers for one simulated matrix."""
+    total_refs = sum(r.refs for r in results.values())
+    engine_s = sum(r.elapsed_s for r in results.values())
+    timing: Dict[str, float] = {
+        "wall_s": wall_s,
+        "engine_s": engine_s,
+        "total_refs": float(total_refs),
+        "refs_per_sec": total_refs / wall_s if wall_s > 0 else 0.0,
+        "jobs": float(jobs),
+    }
+    for (system, bench), r in results.items():
+        timing[f"cell_s:{system}/{bench}"] = r.elapsed_s
+    return timing
+
+
+def merge_timings(*timings: Dict[str, float]) -> Dict[str, float]:
+    """Combine the timing dicts of several sequential matrices into one."""
+    merged: Dict[str, float] = {}
+    wall = engine = total_refs = 0.0
+    jobs = 1.0
+    for t in timings:
+        wall += t.get("wall_s", 0.0)
+        engine += t.get("engine_s", 0.0)
+        total_refs += t.get("total_refs", 0.0)
+        jobs = max(jobs, t.get("jobs", 1.0))
+        for key, value in t.items():
+            if key.startswith("cell_s:"):
+                # identical cells across sub-matrices (same system swept
+                # twice with different overrides) accumulate
+                merged[key] = merged.get(key, 0.0) + value
+    merged.update(
+        wall_s=wall,
+        engine_s=engine,
+        total_refs=total_refs,
+        refs_per_sec=total_refs / wall if wall > 0 else 0.0,
+        jobs=jobs,
+    )
+    return merged
+
+
+def run_matrix_timed(
+    systems: Iterable[str],
+    refs: Optional[int] = None,
+    seed: int = 1,
+    benches: Iterable[str] = BENCHES,
+    jobs: Optional[int] = None,
+    **overrides: object,
+) -> Tuple[Dict[Tuple[str, str], SimulationResult], Dict[str, float]]:
+    """Simulate a matrix at experiment fidelity; returns (results, timing).
+
+    ``timing`` carries the sweep wall-clock, summed engine seconds,
+    aggregate refs/sec, and one ``cell_s:system/bench`` entry per cell —
+    the payload experiment drivers attach to their ExperimentResult.
+    """
+    n = refs if refs is not None else default_refs()
+    j = jobs if jobs is not None else default_jobs()
+    start = time.perf_counter()
+    results = sweep(systems, benches, refs=n, seed=seed, jobs=j, **overrides)
+    wall = time.perf_counter() - start
+    return results, matrix_timing(results, wall, j)
 
 
 def run_matrix(
@@ -71,9 +152,5 @@ def run_matrix(
     **overrides: object,
 ) -> Dict[Tuple[str, str], SimulationResult]:
     """Simulate a systems x benchmarks matrix at experiment fidelity."""
-    n = refs if refs is not None else default_refs()
-    out: Dict[Tuple[str, str], SimulationResult] = {}
-    for bench in benches:
-        for system in systems:
-            out[(system, bench)] = simulate(system, bench, refs=n, seed=seed, **overrides)
-    return out
+    results, _ = run_matrix_timed(systems, refs=refs, seed=seed, benches=benches, **overrides)
+    return results

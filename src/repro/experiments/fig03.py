@@ -10,11 +10,13 @@ misses).
 
 from __future__ import annotations
 
+import time
+
 from typing import Dict, Optional, Tuple
 
 from ..analysis.report import format_grid
 from ..sim.runner import simulate
-from .common import BENCHES, ExperimentResult, default_refs
+from .common import BENCHES, ExperimentResult, default_refs, matrix_timing
 
 ASSOCS = (1, 2, 4)
 NC_SIZES = (0, 1024, 16 * 1024)  # 0 = no NC
@@ -27,6 +29,7 @@ def _label(assoc: int, nc_size: int) -> str:
 
 def run(refs: Optional[int] = None, seed: int = 1) -> ExperimentResult:
     n = refs if refs is not None else default_refs()
+    start = time.perf_counter()
     results = {}
     data: Dict[Tuple[str, str], float] = {}
     for bench in BENCHES:
@@ -43,6 +46,7 @@ def run(refs: Optional[int] = None, seed: int = 1) -> ExperimentResult:
                 results[(label, bench)] = r
                 data[(label, bench)] = r.miss_ratio
 
+    timing = matrix_timing(results, time.perf_counter() - start, 1)
     cols = [_label(a, s) for a in ASSOCS for s in NC_SIZES]
     table = format_grid(
         "Cluster miss ratio (% of shared refs); L1 assoc x victim-NC size",
@@ -57,4 +61,5 @@ def run(refs: Optional[int] = None, seed: int = 1) -> ExperimentResult:
         table,
         data,
         results,
+        timing=timing,
     )

@@ -13,13 +13,13 @@ from typing import Dict, Optional, Tuple
 
 from ..analysis.metrics import stacked_miss_bars
 from ..analysis.report import format_stacked_bars
-from .common import BENCHES, ExperimentResult, run_matrix
+from .common import BENCHES, ExperimentResult, run_matrix_timed
 
 SYSTEMS = ("nc", "vb")
 
 
 def run(refs: Optional[int] = None, seed: int = 1) -> ExperimentResult:
-    results = run_matrix(SYSTEMS, refs=refs, seed=seed)
+    results, timing = run_matrix_timed(SYSTEMS, refs=refs, seed=seed)
     stacks = {key: stacked_miss_bars(r) for key, r in results.items()}
     data: Dict[Tuple[str, str], float] = {
         key: r.miss_ratio for key, r in results.items()
@@ -36,4 +36,5 @@ def run(refs: Optional[int] = None, seed: int = 1) -> ExperimentResult:
         table,
         data,
         results,
+        timing=timing,
     )

@@ -16,18 +16,19 @@ from typing import Dict, Optional, Tuple
 from ..analysis.metrics import stacked_miss_bars
 from ..analysis.report import format_stacked_bars
 from ..params import ThresholdPolicy
-from .common import BENCHES, ExperimentResult, run_matrix
+from .common import BENCHES, ExperimentResult, merge_timings, run_matrix_timed
 
 POLICIES = ("adaptive", "fixed")
 
 
 def run(refs: Optional[int] = None, seed: int = 1) -> ExperimentResult:
-    adaptive = run_matrix(
+    adaptive, t_adaptive = run_matrix_timed(
         ["ncp5"], refs=refs, seed=seed, threshold_policy=ThresholdPolicy.ADAPTIVE
     )
-    fixed = run_matrix(
+    fixed, t_fixed = run_matrix_timed(
         ["ncp5"], refs=refs, seed=seed, threshold_policy=ThresholdPolicy.FIXED
     )
+    timing = merge_timings(t_adaptive, t_fixed)
     results = {("adaptive", b): adaptive[("ncp5", b)] for b in BENCHES}
     results.update({("fixed", b): fixed[("ncp5", b)] for b in BENCHES})
     stacks = {key: stacked_miss_bars(r) for key, r in results.items()}
@@ -48,4 +49,5 @@ def run(refs: Optional[int] = None, seed: int = 1) -> ExperimentResult:
         table,
         data,
         results,
+        timing=timing,
     )

@@ -23,14 +23,14 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ..analysis.report import format_grid
-from .common import BENCHES, ExperimentResult, run_matrix
+from .common import BENCHES, ExperimentResult, run_matrix_timed
 
 REFERENCE = "dinf"
 SYSTEMS = ("base", "ncs", "ncd", "ncp", "vbp", "vpp", "ncp5", "vbp5", "vpp5")
 
 
 def run(refs: Optional[int] = None, seed: int = 1) -> ExperimentResult:
-    results = run_matrix((REFERENCE,) + SYSTEMS, refs=refs, seed=seed)
+    results, timing = run_matrix_timed((REFERENCE,) + SYSTEMS, refs=refs, seed=seed)
     data: Dict[Tuple[str, str], float] = {}
     reloc_share: Dict[Tuple[str, str], float] = {}
     for bench in BENCHES:
@@ -63,4 +63,5 @@ def run(refs: Optional[int] = None, seed: int = 1) -> ExperimentResult:
         table,
         data,
         results,
+        timing=timing,
     )

@@ -16,12 +16,12 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ..analysis.report import format_grid
-from .common import BENCHES, ExperimentResult, run_matrix
+from .common import BENCHES, ExperimentResult, run_matrix_timed
 from .fig09 import REFERENCE, SYSTEMS
 
 
 def run(refs: Optional[int] = None, seed: int = 1) -> ExperimentResult:
-    results = run_matrix((REFERENCE,) + SYSTEMS, refs=refs, seed=seed)
+    results, timing = run_matrix_timed((REFERENCE,) + SYSTEMS, refs=refs, seed=seed)
     data: Dict[Tuple[str, str], float] = {}
     for bench in BENCHES:
         ref = results[(REFERENCE, bench)]
@@ -41,4 +41,5 @@ def run(refs: Optional[int] = None, seed: int = 1) -> ExperimentResult:
         table,
         data,
         results,
+        timing=timing,
     )

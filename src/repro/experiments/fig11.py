@@ -24,7 +24,8 @@ from .common import (
     ExperimentResult,
     SCALED_THRESHOLD_32,
     SCALED_THRESHOLD_64,
-    run_matrix,
+    merge_timings,
+    run_matrix_timed,
 )
 
 REFERENCE = "dinf"
@@ -32,13 +33,14 @@ COLUMNS = ("ncp5", "vxp5-t32", "vxp5-t64")
 
 
 def run(refs: Optional[int] = None, seed: int = 1) -> ExperimentResult:
-    reference = run_matrix([REFERENCE], refs=refs, seed=seed)
-    ncp = run_matrix(["ncp5"], refs=refs, seed=seed,
-                     initial_threshold=SCALED_THRESHOLD_32)
-    vxp32 = run_matrix(["vxp5"], refs=refs, seed=seed,
-                       initial_threshold=SCALED_THRESHOLD_32)
-    vxp64 = run_matrix(["vxp5"], refs=refs, seed=seed,
-                       initial_threshold=SCALED_THRESHOLD_64)
+    reference, t_ref = run_matrix_timed([REFERENCE], refs=refs, seed=seed)
+    ncp, t_ncp = run_matrix_timed(["ncp5"], refs=refs, seed=seed,
+                                  initial_threshold=SCALED_THRESHOLD_32)
+    vxp32, t_32 = run_matrix_timed(["vxp5"], refs=refs, seed=seed,
+                                   initial_threshold=SCALED_THRESHOLD_32)
+    vxp64, t_64 = run_matrix_timed(["vxp5"], refs=refs, seed=seed,
+                                   initial_threshold=SCALED_THRESHOLD_64)
+    timing = merge_timings(t_ref, t_ncp, t_32, t_64)
 
     results = {}
     data: Dict[Tuple[str, str], float] = {}
@@ -79,4 +81,5 @@ def run(refs: Optional[int] = None, seed: int = 1) -> ExperimentResult:
         table,
         data,
         results,
+        timing=timing,
     )

@@ -47,13 +47,9 @@ class VictimNC(NetworkCache):
     # ---- processor-miss service -----------------------------------------
 
     def _service(self, block: int) -> Optional[int]:
-        line = self._cache.peek(block)
-        if line is None:
-            return None
-        state = line.state
         # exclusive: the block swaps back into the processor cache
-        self._cache.remove(block)
-        return state
+        line = self._cache.remove(block)
+        return None if line is None else line.state
 
     def service_read(self, block: int) -> Optional[int]:
         return self._service(block)

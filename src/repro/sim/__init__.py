@@ -2,8 +2,9 @@
 
 from .simulator import Simulator
 from .latency import remote_read_stall, traffic_blocks
+from .parallel import default_jobs, run_parallel_sweep, throughput_report
 from .results import SimulationResult
-from .runner import simulate, sweep
+from .runner import resolve_sweep_configs, simulate, sweep
 
 __all__ = [
     "Simulator",
@@ -12,4 +13,8 @@ __all__ = [
     "SimulationResult",
     "simulate",
     "sweep",
+    "resolve_sweep_configs",
+    "run_parallel_sweep",
+    "default_jobs",
+    "throughput_report",
 ]

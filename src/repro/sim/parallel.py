@@ -1,0 +1,221 @@
+"""Parallel sweep execution over a ``multiprocessing`` worker pool.
+
+Every figure in the paper is an embarrassingly parallel systems x
+benchmarks matrix, and each cell is an independent simulation over a
+deterministic trace — so the matrix fans out over processes with **no**
+effect on the results: a parallel sweep is bit-identical to a serial one
+(pinned by ``tests/sim/test_parallel.py``).
+
+Mechanics:
+
+* cells are planned benchmark-major (the serial order) and chunked so one
+  worker runs all systems of one benchmark back to back, reusing its
+  in-process trace cache instead of regenerating the trace per cell;
+* the parent **pre-seeds the on-disk trace cache** (`repro.trace.io`)
+  before forking, so workers — even under a ``spawn`` start method, which
+  inherits no parent memory — load each trace once from disk rather than
+  regenerating it per process;
+* results come back keyed ``(system, benchmark)`` and are merged in plan
+  order, so iteration order of the returned dict matches the serial path;
+* anything that prevents pooling (a platform without working
+  ``multiprocessing``, unpicklable configs, a sandboxed interpreter)
+  degrades to the serial path rather than failing the sweep.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Iterable, List, Mapping, NamedTuple, Optional, Sequence, Tuple
+
+from ..params import SystemConfig
+from .results import SimulationResult
+from .runner import DEFAULT_REFS, DEFAULT_SCALE, get_trace, run_trace
+
+
+class SweepCell(NamedTuple):
+    """One unit of sweep work: a (system, benchmark) cell plus trace shape."""
+
+    system: str
+    benchmark: str
+    config: SystemConfig
+    refs: int
+    seed: int
+    scale: float
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not choose: env ``REPRO_JOBS`` or
+    the machine's CPU count."""
+    raw = os.environ.get("REPRO_JOBS")
+    if raw:
+        return max(1, int(raw))
+    return os.cpu_count() or 1
+
+
+def plan_cells(
+    configs: Mapping[str, SystemConfig],
+    benchmarks: Sequence[str],
+    refs: int = DEFAULT_REFS,
+    seed: int = 1,
+    scale: float = DEFAULT_SCALE,
+) -> List[SweepCell]:
+    """The sweep's work list, benchmark-major (identical to serial order)."""
+    return [
+        SweepCell(system, bench, config, refs, seed, scale)
+        for bench in benchmarks
+        for system, config in configs.items()
+    ]
+
+
+def chunk_cells(cells: Sequence[SweepCell], jobs: int) -> List[List[SweepCell]]:
+    """Group cells into per-benchmark chunks, splitting only when a single
+    benchmark has more cells than would keep ``jobs`` workers busy.
+
+    Keeping one benchmark's cells together lets a worker generate (or load)
+    its trace once and reuse it for every system.
+    """
+    by_bench: "Dict[str, List[SweepCell]]" = {}
+    order: List[str] = []
+    for cell in cells:
+        if cell.benchmark not in by_bench:
+            by_bench[cell.benchmark] = []
+            order.append(cell.benchmark)
+        by_bench[cell.benchmark].append(cell)
+
+    chunks: List[List[SweepCell]] = []
+    if len(order) >= jobs:
+        chunks = [by_bench[b] for b in order]
+    else:
+        # fewer benchmarks than workers: split each benchmark's cells so
+        # every worker still gets something to do
+        per = max(1, (len(cells) + jobs - 1) // jobs)
+        for bench in order:
+            group = by_bench[bench]
+            for i in range(0, len(group), per):
+                chunks.append(group[i : i + per])
+    return chunks
+
+
+def _run_cells(
+    cells: Iterable[SweepCell], disk_cache: bool
+) -> List[Tuple[str, str, SimulationResult]]:
+    out = []
+    for cell in cells:
+        trace = get_trace(
+            cell.benchmark,
+            refs=cell.refs,
+            seed=cell.seed,
+            scale=cell.scale,
+            disk_cache=disk_cache,
+        )
+        result = run_trace(cell.config, trace, system_name=cell.system)
+        out.append((cell.system, cell.benchmark, result))
+    return out
+
+
+def _worker(chunk: List[SweepCell]) -> List[Tuple[str, str, SimulationResult]]:
+    # module-level so it pickles under every start method
+    return _run_cells(chunk, disk_cache=True)
+
+
+def run_parallel_sweep(
+    configs: Mapping[str, SystemConfig],
+    benchmarks: Sequence[str],
+    refs: int = DEFAULT_REFS,
+    seed: int = 1,
+    scale: float = DEFAULT_SCALE,
+    jobs: int = 1,
+) -> Dict[Tuple[str, str], SimulationResult]:
+    """Fan a sweep matrix over ``jobs`` worker processes.
+
+    Returns exactly what the serial sweep would: ``(system, benchmark) ->
+    SimulationResult`` with bit-identical counters, in the same iteration
+    order.
+    """
+    cells = plan_cells(configs, benchmarks, refs=refs, seed=seed, scale=scale)
+    if jobs <= 1 or len(cells) <= 1:
+        flat = _run_cells(cells, disk_cache=False)
+        return {(s, b): r for s, b, r in flat}
+
+    # Pre-seed the disk cache so no worker regenerates a trace.  Under the
+    # default fork start method workers additionally inherit the parent's
+    # warm in-process cache for free.
+    for bench in benchmarks:
+        get_trace(bench, refs=refs, seed=seed, scale=scale, disk_cache=True)
+
+    chunks = chunk_cells(cells, jobs)
+    flat: List[Tuple[str, str, SimulationResult]] = []
+    try:
+        import multiprocessing
+
+        with multiprocessing.Pool(processes=min(jobs, len(chunks))) as pool:
+            for chunk_result in pool.map(_worker, chunks):
+                flat.extend(chunk_result)
+    except Exception:
+        # pickling-hostile platform / sandboxed interpreter: fall back to
+        # the serial path rather than failing the sweep
+        flat = _run_cells(cells, disk_cache=True)
+
+    merged = {(s, b): r for s, b, r in flat}
+    # deterministic merge: plan order, exactly the serial dict order
+    return {
+        (cell.system, cell.benchmark): merged[(cell.system, cell.benchmark)]
+        for cell in cells
+    }
+
+
+# ---------------------------------------------------------------------------
+# throughput reporting
+# ---------------------------------------------------------------------------
+
+
+def throughput_report(
+    results: Mapping[Tuple[str, str], SimulationResult],
+    wall_s: Optional[float] = None,
+    jobs: int = 1,
+) -> str:
+    """Human-readable engine throughput report for one sweep.
+
+    Per-cell simulated references, engine seconds, and refs/sec, plus the
+    aggregate — the number CI tracks for hot-path regressions.
+    """
+    lines = ["engine throughput report", "=" * 24]
+    lines.append(f"{'system':<8} {'benchmark':<10} {'refs':>9} {'secs':>8} {'refs/s':>11}")
+    total_refs = 0
+    total_elapsed = 0.0
+    for (system, bench), r in results.items():
+        total_refs += r.refs
+        total_elapsed += r.elapsed_s
+        lines.append(
+            f"{system:<8} {bench:<10} {r.refs:>9,} {r.elapsed_s:>8.3f} "
+            f"{r.refs_per_sec:>11,.0f}"
+        )
+    agg = total_refs / total_elapsed if total_elapsed > 0 else 0.0
+    lines.append("-" * 50)
+    lines.append(
+        f"{'total':<8} {'':<10} {total_refs:>9,} {total_elapsed:>8.3f} {agg:>11,.0f}"
+    )
+    if wall_s is not None and wall_s > 0:
+        lines.append(
+            f"wall-clock {wall_s:.3f}s with jobs={jobs} "
+            f"({total_refs / wall_s:,.0f} refs/s end-to-end, "
+            f"speedup x{total_elapsed / wall_s:.2f} over engine time)"
+        )
+    return "\n".join(lines)
+
+
+def timed_sweep(
+    configs: Mapping[str, SystemConfig],
+    benchmarks: Sequence[str],
+    refs: int = DEFAULT_REFS,
+    seed: int = 1,
+    scale: float = DEFAULT_SCALE,
+    jobs: int = 1,
+) -> Tuple[Dict[Tuple[str, str], SimulationResult], float]:
+    """Run a sweep (parallel or serial) and return ``(results, wall_s)``."""
+    start = time.perf_counter()
+    results = run_parallel_sweep(
+        configs, benchmarks, refs=refs, seed=seed, scale=scale, jobs=jobs
+    )
+    return results, time.perf_counter() - start

@@ -22,6 +22,15 @@ class SimulationResult:
     seed: int = 0
     elapsed_s: float = 0.0
 
+    # ---- engine throughput ------------------------------------------------
+
+    @property
+    def refs_per_sec(self) -> float:
+        """Engine throughput for this run (0.0 when timing was not taken)."""
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return self.refs / self.elapsed_s
+
     # ---- headline metrics -------------------------------------------------
 
     @property

@@ -3,17 +3,23 @@
 
 Traces are cached per (benchmark, refs, seed, scale, n_procs) within the
 process, since every figure sweeps many systems over identical traces —
-exactly as the paper's trace-driven methodology does.
+exactly as the paper's trace-driven methodology does.  The in-process
+cache is LRU-bounded (:data:`TRACE_CACHE_MAX` entries) so long sweeps over
+many trace shapes cannot grow memory without limit; an optional on-disk
+cache (see :mod:`repro.trace.io`) shares generated traces across
+processes, which the parallel sweep engine relies on.
 """
 
 from __future__ import annotations
 
+import inspect
 import time
-from typing import Dict, Iterable, Optional, Tuple
+from collections import OrderedDict
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
+from ..errors import ConfigurationError
 from ..params import SystemConfig
 from ..system.builder import build_machine, system_config
-from ..system.placement import FirstTouchPlacement
 from ..trace.record import Trace, TraceSpec
 from ..trace.synthetic import generate_trace
 from .results import SimulationResult
@@ -24,7 +30,10 @@ from .simulator import Simulator
 DEFAULT_SCALE = 0.125
 DEFAULT_REFS = 400_000
 
-_trace_cache: Dict[Tuple[str, int, int, float, int], Trace] = {}
+#: in-process trace cache bound; oldest-used entries are dropped beyond it
+TRACE_CACHE_MAX = 16
+
+_trace_cache: "OrderedDict[Tuple[str, int, int, float, int], Trace]" = OrderedDict()
 
 
 def get_trace(
@@ -33,8 +42,14 @@ def get_trace(
     seed: int = 1,
     scale: float = DEFAULT_SCALE,
     n_procs: int = 32,
+    disk_cache: bool = False,
 ) -> Trace:
-    """Generate (or fetch from cache) one benchmark trace."""
+    """Generate (or fetch from cache) one benchmark trace.
+
+    With ``disk_cache=True`` the content-addressed on-disk cache is
+    consulted before generating, and a freshly generated trace is stored
+    there — the mechanism parallel sweep workers use to share traces.
+    """
     key = (benchmark.lower(), refs, seed, scale, n_procs)
     trace = _trace_cache.get(key)
     if trace is None:
@@ -45,8 +60,20 @@ def get_trace(
             scale=scale,
             n_procs=n_procs,
         )
-        trace = generate_trace(spec)
+        if disk_cache:
+            from ..trace import io as trace_io
+
+            trace = trace_io.load_cached_trace(spec)
+            if trace is None:
+                trace = generate_trace(spec)
+                trace_io.store_cached_trace(spec, trace)
+        else:
+            trace = generate_trace(spec)
         _trace_cache[key] = trace
+        if len(_trace_cache) > TRACE_CACHE_MAX:
+            _trace_cache.popitem(last=False)
+    else:
+        _trace_cache.move_to_end(key)
     return trace
 
 
@@ -97,19 +124,94 @@ def simulate(
     return run_trace(config, trace, system_name=system)
 
 
+# ---------------------------------------------------------------------------
+# matrix sweeps
+# ---------------------------------------------------------------------------
+
+#: keyword overrides system_config accepts; computed once for validation
+_VALID_OVERRIDES = frozenset(
+    name
+    for name, p in inspect.signature(system_config).parameters.items()
+    if p.kind is inspect.Parameter.KEYWORD_ONLY
+)
+
+
+def _check_override_names(overrides: Mapping[str, object], context: str) -> None:
+    for key in overrides:
+        if key not in _VALID_OVERRIDES:
+            raise ConfigurationError(
+                f"unknown config override {key!r} {context}; valid overrides: "
+                f"{', '.join(sorted(_VALID_OVERRIDES))}"
+            )
+
+
+def resolve_sweep_configs(
+    systems: Iterable[str],
+    config_overrides: Optional[Mapping[str, Mapping[str, object]]] = None,
+    **shared_overrides: object,
+) -> "OrderedDict[str, SystemConfig]":
+    """Build one :class:`SystemConfig` per system, validating eagerly.
+
+    ``shared_overrides`` apply to every system; ``config_overrides`` maps a
+    system name to overrides for **that system only** (layered over the
+    shared ones).  Unknown override names and overrides for systems not in
+    the sweep raise :class:`ConfigurationError` up front, naming the bad
+    key — not after half the matrix has already been simulated.
+    """
+    systems = list(systems)
+    _check_override_names(shared_overrides, "(shared)")
+    per_system: Dict[str, Mapping[str, object]] = dict(config_overrides or {})
+    for name, overrides in per_system.items():
+        if name not in systems:
+            raise ConfigurationError(
+                f"config_overrides given for system {name!r}, which is not in "
+                f"the sweep ({', '.join(systems)})"
+            )
+        _check_override_names(overrides, f"for system {name!r}")
+    configs: "OrderedDict[str, SystemConfig]" = OrderedDict()
+    for system in systems:
+        merged = dict(shared_overrides)
+        merged.update(per_system.get(system, {}))
+        configs[system] = system_config(system, **merged)  # type: ignore[arg-type]
+    return configs
+
+
 def sweep(
     systems: Iterable[str],
     benchmarks: Iterable[str],
     refs: int = DEFAULT_REFS,
     seed: int = 1,
     scale: float = DEFAULT_SCALE,
-    **config_overrides: object,
+    jobs: int = 1,
+    config_overrides: Optional[Mapping[str, Mapping[str, object]]] = None,
+    **shared_overrides: object,
 ) -> Dict[Tuple[str, str], SimulationResult]:
-    """Run a systems x benchmarks matrix; keys are (system, benchmark)."""
+    """Run a systems x benchmarks matrix; keys are ``(system, benchmark)``.
+
+    ``jobs > 1`` fans the cells out over a process pool (see
+    :mod:`repro.sim.parallel`); results are merged deterministically and are
+    bit-identical to a serial run.  ``config_overrides`` scopes overrides to
+    a single system (``{"vxp5": {"initial_threshold": 8}}``) while plain
+    keyword overrides apply to the whole matrix.
+    """
+    systems = list(systems)
+    benchmarks = list(benchmarks)
+    configs = resolve_sweep_configs(
+        systems, config_overrides=config_overrides, **shared_overrides
+    )
+
+    if jobs > 1:
+        from .parallel import run_parallel_sweep
+
+        return run_parallel_sweep(
+            configs, benchmarks, refs=refs, seed=seed, scale=scale, jobs=jobs
+        )
+
     out: Dict[Tuple[str, str], SimulationResult] = {}
     for bench in benchmarks:
+        trace = get_trace(bench, refs=refs, seed=seed, scale=scale)
         for system in systems:
-            out[(system, bench)] = simulate(
-                system, bench, refs=refs, seed=seed, scale=scale, **config_overrides
+            out[(system, bench)] = run_trace(
+                configs[system], trace, system_name=system
             )
     return out

@@ -29,13 +29,15 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..coherence.cache import CacheLine
 from ..coherence.states import MESIR, NCState, PCBlockState
 from ..errors import ProtocolError
 from ..params import BusProtocol, SystemConfig
 from ..rdc.base import InclusionPolicy, NCEviction
+from ..rdc.none import NullNC
 from ..rdc.pagecache import PageFrame
 from ..rdc.victim import VictimNC
-from ..stats import Counters, MissClass
+from ..stats import Counters
 from ..system.machine import Machine
 from ..system.node import Node
 from ..trace.record import Trace
@@ -68,26 +70,116 @@ class Simulator:
         self._l1s = [machine.l1_of(pid) for pid in range(cfg.n_procs)]
         self._nodes = machine.nodes
         self._directory = machine.directory
+        self._dir_entries = machine.directory._entries  # hot-path alias
+        self._n_nodes = machine.directory.n_nodes
         self._placement = machine.placement
+        self._homes = machine.placement._home  # first-touch map, hot-path alias
         self._dir_counters = machine.dir_counters
         self._use_o_state = cfg.protocol is BusProtocol.MOESIR
         self._decrement_on_inval = cfg.pc.decrement_on_invalidation
+        # hot-path prebinds: per-pid peer (l1, tag-map) pairs for the bus
+        # snoop, and protocol facts that hold machine-wide (every node is
+        # built from the same config, so the NC flavour is uniform)
+        self._peer_tags = [
+            [
+                (l1, l1._tag)
+                for l1 in self._nodes[pid // self._ppn].l1s
+                if l1 is not self._l1s[pid]
+            ]
+            for pid in range(cfg.n_procs)
+        ]
+        self._node_tags = [[l1._tag for l1 in node.l1s] for node in self._nodes]
+        self._node_of = [pid // self._ppn for pid in range(cfg.n_procs)]
+        self._node_by_pid = [self._nodes[i] for i in self._node_of]
+        # page-frame dict per node (None when the node has no page cache)
+        self._pc_frames = [
+            node.pc._frames if node.pc is not None else None for node in self._nodes
+        ]
+        self._nc_exclusive = bool(self._nodes) and isinstance(
+            self._nodes[0].nc, VictimNC
+        )
+        self._nc_null = bool(self._nodes) and isinstance(self._nodes[0].nc, NullNC)
+        # victim NCs expose their backing cache for the inlined exclusive-hit
+        # path in _miss; other NC flavours go through _try_nc
+        self._nc_caches = [
+            node.nc._cache if isinstance(node.nc, VictimNC) else None
+            for node in self._nodes
+        ]
 
     # ------------------------------------------------------------------
     # top level
     # ------------------------------------------------------------------
 
+    #: references converted to plain Python ints per batch; bounds peak
+    #: list memory instead of materialising three full-trace lists at once
+    _RUN_CHUNK = 1 << 15
+
     def run(self, trace: Trace) -> Counters:
-        """Simulate the whole trace; returns the accumulated counters."""
+        """Simulate the whole trace; returns the accumulated counters.
+
+        Semantically identical to calling :meth:`step` per reference (the
+        equivalence is pinned by tests), but the ~90% case — a read hit in
+        the issuing processor's L1 — is inlined here over the caches' tag
+        maps: no ``step``/``lookup`` calls, block numbers shifted once as a
+        numpy vector, attribute loads hoisted out of the loop, and the
+        reference/hit tallies accumulated in locals.
+        """
         if trace.placement:
             for page, home in trace.placement.items():
                 self._placement.touch(page, home)
-        step = self.step
-        for pid, addr, w in zip(
-            trace.pids.tolist(), trace.addrs.tolist(), trace.writes.tolist()
-        ):
-            step(pid, addr, bool(w))
-        return self.counters
+        c = self.counters
+        upgrade = self._upgrade
+        miss = self._miss
+        # every L1 shares one geometry and uses block-address indexing
+        l1_tags = [l1._tag for l1 in self._l1s]
+        l1_sets = [l1._sets for l1 in self._l1s]
+        set_mask = self._l1s[0]._set_mask if self._l1s else 0
+        M, E = _M, _E
+        pids_arr = trace.pids
+        blocks_arr = trace.addrs >> self._block_bits
+        writes_arr = trace.writes
+        n = len(pids_arr)
+        chunk = self._RUN_CHUNK
+        now = self.now
+        # reference totals are trace properties; tally them vectorised
+        writes_total = int(writes_arr.sum())
+        read_hits = write_hits = 0
+        for start in range(0, n, chunk):
+            stop = start + chunk
+            for pid, block, w in zip(
+                pids_arr[start:stop].tolist(),
+                blocks_arr[start:stop].tolist(),
+                writes_arr[start:stop].tolist(),
+            ):
+                now += 1
+                line = l1_tags[pid].get(block)
+                if line is not None:
+                    # any hit refreshes LRU, exactly as lookup() would
+                    lines = l1_sets[pid][block & set_mask]
+                    if lines[-1] is not line:
+                        lines.remove(line)
+                        lines.append(line)
+                    if not w:
+                        read_hits += 1
+                        continue
+                    write_hits += 1
+                    st = line.state
+                    if st == M:
+                        continue
+                    if st == E:
+                        line.state = M
+                        continue
+                    self.now = now
+                    upgrade(pid, block, line)
+                    continue
+                self.now = now
+                miss(pid, block, bool(w))
+        self.now = now
+        c.reads += n - writes_total
+        c.writes += writes_total
+        c.l1_read_hits += read_hits
+        c.l1_write_hits += write_hits
+        return c
 
     def step(self, pid: int, addr: int, is_write: bool) -> None:
         """Process one shared reference."""
@@ -141,7 +233,7 @@ class Simulator:
                 l1.remove(block)
         nc = node.nc
         if home != node_idx:  # the NC holds remote blocks only
-            if isinstance(nc, VictimNC):
+            if self._nc_exclusive:
                 nc.invalidate(block)  # a polluting clean copy, if any
             elif nc.inclusion is not InclusionPolicy.NONE:
                 # inclusion NCs must regain a frame for the soon-dirty
@@ -173,47 +265,88 @@ class Simulator:
     # ------------------------------------------------------------------
 
     def _miss(self, pid: int, block: int, is_write: bool) -> None:
-        c = self.counters
-        node_idx = pid // self._ppn
-        node = self._nodes[node_idx]
+        node_idx = self._node_of[pid]
+        node = self._node_by_pid[pid]
         page = block >> self._bpp_bits
-        home = self._placement.touch(page, node_idx)
+        # inlined FirstTouchPlacement.touch (one dict probe on the miss path)
+        homes = self._homes
+        home = homes.get(page)
+        if home is None:
+            homes[page] = home = node_idx
         local = home == node_idx
 
-        # 1. snoop the cluster bus: peer caches
-        if self._try_peer_supply(pid, node, block, page, home, is_write):
+        # 1. snoop the cluster bus: peer caches (scan inlined — most misses
+        # find no holder, so the common case is three tag-map probes)
+        holders = None
+        for l1, tag in self._peer_tags[pid]:
+            ln = tag.get(block)
+            if ln is not None:
+                if holders is None:
+                    holders = [(l1, ln)]
+                else:
+                    holders.append((l1, ln))
+        if holders is not None:
+            self._supply_from_peers(pid, node, block, page, home, is_write, holders)
             return
 
-        # 2. the network cache answers the same bus transaction
-        if not local and self._try_nc(pid, node, node_idx, block, page, is_write):
-            return
-
-        # 3. a relocated page's frame in local memory
-        if not local and self._try_pc(pid, node, node_idx, block, page, is_write):
-            return
+        if not local:
+            # 2. the network cache answers the same bus transaction.  The
+            # victim-NC (exclusive) hit is inlined: the frame swaps straight
+            # back into the L1, so the whole service is one tag-map pop.
+            if self._nc_exclusive:
+                nc_cache = self._nc_caches[node_idx]
+                line = nc_cache._tag.pop(block, None)
+                if line is not None:
+                    nc_cache._sets[
+                        (block >> nc_cache._shift) & nc_cache._set_mask
+                    ].remove(line)
+                    c = self.counters
+                    if is_write:
+                        if line.state == _NC_CLEAN:
+                            invalidate = self._directory.upgrade(block, node_idx)
+                            for cl in invalidate:
+                                self._invalidate_cluster(cl, block, page)
+                            c.remote_invalidations += len(invalidate)
+                        if node.pc is not None:
+                            node.pc.invalidate_block(page, block & self._bpp_mask)
+                        self._fill(pid, node, block, page, _M)
+                        c.write_nc_hits += 1
+                        return
+                    self._fill(
+                        pid, node, block, page,
+                        _M if line.state == _NC_DIRTY else _R,
+                    )
+                    c.read_nc_hits += 1
+                    return
+            elif not self._nc_null and self._try_nc(
+                pid, node, node_idx, block, page, is_write
+            ):
+                return
+            # 3. a relocated page's frame in local memory
+            if node.pc is not None and self._try_pc(
+                pid, node, node_idx, block, page, is_write
+            ):
+                return
 
         # 4. home memory: a local access or a remote (monitored) one
         if local:
             self._local_memory_access(pid, node_idx, block, page, is_write)
         else:
-            self._remote_access(pid, node, node_idx, block, page, is_write)
+            self._remote_access(pid, node, node_idx, block, page, home, is_write)
 
     # ---- 1: peer caches ---------------------------------------------------
 
-    def _try_peer_supply(
-        self, pid: int, node: Node, block: int, page: int, home: int, is_write: bool
-    ) -> bool:
+    def _supply_from_peers(
+        self,
+        pid: int,
+        node: Node,
+        block: int,
+        page: int,
+        home: int,
+        is_write: bool,
+        holders,
+    ) -> None:
         c = self.counters
-        my_l1 = self._l1s[pid]
-        holders = []
-        for l1 in node.l1s:
-            if l1 is my_l1:
-                continue
-            ln = l1.peek(block)
-            if ln is not None:
-                holders.append((l1, ln))
-        if not holders:
-            return False
 
         node_idx = node.node_id
         local = home == node_idx
@@ -222,7 +355,7 @@ class Simulator:
                 l1.remove(block)
             nc = node.nc
             if not local:  # the NC holds remote blocks only
-                if isinstance(nc, VictimNC):
+                if self._nc_exclusive:
                     nc.invalidate(block)
                 elif nc.inclusion is not InclusionPolicy.NONE:
                     # stale-clean the frame, keep inclusion
@@ -243,13 +376,13 @@ class Simulator:
                 c.local_write_misses += 1
             else:
                 c.write_cluster_hits += 1
-            return True
+            return
 
         # read: supply via cache-to-cache; a dirty supplier downgrades —
         # to dirty-shared O under MOESIR (no write-back leaves the L1s),
         # to S with a write-back to dispose of under plain MESIR
-        pc = node.pc
-        page_resident = pc is not None and home != node_idx and page in pc
+        frames = self._pc_frames[node_idx]
+        page_resident = frames is not None and home != node_idx and page in frames
         for l1, ln in holders:
             if ln.state == _M:
                 if self._use_o_state and home != node_idx and not page_resident:
@@ -264,7 +397,6 @@ class Simulator:
             c.local_read_misses += 1
         else:
             c.read_cluster_hits += 1
-        return True
 
     def _dispose_downgraded_dirty(
         self, node: Node, block: int, page: int, home: int
@@ -282,11 +414,13 @@ class Simulator:
             if self._directory.owner(block) == node_idx:
                 self._directory.writeback(block, node_idx)
             return
-        pc = node.pc
-        if pc is not None and page in pc:
-            pc.absorb_dirty(page, block & self._bpp_mask)
-            c.writebacks_absorbed += 1
-            return
+        frames = self._pc_frames[node_idx]
+        if frames is not None:
+            frame = frames.get(page)
+            if frame is not None:
+                frame.states[block & self._bpp_mask] = _NC_DIRTY
+                c.writebacks_absorbed += 1
+                return
         absorbed, ev = node.nc.accept_dirty_victim(block)
         if absorbed:
             c.writebacks_absorbed += 1
@@ -322,7 +456,7 @@ class Simulator:
         st = nc.service_read(block)
         if st is None:
             return False
-        if isinstance(nc, VictimNC):
+        if self._nc_exclusive:
             # exclusive: the block moved out of the NC into the L1
             fill = _M if st == _NC_DIRTY else _R
         else:
@@ -336,15 +470,22 @@ class Simulator:
     def _try_pc(
         self, pid: int, node: Node, node_idx: int, block: int, page: int, is_write: bool
     ) -> bool:
-        c = self.counters
-        pc = node.pc
-        if pc is None:
+        frames = self._pc_frames[node_idx]
+        if frames is None:
+            return False
+        frame = frames.get(page)
+        if frame is None:
             return False
         offset = block & self._bpp_mask
-        st = pc.block_state(page, offset)
+        st = frame.states[offset]
         if st == _PC_INVALID:
             return False
-        pc.record_hit(page, self.now)
+        c = self.counters
+        pc = node.pc
+        # inlined PageCache.record_hit (LRM clock + saturating hit counter)
+        frame.last_miss = self.now
+        if frame.hits < pc.hit_counter_max:
+            frame.hits += 1
         if is_write:
             if st == _NC_CLEAN:  # PCBlockState.CLEAN has the same value
                 invalidate = self._directory.upgrade(block, node_idx)
@@ -366,14 +507,15 @@ class Simulator:
     ) -> None:
         c = self.counters
         reply = self._directory.access(block, node_idx, is_write)
-        if reply.owner_to_flush is not None:
-            self._flush_owner(reply.owner_to_flush, block, page, is_write)
-        for cl in reply.invalidate:
-            if cl != reply.owner_to_flush:
-                self._invalidate_cluster(cl, block, page)
-        c.remote_invalidations += sum(
-            1 for cl in reply.invalidate if cl != reply.owner_to_flush
-        )
+        owner = reply.owner_to_flush
+        if owner is not None:
+            self._flush_owner(owner, block, page, is_write)
+        invalidate = reply.invalidate
+        if invalidate:
+            for cl in invalidate:
+                if cl != owner:
+                    self._invalidate_cluster(cl, block, page)
+            c.remote_invalidations += len(invalidate) - (owner in invalidate)
         node = self._nodes[node_idx]
         if is_write:
             fill = _M
@@ -387,28 +529,75 @@ class Simulator:
     # ---- 4b: remote access ----------------------------------------------------------
 
     def _remote_access(
-        self, pid: int, node: Node, node_idx: int, block: int, page: int, is_write: bool
+        self,
+        pid: int,
+        node: Node,
+        node_idx: int,
+        block: int,
+        page: int,
+        home: int,
+        is_write: bool,
     ) -> None:
         c = self.counters
-        home = self._placement.home_of(page)
-        assert home is not None and home != node_idx
-        reply = self._directory.access(block, node_idx, is_write)
-
-        if reply.owner_to_flush is not None:
-            self._flush_owner(reply.owner_to_flush, block, page, is_write)
+        # Directory.access inlined (this is every monitored remote access):
+        # same bookkeeping, but no DirectoryReply object and no invalidation
+        # tuple — the presence mask is walked directly in the rare case one
+        # is needed.
+        bit = 1 << node_idx
+        entry = self._dir_entries.get(block)
+        if entry is None:
+            entry = [0, -1]
+            self._dir_entries[block] = entry
+        presence = entry[0]
+        owner = entry[1]
+        if owner == node_idx:
+            raise ProtocolError(
+                f"cluster {node_idx} re-requested block {block:#x} it owns dirty"
+            )
+        is_capacity = presence & bit
+        if is_write:
+            others = presence & ~bit
+            entry[0] = bit
+            entry[1] = node_idx
         else:
-            # the home cluster may hold a silently-dirtied (E->M) copy that
-            # its bus snoop would catch
-            self._snoop_home_dirty(home, block, is_write)
+            others = 0
+            entry[0] = presence | bit
+            # a read of a dirty block forces a sharing write-back (no O
+            # state at the directory): memory updates, ownership drops
+            entry[1] = -1
+        if owner < 0:
+            owner = None
 
-        for cl in reply.invalidate:
-            if cl != reply.owner_to_flush:
-                self._invalidate_cluster(cl, block, page)
-        c.remote_invalidations += sum(
-            1 for cl in reply.invalidate if cl != reply.owner_to_flush
-        )
+        if owner is not None:
+            self._flush_owner(owner, block, page, is_write)
+        else:
+            # The home cluster may hold the block E (granted when it was the
+            # sole sharer) or M (after a silent E->M write hit) that the
+            # directory cannot see.  A remote request rides the home node's
+            # bus, so those copies are downgraded (read) or invalidated
+            # (write) exactly as a real snooping bus would — without this, a
+            # stale E copy could silently become M while remote copies exist.
+            for i, tag in enumerate(self._node_tags[home]):
+                ln = tag.get(block)
+                if ln is not None and (ln.state == _M or ln.state == _E):
+                    if is_write:
+                        self._nodes[home].l1s[i].remove(block)
+                    else:
+                        ln.state = _S
+                    break  # E/M are exclusive; no other copy can exist
 
-        if reply.miss_class is MissClass.CAPACITY:
+        if others:
+            n_inval = 0
+            for cl in range(self._n_nodes):
+                if (others >> cl) & 1:
+                    n_inval += 1
+                    if cl != owner:
+                        self._invalidate_cluster(cl, block, page)
+            c.remote_invalidations += n_inval - (
+                owner is not None and (others >> owner) & 1
+            )
+
+        if is_capacity:
             c.remote_capacity += 1
         else:
             c.remote_necessary += 1
@@ -417,15 +606,15 @@ class Simulator:
         else:
             c.read_remote += 1
 
-        pc = node.pc
-        page_resident = pc is not None and page in pc
+        frames = self._pc_frames[node_idx]
+        page_resident = frames is not None and page in frames
 
         # R-NUMA relocation counters live at the directory and count
         # capacity misses to pages not yet relocated
         if (
-            self._dir_counters is not None
-            and reply.miss_class is MissClass.CAPACITY
-            and pc is not None
+            is_capacity
+            and self._dir_counters is not None
+            and frames is not None
             and not page_resident
         ):
             assert node.threshold is not None
@@ -437,42 +626,25 @@ class Simulator:
                 page_resident = True
 
         if page_resident:
-            assert pc is not None
-            offset = block & self._bpp_mask
+            frame = frames[page]
             if is_write:
-                pc.frame(page).last_miss = self.now  # the page did miss
+                frame.last_miss = self.now  # the page did miss
             else:
-                pc.record_fill(page, offset, self.now)
+                # inlined PageCache.record_fill of a clean block
+                frame.states[block & self._bpp_mask] = _NC_CLEAN
+                frame.last_miss = self.now
                 c.pc_fills += 1
             fill = _M if is_write else _S  # relocated pages behave locally
         else:
             # allocate-on-miss NCs take a frame for the fetched block
-            ev = node.nc.on_fetch(block)
-            if ev is not None:
-                self._handle_nc_eviction(node, ev)
+            # (victim NCs never do — skip the no-op call on their hot path)
+            if not self._nc_exclusive and not self._nc_null:
+                ev = node.nc.on_fetch(block)
+                if ev is not None:
+                    self._handle_nc_eviction(node, ev)
             fill = _M if is_write else _R
 
         self._fill(pid, node, block, page, fill)
-
-    def _snoop_home_dirty(self, home: int, block: int, is_write: bool) -> None:
-        """Home-bus snoop for exclusive copies the directory cannot see.
-
-        The home cluster may hold the block E (granted when it was the sole
-        sharer) or M (after a silent E->M write hit).  A remote request
-        rides the home node's bus, so those copies are downgraded (read) or
-        invalidated (write) exactly as a real snooping bus would — without
-        this, a stale E copy could silently become M while remote copies
-        exist.
-        """
-        home_node = self._nodes[home]
-        for l1 in home_node.l1s:
-            ln = l1.peek(block)
-            if ln is not None and (ln.state == _M or ln.state == _E):
-                if is_write:
-                    l1.remove(block)
-                else:
-                    ln.state = _S
-                return  # E/M are exclusive; no other copy can exist
 
     # ------------------------------------------------------------------
     # fills and victim disposal
@@ -480,8 +652,21 @@ class Simulator:
 
     def _fill(self, pid: int, node: Node, block: int, page: int, state: int) -> None:
         """Insert the fetched block into the requesting L1, then dispose of
-        the line it displaced."""
-        evicted = self._l1s[pid].insert(block, state)
+        the line it displaced.
+
+        This is :meth:`SetAssocCache.insert` inlined — every miss ends
+        here, and the call overhead is measurable at trace scale.
+        """
+        l1 = self._l1s[pid]
+        lines = l1._sets[block & l1._set_mask]
+        if len(lines) >= l1.assoc:
+            evicted = lines.pop(0)
+            del l1._tag[evicted.block]
+        else:
+            evicted = None
+        line = CacheLine(block, state)
+        lines.append(line)
+        l1._tag[block] = line
         if evicted is not None:
             self._handle_l1_victim(node, evicted)
 
@@ -492,7 +677,7 @@ class Simulator:
         block = line.block
         page = block >> self._bpp_bits
         node_idx = node.node_id
-        home = self._placement.home_of(page)
+        home = self._homes.get(page)
         c = self.counters
 
         if st == _M or st == _O:
@@ -500,11 +685,13 @@ class Simulator:
                 if self._directory.owner(block) == node_idx:
                     self._directory.writeback(block, node_idx)
                 return  # local memory write, free
-            pc = node.pc
-            if pc is not None and page in pc:
-                pc.absorb_dirty(page, block & self._bpp_mask)
-                c.writebacks_absorbed += 1
-                return
+            frames = self._pc_frames[node_idx]
+            if frames is not None:
+                frame = frames.get(page)
+                if frame is not None:
+                    frame.states[block & self._bpp_mask] = _NC_DIRTY
+                    c.writebacks_absorbed += 1
+                    return
             absorbed, ev = node.nc.accept_dirty_victim(block)
             if absorbed:
                 c.writebacks_absorbed += 1
@@ -518,18 +705,19 @@ class Simulator:
 
         if st == _R:
             # replacement transaction for the last clean copy in the node
-            for l1 in node.l1s:
-                ln = l1.peek(block)
+            for tag in self._node_tags[node_idx]:
+                ln = tag.get(block)
                 if ln is not None and ln.state == _S:
                     ln.state = _R  # a peer inherits mastership
                     return
-            pc = node.pc
-            if pc is not None and page in pc:
-                frame = pc.frame(page)
-                offset = block & self._bpp_mask
-                if frame.states[offset] == _PC_INVALID:
-                    frame.states[offset] = _NC_CLEAN  # deposit, LRM untouched
-                return
+            frames = self._pc_frames[node_idx]
+            if frames is not None:
+                frame = frames.get(page)
+                if frame is not None:
+                    offset = block & self._bpp_mask
+                    if frame.states[offset] == _PC_INVALID:
+                        frame.states[offset] = _NC_CLEAN  # deposit, LRM untouched
+                    return
             accepted, ev = node.nc.accept_clean_victim(block)
             if accepted:
                 self._record_nc_victimization(node, block)
@@ -564,17 +752,17 @@ class Simulator:
 
         page = block >> self._bpp_bits
         node_idx = node.node_id
-        pc = node.pc
+        frames = self._pc_frames[node_idx]
+        frame = frames.get(page) if frames is not None else None
         if dirty:
-            if pc is not None and page in pc:
-                pc.absorb_dirty(page, block & self._bpp_mask)
+            if frame is not None:
+                frame.states[block & self._bpp_mask] = _NC_DIRTY
                 c.writebacks_absorbed += 1
             else:
                 c.writebacks_remote += 1
                 self._directory.writeback(block, node_idx)
         else:
-            if pc is not None and page in pc:
-                frame = pc.frame(page)
+            if frame is not None:
                 offset = block & self._bpp_mask
                 if frame.states[offset] == _PC_INVALID:
                     frame.states[offset] = _NC_CLEAN

@@ -2,18 +2,28 @@
 
 Generating a trace is cheap, but experiments sweep many systems over the
 same trace; saving lets a bench generate once and reuse across processes.
+
+On top of explicit :func:`save_trace`/:func:`load_trace` there is a
+**content-addressed disk cache**: a :class:`~repro.trace.record.TraceSpec`
+hashes to a stable file name under :func:`trace_cache_dir`, so parallel
+sweep workers and repeated figure runs load each trace once instead of
+regenerating it per process.  Set ``REPRO_TRACE_CACHE`` to move the cache
+(e.g. to a tmpfs in CI) and :func:`clear_disk_trace_cache` to empty it.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
 from ..errors import TraceError
-from .record import Trace
+from .record import Trace, TraceSpec
 
 _FORMAT_VERSION = 1
 
@@ -69,3 +79,103 @@ def load_trace(path: Union[str, Path]) -> Trace:
         placement,
         meta.get("meta"),
     )
+
+
+# ---------------------------------------------------------------------------
+# content-addressed disk cache
+# ---------------------------------------------------------------------------
+
+#: environment variable overriding the cache directory
+CACHE_ENV = "REPRO_TRACE_CACHE"
+
+
+def trace_cache_dir() -> Path:
+    """Directory holding cached traces (not created until first store).
+
+    Resolution order: ``$REPRO_TRACE_CACHE``, ``$XDG_CACHE_HOME/repro/traces``,
+    ``~/.cache/repro/traces``.
+    """
+    env = os.environ.get(CACHE_ENV)
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "traces"
+
+
+def trace_cache_key(spec: TraceSpec) -> str:
+    """Stable content hash for one generation request.
+
+    Every field that influences the generated arrays participates, plus the
+    file format version so stale cache entries are never misread after a
+    format change.
+    """
+    canon = (
+        f"v{_FORMAT_VERSION}|{spec.benchmark.lower()}|refs={spec.refs}"
+        f"|seed={spec.seed}|procs={spec.n_procs}|scale={spec.scale!r}"
+    )
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:32]
+
+
+def trace_cache_path(spec: TraceSpec) -> Path:
+    return trace_cache_dir() / f"{spec.benchmark.lower()}-{trace_cache_key(spec)}.npz"
+
+
+def load_cached_trace(spec: TraceSpec) -> Optional[Trace]:
+    """The cached trace for ``spec``, or None on miss/corruption.
+
+    A corrupt or version-skewed entry is deleted rather than raised: the
+    caller can always regenerate, so the cache must never brick a sweep.
+    """
+    path = trace_cache_path(spec)
+    if not path.exists():
+        return None
+    try:
+        return load_trace(path)
+    except (TraceError, OSError, ValueError):
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        return None
+
+
+def store_cached_trace(spec: TraceSpec, trace: Trace) -> Path:
+    """Persist ``trace`` under its content key; returns the cache path.
+
+    The write is atomic (temp file + ``os.replace``), so concurrent workers
+    racing to store the same trace cannot leave a torn file behind.
+    """
+    path = trace_cache_path(spec)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # the suffix must stay ".npz" — np.savez would otherwise append one and
+    # the temp name handed to os.replace would no longer exist
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.stem + ".", suffix=".tmp.npz", dir=path.parent
+    )
+    try:
+        os.close(fd)
+        save_trace(trace, tmp_name)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def clear_disk_trace_cache() -> int:
+    """Delete every cached trace; returns how many files were removed."""
+    root = trace_cache_dir()
+    if not root.is_dir():
+        return 0
+    removed = 0
+    for entry in root.glob("*.npz"):
+        try:
+            entry.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed
