@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Check that every relative link in the repo's markdown files resolves.
+
+Scans all tracked ``*.md`` files for inline links/images
+(``[text](target)``) and verifies that relative targets exist on disk.
+External links (``http(s)://``, ``mailto:``) and pure in-page anchors
+(``#section``) are not checked — no network, no false negatives.  Used
+by the CI docs job; run locally with::
+
+    python scripts/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: inline markdown link or image: [text](target) — target has no spaces
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_SKIP_SCHEMES = ("http://", "https://", "mailto:")
+#: directories that never hold docs
+_PRUNE = {".git", "__pycache__", ".pytest_cache", "node_modules", ".eggs"}
+
+
+def markdown_files() -> list:
+    return [
+        p
+        for p in sorted(REPO.rglob("*.md"))
+        if not (_PRUNE & set(p.relative_to(REPO).parts))
+    ]
+
+
+def check_file(path: Path) -> list:
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    in_fence = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            # strip an in-page anchor off a file target
+            file_part = target.split("#", 1)[0]
+            if not file_part:
+                continue
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(REPO)}:{lineno}: broken link -> {target}"
+                )
+    return problems
+
+
+def main() -> int:
+    files = markdown_files()
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: {len(problems)} broken link(s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,7 +40,16 @@ from .params import (
     ThresholdPolicy,
 )
 from .stats import Counters, MissClass, Outcome
-from .sim.parallel import default_jobs, run_parallel_sweep, throughput_report
+from .obs.events import EventTracer, TraceEvent
+from .obs.manifest import build_manifest, manifest_core, write_manifest
+from .obs.metrics import MetricsRegistry, aggregate_metrics
+from .sim.parallel import (
+    default_jobs,
+    run_parallel_sweep,
+    sweep_metrics,
+    throughput_report,
+    timed_sweep,
+)
 from .sim.results import SimulationResult
 from .sim.runner import (
     DEFAULT_REFS,
@@ -97,8 +106,18 @@ __all__ = [
     "run_parallel_sweep",
     "default_jobs",
     "throughput_report",
+    "timed_sweep",
     "DEFAULT_REFS",
     "DEFAULT_SCALE",
+    # observability
+    "EventTracer",
+    "TraceEvent",
+    "MetricsRegistry",
+    "aggregate_metrics",
+    "sweep_metrics",
+    "build_manifest",
+    "manifest_core",
+    "write_manifest",
     # traces
     "Trace",
     "TraceSpec",

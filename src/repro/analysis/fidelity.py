@@ -1,0 +1,256 @@
+"""Paper-vs-repro fidelity comparison — the ``repro report`` engine.
+
+Compares freshly simulated figure data (``ExperimentResult.data``) against
+the pinned reference run in :mod:`repro.analysis.baseline_data` and
+renders per-figure comparison tables with percent deviation.
+
+The reference values are this repository's recorded 400k-reference run of
+every figure (``results/experiments_output.txt``), standing in for the
+paper's figures: the paper's absolute numbers are not reachable from
+bounded synthetic traces, so fidelity is measured as drift against the
+pinned run — zero when re-run at baseline fidelity (same refs/seed), and
+an expected, quantified deviation at smaller trace lengths.
+
+Two severities come out of a comparison:
+
+* **deviations** beyond the tolerance are *flagged* in the tables and the
+  summary (informative: expected for short traces);
+* **structural problems** — a figure that produced no data, baseline
+  cells with no measured value, non-finite values — fail
+  ``repro report --check`` (exit 1): they mean the drivers and the
+  baseline no longer agree on the experiment's shape, which is a
+  regression no matter the trace length.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .baseline_data import (
+    BASELINE,
+    BASELINE_COLUMNS,
+    BASELINE_METRIC,
+    BASELINE_REFS,
+    BASELINE_SEED,
+    BASELINE_TITLES,
+)
+from .report import format_comparison_grid
+
+#: the figures `repro report` covers, in paper order
+REPORT_FIGURES: Tuple[str, ...] = tuple(sorted(BASELINE))
+
+#: default flagging tolerance (percent deviation from the pinned baseline)
+DEFAULT_TOLERANCE_PCT = 5.0
+
+
+@dataclass
+class CellDeviation:
+    """One (column, benchmark) cell of one figure, baseline vs. measured."""
+
+    figure: str
+    column: str
+    benchmark: str
+    baseline: float
+    measured: float
+    #: percent deviation from baseline; None when the baseline is zero
+    deviation_pct: Optional[float]
+
+    @property
+    def abs_deviation_pct(self) -> float:
+        return abs(self.deviation_pct) if self.deviation_pct is not None else 0.0
+
+
+@dataclass
+class FigureComparison:
+    """The full baseline-vs-measured comparison for one figure."""
+
+    figure: str
+    title: str
+    metric: str
+    tolerance_pct: float
+    cells: List[CellDeviation] = field(default_factory=list)
+    #: baseline cells the measured data did not cover (structural problem)
+    missing: List[Tuple[str, str]] = field(default_factory=list)
+    #: measured cells with no baseline counterpart (structural problem)
+    unexpected: List[Tuple[str, str]] = field(default_factory=list)
+    #: measured values that are NaN/inf (structural problem)
+    non_finite: List[Tuple[str, str]] = field(default_factory=list)
+
+    # ---- aggregates ------------------------------------------------------
+
+    @property
+    def mean_abs_deviation_pct(self) -> float:
+        if not self.cells:
+            return 0.0
+        return sum(c.abs_deviation_pct for c in self.cells) / len(self.cells)
+
+    @property
+    def max_abs_deviation_pct(self) -> float:
+        return max((c.abs_deviation_pct for c in self.cells), default=0.0)
+
+    @property
+    def flagged(self) -> List[CellDeviation]:
+        """Cells whose deviation exceeds the tolerance."""
+        return [c for c in self.cells if c.abs_deviation_pct > self.tolerance_pct]
+
+    @property
+    def structural_problems(self) -> List[str]:
+        problems = []
+        if not self.cells:
+            problems.append(f"{self.figure}: no measured data")
+        for col, bench in self.missing:
+            problems.append(f"{self.figure}: no measured value for ({col}, {bench})")
+        for col, bench in self.unexpected:
+            problems.append(f"{self.figure}: measured cell ({col}, {bench}) has no baseline")
+        for col, bench in self.non_finite:
+            problems.append(f"{self.figure}: non-finite value at ({col}, {bench})")
+        return problems
+
+    @property
+    def ok(self) -> bool:
+        """Structurally sound (deviation flags are informative, not fatal)."""
+        return not self.structural_problems
+
+
+def compare_figure(
+    figure: str,
+    data: Mapping[Tuple[str, str], float],
+    tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+) -> FigureComparison:
+    """Compare one figure's measured ``data`` against its pinned baseline.
+
+    ``data`` is the ``(column, benchmark) -> value`` map an experiment
+    driver stores in ``ExperimentResult.data``.
+    """
+    if figure not in BASELINE:
+        raise KeyError(
+            f"no baseline for {figure!r}; known figures: {', '.join(REPORT_FIGURES)}"
+        )
+    baseline = BASELINE[figure]
+    comp = FigureComparison(
+        figure=figure,
+        title=BASELINE_TITLES[figure],
+        metric=BASELINE_METRIC[figure],
+        tolerance_pct=tolerance_pct,
+    )
+    for key, base_val in baseline.items():
+        if key not in data:
+            comp.missing.append(key)
+            continue
+        measured = float(data[key])
+        if not math.isfinite(measured):
+            comp.non_finite.append(key)
+            continue
+        if base_val != 0.0:
+            dev: Optional[float] = (measured - base_val) / abs(base_val) * 100.0
+        else:
+            dev = None if measured == 0.0 else float("inf")
+        comp.cells.append(
+            CellDeviation(
+                figure=figure,
+                column=key[0],
+                benchmark=key[1],
+                baseline=base_val,
+                measured=measured,
+                deviation_pct=dev,
+            )
+        )
+    comp.unexpected = sorted(set(data) - set(baseline))
+    return comp
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def _cell_text(cell: Optional[CellDeviation]) -> Optional[str]:
+    if cell is None:
+        return None
+    if cell.deviation_pct is None:
+        return f"{cell.measured:.2f} (n/a)"
+    return f"{cell.measured:.2f} ({cell.deviation_pct:+.1f}%)"
+
+
+def render_figure_comparison(comp: FigureComparison) -> str:
+    """One figure's comparison table: measured value + percent deviation."""
+    by_key = {(c.column, c.benchmark): c for c in comp.cells}
+    columns = list(BASELINE_COLUMNS[comp.figure])
+    benches = sorted({bench for _, bench in BASELINE[comp.figure]})
+    table = format_comparison_grid(
+        f"{comp.figure}: {comp.title}\n"
+        f"measured {comp.metric} vs. pinned {BASELINE_REFS:,}-ref baseline "
+        f"(deviation %)",
+        benches,
+        columns,
+        lambda b, c: _cell_text(by_key.get((c, b))),
+    )
+    lines = [table]
+    flagged = comp.flagged
+    summary = (
+        f"{len(comp.cells)} cells, mean |dev| "
+        f"{comp.mean_abs_deviation_pct:.1f}%, max |dev| "
+        f"{comp.max_abs_deviation_pct:.1f}%, "
+        f"{len(flagged)} beyond ±{comp.tolerance_pct:g}%"
+    )
+    lines.append(summary)
+    for problem in comp.structural_problems:
+        lines.append(f"STRUCTURAL: {problem}")
+    return "\n".join(lines)
+
+
+def render_report(
+    comparisons: Sequence[FigureComparison],
+    refs: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> str:
+    """The full fidelity report: header, summary table, per-figure tables."""
+    lines = ["paper-fidelity report", "=" * 21]
+    if refs is not None:
+        lines.append(
+            f"measured at {refs:,} refs (seed {seed}), baseline pinned at "
+            f"{BASELINE_REFS:,} refs (seed {BASELINE_SEED})"
+        )
+        if refs != BASELINE_REFS:
+            lines.append(
+                "note: trace length differs from the baseline run; deviation "
+                "reflects trace truncation as well as any code drift"
+            )
+    lines.append("")
+    header = (
+        f"{'figure':<8} {'cells':>6} {'mean|dev|':>10} {'max|dev|':>10} "
+        f"{'flagged':>8} {'status':>8}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for comp in comparisons:
+        status = "ok" if comp.ok else "BROKEN"
+        lines.append(
+            f"{comp.figure:<8} {len(comp.cells):>6} "
+            f"{comp.mean_abs_deviation_pct:>9.1f}% {comp.max_abs_deviation_pct:>9.1f}% "
+            f"{len(comp.flagged):>8} {status:>8}"
+        )
+    for comp in comparisons:
+        lines.append("")
+        lines.append(render_figure_comparison(comp))
+    return "\n".join(lines)
+
+
+def report_summary_dict(
+    comparisons: Sequence[FigureComparison],
+) -> Dict[str, Dict[str, object]]:
+    """Machine-readable per-figure summary (embedded in the run manifest)."""
+    return {
+        comp.figure: {
+            "metric": comp.metric,
+            "cells": len(comp.cells),
+            "mean_abs_deviation_pct": comp.mean_abs_deviation_pct,
+            "max_abs_deviation_pct": comp.max_abs_deviation_pct,
+            "flagged": len(comp.flagged),
+            "tolerance_pct": comp.tolerance_pct,
+            "structural_problems": comp.structural_problems,
+        }
+        for comp in comparisons
+    }

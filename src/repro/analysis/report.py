@@ -32,6 +32,32 @@ def format_grid(
     return "\n".join(lines)
 
 
+def format_comparison_grid(
+    title: str,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    cell: Callable[[str, str], Optional[str]],
+    col_width: int = 17,
+) -> str:
+    """A grid of pre-formatted string cells (fidelity comparisons).
+
+    Like :func:`format_grid` but the cell callback returns display text
+    (e.g. ``"4.11 (+2.3%)"``) rather than a float; ``None`` renders ``-``.
+    The title may span several lines.
+    """
+    lines = list(title.splitlines())
+    header = f"{'':12s}" + "".join(f"{c:>{col_width}s}" for c in col_labels)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in row_labels:
+        cells = []
+        for c in col_labels:
+            txt = cell(r, c)
+            cells.append(("-" if txt is None else txt).rjust(col_width))
+        lines.append(f"{r:12s}" + "".join(cells))
+    return "\n".join(lines)
+
+
 def format_stacked_bars(
     title: str,
     row_labels: Sequence[str],

@@ -8,6 +8,10 @@ sweep
     Run a systems x benchmarks matrix and print a miss-ratio/stall grid.
 experiment
     Regenerate one paper table/figure (or ``all``) and print it.
+report
+    Re-run figure experiments and compare them against the pinned
+    baseline run, printing per-figure paper-fidelity tables with percent
+    deviation (``--check`` fails on structural mismatches).
 trace
     Generate, save, load, and characterise benchmark traces.
 perf
@@ -22,6 +26,8 @@ Examples
     python -m repro simulate vbp5 radix --refs 200000
     python -m repro sweep base,vb,ncd barnes,radix --metric stall --jobs 4
     python -m repro experiment fig09 --refs 400000 --jobs 4
+    python -m repro report --figures fig03,fig09 --refs 40000
+    python -m repro report --check --refs 2000 --figures fig04
     python -m repro perf --refs 40000 --out throughput.txt
     python -m repro trace radix --refs 100000 --out radix.npz --stats
     python -m repro list
@@ -146,6 +152,84 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    import os
+    import time
+
+    from .analysis.fidelity import (
+        REPORT_FIGURES,
+        compare_figure,
+        render_report,
+        report_summary_dict,
+    )
+    from .experiments.common import default_refs
+    from .obs.manifest import build_manifest, manifest_dir_from_env, write_manifest
+
+    if args.figures == "all":
+        figures = list(REPORT_FIGURES)
+    else:
+        figures = [f.strip() for f in args.figures.split(",") if f.strip()]
+    unknown = [f for f in figures if f not in REPORT_FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(REPORT_FIGURES)}", file=sys.stderr)
+        return 2
+
+    if args.jobs is not None:
+        # figure drivers read REPRO_JOBS through common.default_jobs()
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+    refs = args.refs if args.refs is not None else default_refs()
+
+    comparisons = []
+    merged_results = {}
+    start = time.perf_counter()
+    for fig in figures:
+        exp = ALL_EXPERIMENTS[fig](refs=refs, seed=args.seed)
+        comparisons.append(compare_figure(fig, exp.data, tolerance_pct=args.tolerance))
+        for (system, bench), r in exp.results.items():
+            merged_results[(f"{fig}/{system}", bench)] = r
+    wall = time.perf_counter() - start
+
+    text = render_report(comparisons, refs=refs, seed=args.seed)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"report written to {args.out}")
+
+    # the manifest backing the report: next to --out, else --manifest-dir,
+    # else $REPRO_MANIFEST_DIR
+    manifest_dest = args.manifest_dir or manifest_dir_from_env()
+    if args.out:
+        manifest_dest = os.path.dirname(os.path.abspath(args.out))
+    if manifest_dest:
+        manifest = build_manifest(
+            merged_results,
+            kind="report",
+            command="repro report --figures " + ",".join(figures),
+            refs=refs,
+            seed=args.seed,
+            jobs=args.jobs,
+            wall_s=wall,
+            extra={
+                "fidelity": report_summary_dict(comparisons),
+                "tolerance_pct": args.tolerance,
+            },
+        )
+        path = write_manifest(manifest, manifest_dest, name="report")
+        print(f"manifest written to {path}")
+
+    if args.check:
+        problems = [p for comp in comparisons for p in comp.structural_problems]
+        for problem in problems:
+            print(f"CHECK FAILED: {problem}", file=sys.stderr)
+        if problems:
+            return 1
+        print(f"check ok: {sum(len(c.cells) for c in comparisons)} cells "
+              f"across {len(comparisons)} figures match the baseline's shape")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     trace = get_trace(args.benchmark, refs=args.refs, seed=args.seed,
                       scale=args.scale)
@@ -225,6 +309,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the figure's sweeps "
                         "(default: REPRO_JOBS or serial)")
     p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser(
+        "report",
+        help="compare fresh figure runs against the pinned baseline",
+    )
+    p.add_argument("--figures", default="all",
+                   help="comma-separated fig03..fig11 (default: all)")
+    p.add_argument("--refs", type=int, default=None,
+                   help="references per trace (default: REPRO_BENCH_REFS "
+                        "or 400000; the pinned baseline is a 400000-ref run)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker processes for the figure sweeps "
+                        "(default: REPRO_JOBS or serial)")
+    p.add_argument("--tolerance", type=float, default=5.0,
+                   help="flag cells deviating more than this %% from the "
+                        "baseline (default %(default)s)")
+    p.add_argument("--out", default=None,
+                   help="write the report here (manifest lands next to it)")
+    p.add_argument("--manifest-dir", default=None,
+                   help="write the run manifest here (default: next to "
+                        "--out, else $REPRO_MANIFEST_DIR)")
+    p.add_argument("--check", action="store_true",
+                   help="exit non-zero on structural problems (missing "
+                        "cells, non-finite values); deviations never fail")
+    p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser(
         "perf", help="measure engine throughput and print a report"

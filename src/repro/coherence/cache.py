@@ -148,3 +148,16 @@ class SetAssocCache:
     def occupancy(self) -> float:
         """Fraction of frames in use."""
         return len(self) / (self.n_sets * self.assoc)
+
+    # ---- observability snapshots (repro.obs.metrics) --------------------
+
+    def state_counts(self) -> Dict[int, int]:
+        """Resident lines per state value (a point-in-time snapshot)."""
+        counts: Dict[int, int] = {}
+        for line in self._tag.values():
+            counts[line.state] = counts.get(line.state, 0) + 1
+        return counts
+
+    def set_occupancies(self) -> List[int]:
+        """Lines resident in each set, in set order."""
+        return [len(lines) for lines in self._sets]

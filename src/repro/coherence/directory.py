@@ -74,12 +74,17 @@ class Directory:
     ``owner`` cluster id (``-1`` when memory is clean/up-to-date).
     """
 
-    __slots__ = ("n_nodes", "_entries")
+    __slots__ = ("n_nodes", "_entries", "_tracer", "now")
 
     def __init__(self, n_nodes: int) -> None:
         self.n_nodes = n_nodes
         # block -> [presence_mask, owner]
         self._entries: Dict[int, List[int]] = {}
+        # observability: an EventTracer attached by the simulator, plus the
+        # simulator's reference clock (synced only while tracing is on, so
+        # the untraced hot path never pays for it)
+        self._tracer = None
+        self.now = 0
 
     # ---- protocol operations -------------------------------------------
 
@@ -125,6 +130,16 @@ class Directory:
             # updated, ownership is dropped (no O state in MESIR).
             entry[1] = -1
 
+        tr = self._tracer
+        if tr is not None:
+            tr.emit(
+                "dir_access",
+                self.now,
+                node=cluster,
+                block=block,
+                detail=miss_class.value,
+            )
+
         if owner_to_flush is None and not invalidate:
             # nothing for the requester to do — the overwhelmingly common
             # case; reuse immutable replies instead of allocating one per miss
@@ -156,6 +171,9 @@ class Directory:
             invalidate = ()
         entry[0] = bit
         entry[1] = cluster
+        tr = self._tracer
+        if tr is not None:
+            tr.emit("dir_upgrade", self.now, node=cluster, block=block)
         return invalidate
 
     def writeback(self, block: int, cluster: int) -> None:
@@ -172,6 +190,9 @@ class Directory:
                 f"but directory owner is {owner}"
             )
         entry[1] = -1
+        tr = self._tracer
+        if tr is not None:
+            tr.emit("dir_writeback", self.now, node=cluster, block=block)
 
     # ---- inspection ------------------------------------------------------
 

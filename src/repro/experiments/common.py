@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 
 from ..sim.results import SimulationResult
-from ..sim.runner import DEFAULT_REFS, sweep
+from ..sim.runner import DEFAULT_REFS, DEFAULT_SCALE, sweep
 
 #: Table 3 order, used for every figure's rows
 BENCHES = (
@@ -136,11 +136,31 @@ def run_matrix_timed(
     aggregate refs/sec, and one ``cell_s:system/bench`` entry per cell —
     the payload experiment drivers attach to their ExperimentResult.
     """
+    systems = list(systems)
+    benches = list(benches)
     n = refs if refs is not None else default_refs()
     j = jobs if jobs is not None else default_jobs()
     start = time.perf_counter()
     results = sweep(systems, benches, refs=n, seed=seed, jobs=j, **overrides)
     wall = time.perf_counter() - start
+
+    # Drop a run manifest when a destination is configured (no-op, and no
+    # import cost, in the common interactive case).
+    if os.environ.get("REPRO_MANIFEST_DIR"):
+        from ..obs.manifest import config_digest, maybe_write_sweep_manifest
+
+        matrix_id = config_digest((tuple(systems), tuple(benches), n, seed,
+                                   tuple(sorted(overrides.items(), key=repr))))
+        maybe_write_sweep_manifest(
+            results,
+            command="run_matrix:" + ",".join(systems),
+            refs=n,
+            seed=seed,
+            scale=DEFAULT_SCALE,
+            jobs=j,
+            wall_s=wall,
+            name=f"matrix-{matrix_id}",
+        )
     return results, matrix_timing(results, wall, j)
 
 

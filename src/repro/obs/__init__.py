@@ -1,0 +1,61 @@
+"""repro.obs — the observability layer.
+
+Three cooperating pieces, all optional and all zero-cost when unused:
+
+* :mod:`repro.obs.events` — structured event tracing.  An
+  :class:`~repro.obs.events.EventTracer` attached to a
+  :class:`~repro.sim.simulator.Simulator` records every protocol-level
+  event (NC insert/evict/hit/pollution, page relocations, directory
+  transactions, invalidations, owner flushes, bus cache-to-cache
+  supplies) into a bounded in-memory ring buffer and, optionally, a
+  JSONL sink.  With no tracer attached the simulator's hot path is
+  untouched: the only cost is an ``is None`` check on the miss path,
+  and the inlined L1 read-hit loop carries no check at all.
+
+* :mod:`repro.obs.metrics` — a deterministic metrics registry.  Every
+  :class:`~repro.sim.results.SimulationResult` carries a snapshot of
+  named counters, gauges, and histograms; snapshots merge
+  deterministically, so a parallel sweep aggregates to bit-identical
+  totals as a serial one (pinned by ``tests/sim/test_obs.py``).
+
+* :mod:`repro.obs.manifest` — run manifests.  A sweep (or a ``repro
+  report`` run) can write a JSON manifest recording the exact inputs
+  (config digests, trace cache keys, seeds, git SHA) and outputs
+  (counter digests, metrics, timings) so every results artifact is
+  reproducible from its manifest alone.
+
+See ``docs/OBSERVABILITY.md`` for the event schema, the metrics
+catalog, and the manifest format.
+"""
+
+from .events import EVENT_KINDS, EventTracer, TraceEvent
+from .manifest import (
+    MANIFEST_ENV,
+    build_manifest,
+    manifest_core,
+    manifest_dir_from_env,
+    write_manifest,
+)
+from .metrics import (
+    Histogram,
+    MetricsRegistry,
+    aggregate_metrics,
+    merge_snapshots,
+    run_metrics,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "EventTracer",
+    "TraceEvent",
+    "Histogram",
+    "MetricsRegistry",
+    "aggregate_metrics",
+    "merge_snapshots",
+    "run_metrics",
+    "MANIFEST_ENV",
+    "build_manifest",
+    "manifest_core",
+    "manifest_dir_from_env",
+    "write_manifest",
+]

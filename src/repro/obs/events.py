@@ -1,0 +1,163 @@
+"""Structured event tracing for the protocol engine.
+
+The simulator and the directory emit one :class:`TraceEvent` per
+protocol-level action when (and only when) an :class:`EventTracer` is
+attached.  Events land in a bounded ring buffer — the newest
+``capacity`` events survive — and, when a ``jsonl_path`` is given, are
+also streamed to disk as one JSON object per line, so arbitrarily long
+runs can be traced without holding every event in memory.
+
+The emission sites all live on the *miss* path (an L1 read hit emits
+nothing), so the tracing-off overhead is a single ``is None`` check per
+miss and exactly zero per inlined read hit — the guarantee
+``benchmarks/bench_core.py`` pins and ``docs/OBSERVABILITY.md``
+documents.
+
+Event schema (also the JSONL field order)::
+
+    {"seq": 17, "now": 1042, "kind": "nc_insert", "node": 3,
+     "block": 81930, "detail": "dirty"}
+
+``seq`` is the 0-based emission index (monotonic even after the ring
+buffer wraps), ``now`` the simulator's reference clock, ``node`` the
+cluster the event happened in (-1 when machine-wide), ``block`` the
+block number (-1 when the event is page- or set-grained; pages go in
+``detail``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import IO, Dict, Iterator, List, NamedTuple, Optional, Union
+
+
+class TraceEvent(NamedTuple):
+    """One traced protocol event."""
+
+    seq: int
+    now: int
+    kind: str
+    node: int
+    block: int
+    detail: str
+
+    def as_dict(self) -> Dict[str, Union[int, str]]:
+        return {
+            "seq": self.seq,
+            "now": self.now,
+            "kind": self.kind,
+            "node": self.node,
+            "block": self.block,
+            "detail": self.detail,
+        }
+
+
+#: every kind the simulator/directory can emit, with its meaning
+EVENT_KINDS = {
+    # bus / L1 level
+    "upgrade": "write hit on a shared copy raised an upgrade transaction",
+    "bus_c2c": "miss supplied cache-to-cache by a peer L1 on the cluster bus",
+    # network cache
+    "nc_hit": "miss serviced by the network cache (detail: read|write)",
+    "nc_insert": "victimised block captured by the NC (detail: clean|dirty)",
+    "nc_evict": "block replaced out of the NC (detail: clean|dirty)",
+    "nc_pollution": "polluting clean NC copy of an L1-resident block died",
+    # page cache
+    "pc_hit": "miss serviced by a relocated page's frame (detail: read|write)",
+    "pc_relocate": "page relocated into the page cache (detail: page number)",
+    "pc_evict": "LRM frame eviction flushed a page from the cluster "
+    "(detail: page number)",
+    # directory / network
+    "dir_access": "remote fetch reached the home directory "
+    "(detail: capacity|necessary)",
+    "dir_upgrade": "directory processed an ownership upgrade",
+    "dir_writeback": "dirty data written back to home memory",
+    "invalidate": "invalidation delivered to one cluster",
+    "owner_flush": "dirty owner forced to surrender its copy (detail: read|write)",
+    "writeback_remote": "dirty victim crossed the network to its home node",
+    "writeback_absorbed": "dirty victim absorbed locally (NC or PC frame)",
+}
+
+
+class EventTracer:
+    """Bounded in-memory event ring with an optional JSONL sink.
+
+    ``capacity`` bounds the ring buffer (oldest events fall off);
+    ``jsonl_path`` additionally streams every event to a file, one JSON
+    object per line, flushed on :meth:`close`.  The tracer is cheap but
+    not free — attach one only when the events are wanted.
+    """
+
+    __slots__ = ("_ring", "_seq", "kind_counts", "_sink", "_own_sink")
+
+    def __init__(
+        self,
+        capacity: int = 65536,
+        jsonl_path: Optional[str] = None,
+    ) -> None:
+        self._ring: "deque[TraceEvent]" = deque(maxlen=capacity)
+        self._seq = 0
+        #: events emitted per kind since construction (never truncated)
+        self.kind_counts: Dict[str, int] = {}
+        self._sink: Optional[IO[str]] = None
+        self._own_sink = False
+        if jsonl_path is not None:
+            self._sink = open(jsonl_path, "w", encoding="utf-8")
+            self._own_sink = True
+
+    # ---- emission (called by the simulator/directory) -------------------
+
+    def emit(
+        self, kind: str, now: int, node: int = -1, block: int = -1, detail: str = ""
+    ) -> None:
+        event = TraceEvent(self._seq, now, kind, node, block, detail)
+        self._seq += 1
+        self._ring.append(event)
+        counts = self.kind_counts
+        counts[kind] = counts.get(kind, 0) + 1
+        if self._sink is not None:
+            self._sink.write(json.dumps(event.as_dict()) + "\n")
+
+    # ---- inspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        """Events currently held in the ring (<= capacity)."""
+        return len(self._ring)
+
+    @property
+    def total_emitted(self) -> int:
+        """Events emitted since construction (not bounded by the ring)."""
+        return self._seq
+
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._ring)
+
+    def events_of(self, kind: str) -> Iterator[TraceEvent]:
+        return (e for e in self._ring if e.kind == kind)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.kind_counts.clear()
+
+    # ---- sinks ----------------------------------------------------------
+
+    def to_jsonl(self, path: str) -> int:
+        """Dump the retained ring to ``path``; returns events written."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for event in self._ring:
+                fh.write(json.dumps(event.as_dict()) + "\n")
+        return len(self._ring)
+
+    def close(self) -> None:
+        """Flush and close the streaming JSONL sink, if any."""
+        if self._sink is not None and self._own_sink:
+            self._sink.close()
+            self._sink = None
+
+    def __enter__(self) -> "EventTracer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

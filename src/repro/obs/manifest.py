@@ -1,0 +1,229 @@
+"""Run manifests: every sweep's inputs and outputs as one JSON artifact.
+
+A manifest records everything needed to reproduce (and to trust) a
+results artifact:
+
+* the exact **inputs** — refs/seed/scale/jobs, a content digest of every
+  :class:`~repro.params.SystemConfig` swept, and the content-addressed
+  trace-cache key of every trace simulated (the same key
+  :mod:`repro.trace.io` files traces under);
+* the **environment** — package version and git SHA (best effort);
+* the **outputs** — per-cell counter digests, metrics snapshots, and the
+  sweep-level metric aggregate;
+* the **timing** — wall clock and per-cell engine seconds, kept in
+  volatile fields so that :func:`manifest_core` can strip them: two runs
+  of the same sweep produce bit-identical core manifests, serial or
+  parallel (pinned by ``tests/sim/test_obs.py``).
+
+Set ``REPRO_MANIFEST_DIR`` (or pass ``--manifest-dir`` to the CLI) to
+have every sweep drop its manifest there; ``repro report`` always writes
+one next to its report.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from ..trace.io import trace_cache_key
+from ..trace.record import TraceSpec
+from .metrics import aggregate_metrics
+
+MANIFEST_VERSION = 1
+
+#: environment variable: directory where sweeps write their manifests
+MANIFEST_ENV = "REPRO_MANIFEST_DIR"
+
+#: manifest fields that legitimately differ between identical runs
+VOLATILE_KEYS = ("created_unix", "timing", "git_sha", "version")
+VOLATILE_CELL_KEYS = ("elapsed_s", "refs_per_sec")
+
+
+def manifest_dir_from_env() -> Optional[Path]:
+    raw = os.environ.get(MANIFEST_ENV)
+    return Path(raw) if raw else None
+
+
+def git_sha() -> str:
+    """The repository HEAD, best effort (``unknown`` outside a checkout)."""
+    env = os.environ.get("REPRO_GIT_SHA")
+    if env:
+        return env
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return "unknown"
+
+
+def config_digest(config) -> str:
+    """Stable content hash of one system configuration.
+
+    ``SystemConfig`` is a frozen tree of dataclasses and enums whose
+    ``repr`` is deterministic, which makes it a faithful canonical form.
+    """
+    return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()[:16]
+
+
+def counters_digest(counters) -> str:
+    canon = json.dumps(counters.as_dict(), sort_keys=True)
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+
+def build_manifest(
+    results: Mapping[Tuple[str, str], object],
+    *,
+    kind: str = "sweep",
+    command: str = "",
+    refs: Optional[int] = None,
+    seed: Optional[int] = None,
+    scale: Optional[float] = None,
+    jobs: Optional[int] = None,
+    wall_s: Optional[float] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble the manifest for one finished sweep.
+
+    ``results`` is the usual ``(system, benchmark) -> SimulationResult``
+    map; cells are recorded in iteration order (the deterministic plan
+    order of both the serial and the parallel path).
+    """
+    from .. import __version__
+
+    cells = []
+    for (system, bench), r in results.items():
+        spec = TraceSpec(
+            benchmark=bench,
+            refs=r.refs if refs is None else refs,
+            seed=r.seed if seed is None else seed,
+            scale=scale if scale is not None else 0.125,
+        )
+        cells.append(
+            {
+                "system": system,
+                "benchmark": bench,
+                "refs": r.refs,
+                "seed": r.seed,
+                "config_sha": config_digest(r.config),
+                "trace_key": trace_cache_key(spec),
+                "counters_sha": counters_digest(r.counters),
+                "metrics": getattr(r, "metrics", None),
+                "elapsed_s": r.elapsed_s,
+            }
+        )
+
+    manifest: Dict[str, object] = {
+        "manifest_version": MANIFEST_VERSION,
+        "kind": kind,
+        "command": command,
+        "version": __version__,
+        "git_sha": git_sha(),
+        "created_unix": time.time(),
+        "parameters": {
+            "refs": refs,
+            "seed": seed,
+            "scale": scale,
+            "jobs": jobs,
+        },
+        "cells": cells,
+        "aggregate_metrics": aggregate_metrics(
+            getattr(r, "metrics", None) for r in results.values()
+        ),
+        "timing": {
+            "wall_s": wall_s,
+            "engine_s": sum(r.elapsed_s for r in results.values()),
+        },
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def manifest_core(manifest: Mapping[str, object]) -> Dict[str, object]:
+    """The manifest minus every volatile field.
+
+    Two runs of the same sweep — serial or parallel, today or next week —
+    agree on the core exactly; tests compare the JSON serialisation.
+    """
+    core = {k: v for k, v in manifest.items() if k not in VOLATILE_KEYS}
+    core["cells"] = [
+        {k: v for k, v in cell.items() if k not in VOLATILE_CELL_KEYS}
+        for cell in manifest.get("cells", ())
+    ]
+    params = dict(core.get("parameters", {}))
+    params.pop("jobs", None)  # worker count must not change the artifact
+    core["parameters"] = params
+    return core
+
+
+def write_manifest(
+    manifest: Mapping[str, object],
+    directory: Union[str, Path],
+    name: str = "sweep",
+) -> Path:
+    """Atomically write ``<name>-manifest.json`` under ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}-manifest.json"
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.stem + ".", suffix=".tmp.json", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def maybe_write_sweep_manifest(
+    results: Mapping[Tuple[str, str], object],
+    *,
+    command: str,
+    refs: int,
+    seed: int,
+    scale: float,
+    jobs: int,
+    wall_s: float,
+    directory: Optional[Union[str, Path]] = None,
+    name: str = "sweep",
+) -> Optional[Path]:
+    """Write a sweep manifest when a destination is configured.
+
+    ``directory`` wins; otherwise ``$REPRO_MANIFEST_DIR``; otherwise the
+    sweep leaves no artifact (the common interactive case).
+    """
+    dest = Path(directory) if directory is not None else manifest_dir_from_env()
+    if dest is None:
+        return None
+    manifest = build_manifest(
+        results,
+        kind="sweep",
+        command=command,
+        refs=refs,
+        seed=seed,
+        scale=scale,
+        jobs=jobs,
+        wall_s=wall_s,
+    )
+    return write_manifest(manifest, dest, name=name)

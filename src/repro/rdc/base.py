@@ -5,7 +5,7 @@ from __future__ import annotations
 import abc
 import enum
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..coherence.states import NCState
 
@@ -119,3 +119,13 @@ class NetworkCache(abc.ABC):
     def set_index_of(self, block: int) -> Optional[int]:
         """The NC set a block maps to, if the NC is set-indexed (else None)."""
         return None
+
+    # ---- observability snapshots (repro.obs.metrics) -----------------------
+
+    def stats(self) -> Dict[str, float]:
+        """Point-in-time state summary; finite NCs add capacity/occupancy."""
+        return {"resident": float(sum(1 for _ in self.resident_blocks()))}
+
+    def set_occupancies(self) -> List[int]:
+        """Per-set line counts for set-indexed NCs; empty otherwise."""
+        return []

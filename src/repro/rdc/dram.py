@@ -13,7 +13,7 @@ lineage, Sec. 5.1):
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..coherence.cache import SetAssocCache
 from ..coherence.states import NCState
@@ -91,3 +91,18 @@ class FullInclusionDramNC(NetworkCache):
 
     def __len__(self) -> int:
         return len(self._cache)
+
+    # ---- observability snapshots ---------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        cache = self._cache
+        dirty = cache.state_counts().get(int(NCState.DIRTY), 0)
+        return {
+            "resident": float(len(cache)),
+            "dirty": float(dirty),
+            "capacity": float(cache.n_sets * cache.assoc),
+            "occupancy": cache.occupancy(),
+        }
+
+    def set_occupancies(self) -> List[int]:
+        return self._cache.set_occupancies()

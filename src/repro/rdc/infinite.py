@@ -73,3 +73,9 @@ class InfiniteNC(NetworkCache):
 
     def __len__(self) -> int:
         return len(self._lines)
+
+    # ---- observability snapshots ---------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        dirty = sum(1 for s in self._lines.values() if s == NCState.DIRTY)
+        return {"resident": float(len(self._lines)), "dirty": float(dirty)}

@@ -168,3 +168,16 @@ class PageCache:
         total = len(self._frames) * self.blocks_per_page
         valid = sum(f.valid_blocks() for f in self._frames.values())
         return 1.0 - valid / total
+
+    def stats(self) -> Dict[str, float]:
+        """Point-in-time summary for the observability layer."""
+        valid = sum(f.valid_blocks() for f in self._frames.values())
+        dirty = sum(len(f.dirty_offsets()) for f in self._frames.values())
+        return {
+            "frames_used": float(len(self._frames)),
+            "capacity": float(self.capacity),
+            "occupancy": len(self._frames) / self.capacity,
+            "valid_blocks": float(valid),
+            "dirty_blocks": float(dirty),
+            "fragmentation": self.fragmentation(),
+        }

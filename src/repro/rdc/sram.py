@@ -19,7 +19,7 @@ as its main point of comparison for the victim cache:
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..coherence.cache import SetAssocCache
 from ..coherence.states import NCState
@@ -101,3 +101,18 @@ class DirtyInclusionNC(NetworkCache):
 
     def __len__(self) -> int:
         return len(self._cache)
+
+    # ---- observability snapshots ---------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        cache = self._cache
+        dirty = cache.state_counts().get(int(NCState.DIRTY), 0)
+        return {
+            "resident": float(len(cache)),
+            "dirty": float(dirty),
+            "capacity": float(cache.n_sets * cache.assoc),
+            "occupancy": cache.occupancy(),
+        }
+
+    def set_occupancies(self) -> List[int]:
+        return self._cache.set_occupancies()

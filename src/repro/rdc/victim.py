@@ -17,7 +17,7 @@ Key properties:
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..coherence.cache import SetAssocCache
 from ..coherence.states import NCState
@@ -119,3 +119,18 @@ class VictimNC(NetworkCache):
     def set_blocks(self, index: int) -> "list[int]":
         """Blocks currently resident in one set (for relocation decisions)."""
         return [line.block for line in self._cache.set_lines(index)]
+
+    # ---- observability snapshots ---------------------------------------------
+
+    def stats(self) -> Dict[str, float]:
+        cache = self._cache
+        dirty = cache.state_counts().get(int(NCState.DIRTY), 0)
+        return {
+            "resident": float(len(cache)),
+            "dirty": float(dirty),
+            "capacity": float(cache.n_sets * cache.assoc),
+            "occupancy": cache.occupancy(),
+        }
+
+    def set_occupancies(self) -> List[int]:
+        return self._cache.set_occupancies()

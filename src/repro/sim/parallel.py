@@ -205,6 +205,21 @@ def throughput_report(
     return "\n".join(lines)
 
 
+def sweep_metrics(
+    results: Mapping[Tuple[str, str], SimulationResult],
+) -> Dict[str, Dict[str, object]]:
+    """Deterministic sweep-level metrics aggregate.
+
+    Folds every result's :attr:`SimulationResult.metrics` snapshot in the
+    results' iteration order — the plan order both the serial and the
+    parallel path produce — so the aggregate of a parallel sweep is
+    bit-identical to the serial one (pinned by ``tests/sim/test_obs.py``).
+    """
+    from ..obs.metrics import aggregate_metrics
+
+    return aggregate_metrics(r.metrics for r in results.values())
+
+
 def timed_sweep(
     configs: Mapping[str, SystemConfig],
     benchmarks: Sequence[str],
@@ -212,10 +227,31 @@ def timed_sweep(
     seed: int = 1,
     scale: float = DEFAULT_SCALE,
     jobs: int = 1,
+    manifest_dir: Optional[str] = None,
+    manifest_name: str = "sweep",
+    command: str = "",
 ) -> Tuple[Dict[Tuple[str, str], SimulationResult], float]:
-    """Run a sweep (parallel or serial) and return ``(results, wall_s)``."""
+    """Run a sweep (parallel or serial) and return ``(results, wall_s)``.
+
+    A run manifest is written to ``manifest_dir`` when given, else to
+    ``$REPRO_MANIFEST_DIR`` when set, else not at all.
+    """
     start = time.perf_counter()
     results = run_parallel_sweep(
         configs, benchmarks, refs=refs, seed=seed, scale=scale, jobs=jobs
     )
-    return results, time.perf_counter() - start
+    wall_s = time.perf_counter() - start
+    from ..obs.manifest import maybe_write_sweep_manifest
+
+    maybe_write_sweep_manifest(
+        results,
+        command=command or "timed_sweep",
+        refs=refs,
+        seed=seed,
+        scale=scale,
+        jobs=jobs,
+        wall_s=wall_s,
+        directory=manifest_dir,
+        name=manifest_name,
+    )
+    return results, wall_s

@@ -21,6 +21,10 @@ class SimulationResult:
     refs: int
     seed: int = 0
     elapsed_s: float = 0.0
+    #: observability snapshot (repro.obs.metrics.run_metrics): plain nested
+    #: dicts of counters/gauges/histograms, deterministic per (config, trace)
+    #: and picklable, so parallel sweep workers return it unchanged
+    metrics: Optional[Dict[str, Dict[str, object]]] = field(default=None, repr=False)
 
     # ---- engine throughput ------------------------------------------------
 

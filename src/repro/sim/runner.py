@@ -18,6 +18,7 @@ from collections import OrderedDict
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from ..errors import ConfigurationError
+from ..obs.metrics import run_metrics
 from ..params import SystemConfig
 from ..system.builder import build_machine, system_config
 from ..trace.record import Trace, TraceSpec
@@ -81,10 +82,20 @@ def clear_trace_cache() -> None:
     _trace_cache.clear()
 
 
-def run_trace(config: SystemConfig, trace: Trace, system_name: str = "") -> SimulationResult:
-    """Run one prepared trace through one machine configuration."""
+def run_trace(
+    config: SystemConfig,
+    trace: Trace,
+    system_name: str = "",
+    tracer=None,
+) -> SimulationResult:
+    """Run one prepared trace through one machine configuration.
+
+    ``tracer`` — an optional :class:`repro.obs.events.EventTracer` —
+    enables structured event emission for this run (see ``repro.obs``).
+    Every result carries a deterministic metrics snapshot either way.
+    """
     machine = build_machine(config, dataset_bytes=trace.dataset_bytes)
-    sim = Simulator(machine)
+    sim = Simulator(machine, tracer=tracer)
     start = time.perf_counter()
     counters = sim.run(trace)
     elapsed = time.perf_counter() - start
@@ -97,6 +108,7 @@ def run_trace(config: SystemConfig, trace: Trace, system_name: str = "") -> Simu
         refs=len(trace),
         seed=int(trace.meta.get("seed", 0)),
         elapsed_s=elapsed,
+        metrics=run_metrics(counters, machine, tracer=tracer),
     )
 
 
@@ -107,6 +119,7 @@ def simulate(
     seed: int = 1,
     scale: float = DEFAULT_SCALE,
     config: Optional[SystemConfig] = None,
+    tracer=None,
     **config_overrides: object,
 ) -> SimulationResult:
     """Simulate one paper system on one benchmark.
@@ -117,11 +130,12 @@ def simulate(
     ``config`` supplies a fully-custom :class:`SystemConfig`; otherwise the
     named system is built with optional keyword overrides (``cache_assoc``,
     ``nc_size``, ``threshold_policy``, ``initial_threshold``, ...).
+    ``tracer`` attaches an :class:`repro.obs.events.EventTracer` to the run.
     """
     trace = get_trace(benchmark, refs=refs, seed=seed, scale=scale)
     if config is None:
         config = system_config(system, **config_overrides)  # type: ignore[arg-type]
-    return run_trace(config, trace, system_name=system)
+    return run_trace(config, trace, system_name=system, tracer=tracer)
 
 
 # ---------------------------------------------------------------------------

@@ -54,13 +54,23 @@ _PC_INVALID = int(PCBlockState.INVALID)
 
 
 class Simulator:
-    """Drives one machine through one trace, tallying monitored events."""
+    """Drives one machine through one trace, tallying monitored events.
 
-    def __init__(self, machine: Machine) -> None:
+    ``tracer`` — an optional :class:`repro.obs.events.EventTracer` — turns
+    on structured event emission.  Every emission site sits on the miss
+    path behind an ``is None`` guard; the inlined L1 read-hit loop in
+    :meth:`run` carries no tracing code at all, so simulation throughput
+    with tracing off is unchanged (pinned by ``benchmarks/bench_core.py``).
+    """
+
+    def __init__(self, machine: Machine, tracer=None) -> None:
         self.machine = machine
         self.config: SystemConfig = machine.config
         self.counters = Counters()
         self.now = 0  # reference index; the LRM clock
+        self._tracer = tracer
+        if tracer is not None:
+            machine.directory._tracer = tracer
 
         cfg = self.config
         self._block_bits = cfg.block_bits
@@ -225,6 +235,10 @@ class Simulator:
         page = block >> self._bpp_bits
         home = self._placement.home_of(page)
         assert home is not None  # the block is cached, so the page was touched
+        tr = self._tracer
+        if tr is not None:
+            self._directory.now = self.now
+            tr.emit("upgrade", self.now, node=node_idx, block=block)
 
         # drop every other copy inside the cluster
         my_l1 = self._l1s[pid]
@@ -234,7 +248,9 @@ class Simulator:
         nc = node.nc
         if home != node_idx:  # the NC holds remote blocks only
             if self._nc_exclusive:
-                nc.invalidate(block)  # a polluting clean copy, if any
+                st = nc.invalidate(block)  # a polluting clean copy, if any
+                if st is not None and tr is not None:
+                    tr.emit("nc_pollution", self.now, node=node_idx, block=block)
             elif nc.inclusion is not InclusionPolicy.NONE:
                 # inclusion NCs must regain a frame for the soon-dirty
                 # block; an existing dirty frame becomes stale-clean
@@ -268,6 +284,9 @@ class Simulator:
         node_idx = self._node_of[pid]
         node = self._node_by_pid[pid]
         page = block >> self._bpp_bits
+        tr = self._tracer
+        if tr is not None:
+            self._directory.now = self.now
         # inlined FirstTouchPlacement.touch (one dict probe on the miss path)
         homes = self._homes
         home = homes.get(page)
@@ -311,12 +330,22 @@ class Simulator:
                             node.pc.invalidate_block(page, block & self._bpp_mask)
                         self._fill(pid, node, block, page, _M)
                         c.write_nc_hits += 1
+                        if tr is not None:
+                            tr.emit(
+                                "nc_hit", self.now,
+                                node=node_idx, block=block, detail="write",
+                            )
                         return
                     self._fill(
                         pid, node, block, page,
                         _M if line.state == _NC_DIRTY else _R,
                     )
                     c.read_nc_hits += 1
+                    if tr is not None:
+                        tr.emit(
+                            "nc_hit", self.now,
+                            node=node_idx, block=block, detail="read",
+                        )
                     return
             elif not self._nc_null and self._try_nc(
                 pid, node, node_idx, block, page, is_write
@@ -347,6 +376,13 @@ class Simulator:
         holders,
     ) -> None:
         c = self.counters
+        tr = self._tracer
+        if tr is not None:
+            tr.emit(
+                "bus_c2c", self.now,
+                node=node.node_id, block=block,
+                detail="write" if is_write else "read",
+            )
 
         node_idx = node.node_id
         local = home == node_idx
@@ -356,7 +392,11 @@ class Simulator:
             nc = node.nc
             if not local:  # the NC holds remote blocks only
                 if self._nc_exclusive:
-                    nc.invalidate(block)
+                    st = nc.invalidate(block)
+                    if st is not None and tr is not None:
+                        tr.emit(
+                            "nc_pollution", self.now, node=node_idx, block=block
+                        )
                 elif nc.inclusion is not InclusionPolicy.NONE:
                     # stale-clean the frame, keep inclusion
                     nc.service_write(block)
@@ -409,6 +449,7 @@ class Simulator:
         cross the network to the home node.
         """
         c = self.counters
+        tr = self._tracer
         node_idx = node.node_id
         if home == node_idx:
             if self._directory.owner(block) == node_idx:
@@ -420,15 +461,34 @@ class Simulator:
             if frame is not None:
                 frame.states[block & self._bpp_mask] = _NC_DIRTY
                 c.writebacks_absorbed += 1
+                if tr is not None:
+                    tr.emit(
+                        "writeback_absorbed", self.now,
+                        node=node_idx, block=block, detail="pc",
+                    )
                 return
         absorbed, ev = node.nc.accept_dirty_victim(block)
         if absorbed:
             c.writebacks_absorbed += 1
+            if tr is not None:
+                tr.emit(
+                    "nc_insert", self.now,
+                    node=node_idx, block=block, detail="dirty",
+                )
+                tr.emit(
+                    "writeback_absorbed", self.now,
+                    node=node_idx, block=block, detail="nc",
+                )
             self._record_nc_victimization(node, block)
             if ev is not None:
                 self._handle_nc_eviction(node, ev)
             return
         c.writebacks_remote += 1
+        if tr is not None:
+            tr.emit(
+                "writeback_remote", self.now,
+                node=node_idx, block=block, detail="bus",
+            )
         self._directory.writeback(block, node_idx)
 
     # ---- 2: network cache ---------------------------------------------------
@@ -451,6 +511,10 @@ class Simulator:
                 node.pc.invalidate_block(page, block & self._bpp_mask)
             self._fill(pid, node, block, page, _M)
             c.write_nc_hits += 1
+            if self._tracer is not None:
+                self._tracer.emit(
+                    "nc_hit", self.now, node=node_idx, block=block, detail="write"
+                )
             return True
 
         st = nc.service_read(block)
@@ -463,6 +527,10 @@ class Simulator:
             fill = _S  # the NC keeps the frame (and the dirtiness, if any)
         self._fill(pid, node, block, page, fill)
         c.read_nc_hits += 1
+        if self._tracer is not None:
+            self._tracer.emit(
+                "nc_hit", self.now, node=node_idx, block=block, detail="read"
+            )
         return True
 
     # ---- 3: page cache ---------------------------------------------------------
@@ -498,6 +566,12 @@ class Simulator:
         else:
             self._fill(pid, node, block, page, _S)
             c.read_pc_hits += 1
+        if self._tracer is not None:
+            self._tracer.emit(
+                "pc_hit", self.now,
+                node=node_idx, block=block,
+                detail="write" if is_write else "read",
+            )
         return True
 
     # ---- 4a: local home memory ---------------------------------------------------
@@ -605,6 +679,15 @@ class Simulator:
             c.write_remote += 1
         else:
             c.read_remote += 1
+        tr = self._tracer
+        if tr is not None:
+            # Directory.access is inlined above, so the event is emitted
+            # here (the directory object never sees this transaction)
+            tr.emit(
+                "dir_access", self.now,
+                node=node_idx, block=block,
+                detail="capacity" if is_capacity else "necessary",
+            )
 
         frames = self._pc_frames[node_idx]
         page_resident = frames is not None and page in frames
@@ -679,6 +762,7 @@ class Simulator:
         node_idx = node.node_id
         home = self._homes.get(page)
         c = self.counters
+        tr = self._tracer
 
         if st == _M or st == _O:
             if home == node_idx:
@@ -691,15 +775,34 @@ class Simulator:
                 if frame is not None:
                     frame.states[block & self._bpp_mask] = _NC_DIRTY
                     c.writebacks_absorbed += 1
+                    if tr is not None:
+                        tr.emit(
+                            "writeback_absorbed", self.now,
+                            node=node_idx, block=block, detail="pc",
+                        )
                     return
             absorbed, ev = node.nc.accept_dirty_victim(block)
             if absorbed:
                 c.writebacks_absorbed += 1
+                if tr is not None:
+                    tr.emit(
+                        "nc_insert", self.now,
+                        node=node_idx, block=block, detail="dirty",
+                    )
+                    tr.emit(
+                        "writeback_absorbed", self.now,
+                        node=node_idx, block=block, detail="nc",
+                    )
                 self._record_nc_victimization(node, block)
                 if ev is not None:
                     self._handle_nc_eviction(node, ev)
                 return
             c.writebacks_remote += 1
+            if tr is not None:
+                tr.emit(
+                    "writeback_remote", self.now,
+                    node=node_idx, block=block, detail="l1",
+                )
             self._directory.writeback(block, node_idx)
             return
 
@@ -720,6 +823,11 @@ class Simulator:
                     return
             accepted, ev = node.nc.accept_clean_victim(block)
             if accepted:
+                if tr is not None:
+                    tr.emit(
+                        "nc_insert", self.now,
+                        node=node_idx, block=block, detail="clean",
+                    )
                 self._record_nc_victimization(node, block)
             if ev is not None:
                 self._handle_nc_eviction(node, ev)
@@ -752,14 +860,31 @@ class Simulator:
 
         page = block >> self._bpp_bits
         node_idx = node.node_id
+        tr = self._tracer
+        if tr is not None:
+            tr.emit(
+                "nc_evict", self.now,
+                node=node_idx, block=block,
+                detail="dirty" if dirty else "clean",
+            )
         frames = self._pc_frames[node_idx]
         frame = frames.get(page) if frames is not None else None
         if dirty:
             if frame is not None:
                 frame.states[block & self._bpp_mask] = _NC_DIRTY
                 c.writebacks_absorbed += 1
+                if tr is not None:
+                    tr.emit(
+                        "writeback_absorbed", self.now,
+                        node=node_idx, block=block, detail="pc",
+                    )
             else:
                 c.writebacks_remote += 1
+                if tr is not None:
+                    tr.emit(
+                        "writeback_remote", self.now,
+                        node=node_idx, block=block, detail="nc",
+                    )
                 self._directory.writeback(block, node_idx)
         else:
             if frame is not None:
@@ -773,6 +898,8 @@ class Simulator:
 
     def _invalidate_cluster(self, cl: int, block: int, page: int) -> None:
         """Deliver an invalidation for a (clean-copy) block to one cluster."""
+        if self._tracer is not None:
+            self._tracer.emit("invalidate", self.now, node=cl, block=block)
         node = self._nodes[cl]
         found = False
         for l1 in node.l1s:
@@ -819,6 +946,13 @@ class Simulator:
         the data forwarded with the reply (no extra transfer counted).
         """
         c = self.counters
+        tr = self._tracer
+        if tr is not None:
+            tr.emit(
+                "owner_flush", self.now,
+                node=cl, block=block,
+                detail="write" if for_write else "read",
+            )
         node = self._nodes[cl]
         offset = block & self._bpp_mask
         found = False
@@ -861,13 +995,19 @@ class Simulator:
                 node.pc.invalidate_block(page, offset)
         else:
             c.writebacks_remote += 1  # the sharing write-back crosses the network
+            if tr is not None:
+                tr.emit(
+                    "writeback_remote", self.now,
+                    node=cl, block=block, detail="sharing",
+                )
 
     # ------------------------------------------------------------------
     # page relocation
     # ------------------------------------------------------------------
 
     def _record_nc_victimization(self, node: Node, block: int) -> None:
-        """`vxp`: count a victim entering the NC; maybe trigger relocation."""
+        """A victim entered the NC; `vxp` may trigger a page relocation."""
+        self.counters.nc_insertions += 1
         counters = node.nc_counters
         if counters is None:
             return
@@ -888,12 +1028,20 @@ class Simulator:
     def _relocate_page(self, node: Node, page: int) -> None:
         """Relocate a remote page into the node's page cache (225 cycles)."""
         c = self.counters
+        tr = self._tracer
         pc = node.pc
         assert pc is not None
         c.pc_relocations += 1
+        if tr is not None:
+            tr.emit("pc_relocate", self.now, node=node.node_id, detail=str(page))
         evicted = pc.allocate(page, self.now)
         if evicted is not None:
             c.pc_evictions += 1
+            if tr is not None:
+                tr.emit(
+                    "pc_evict", self.now,
+                    node=node.node_id, detail=str(evicted.page),
+                )
             self._flush_page_from_cluster(node, evicted)
             assert node.threshold is not None
             if node.threshold.on_frame_reuse(evicted.hits):

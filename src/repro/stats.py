@@ -92,7 +92,7 @@ class Counters:
     writebacks_absorbed: int = 0
 
     # network cache internals
-    nc_insertions: int = 0  #: victims accepted / frames allocated in the NC
+    nc_insertions: int = 0  #: victims accepted by the NC (clean + dirty absorbs)
     nc_evictions: int = 0  #: blocks replaced out of the NC
     nc_inclusion_evictions: int = 0  #: L1 copies forced out to keep inclusion
 

@@ -1,0 +1,201 @@
+"""Tests for the paper-fidelity layer: pinned baseline data, deviation
+math, report rendering, and the ``repro report`` CLI."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import baseline_data, fidelity
+from repro.analysis.baseline_data import (
+    BASELINE,
+    BASELINE_COLUMNS,
+    BASELINE_METRIC,
+    BASELINE_TITLES,
+)
+from repro.analysis.fidelity import (
+    REPORT_FIGURES,
+    compare_figure,
+    render_figure_comparison,
+    render_report,
+    report_summary_dict,
+)
+from repro.analysis.report import format_comparison_grid
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+class TestBaselineData:
+    def test_all_nine_figures_present(self):
+        assert REPORT_FIGURES == tuple(f"fig{n:02d}" for n in range(3, 12))
+        for fig in REPORT_FIGURES:
+            assert fig in BASELINE_TITLES and fig in BASELINE_METRIC
+            assert fig in BASELINE_COLUMNS
+
+    def test_full_cell_count(self):
+        # 9 figures over 8 benchmarks: 6+2+2+2+12+4+5+5+3 = 41 columns
+        assert sum(len(v) for v in BASELINE.values()) == 400
+
+    def test_cells_match_declared_columns(self):
+        for fig, cells in BASELINE.items():
+            cols = set(BASELINE_COLUMNS[fig])
+            benches = {bench for _, bench in cells}
+            assert {col for col, _ in cells} == cols
+            # a full matrix: every column seen for every benchmark
+            assert len(cells) == len(cols) * len(benches)
+
+    def test_values_are_finite_and_positive(self):
+        for cells in BASELINE.values():
+            for value in cells.values():
+                assert math.isfinite(value) and value > 0.0
+
+    def test_generator_is_in_sync_with_checked_in_module(self, tmp_path):
+        """Re-running scripts/extract_baseline.py must reproduce the
+        checked-in baseline_data.py byte for byte."""
+        spec = importlib.util.spec_from_file_location(
+            "extract_baseline", REPO / "scripts" / "extract_baseline.py"
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        mod.TARGET = tmp_path / "baseline_data.py"
+        mod.REPO = tmp_path  # keeps the script's summary print relative
+        mod.main()
+        checked_in = Path(baseline_data.__file__).read_text(encoding="utf-8")
+        assert mod.TARGET.read_text(encoding="utf-8") == checked_in
+
+
+def _figure_fixture(monkeypatch, cells, columns=("colA", "colB")):
+    """Install a tiny synthetic figure so tests don't simulate anything."""
+    monkeypatch.setitem(BASELINE, "figtest", cells)
+    monkeypatch.setitem(BASELINE_TITLES, "figtest", "synthetic test figure")
+    monkeypatch.setitem(BASELINE_METRIC, "figtest", "test_metric")
+    monkeypatch.setitem(BASELINE_COLUMNS, "figtest", columns)
+
+
+class TestCompareFigure:
+    def test_identical_data_has_zero_deviation(self, monkeypatch):
+        cells = {("colA", "lu"): 4.0, ("colB", "lu"): 2.0}
+        _figure_fixture(monkeypatch, cells)
+        comp = compare_figure("figtest", dict(cells))
+        assert comp.ok and not comp.flagged
+        assert comp.max_abs_deviation_pct == 0.0
+        assert len(comp.cells) == 2
+
+    def test_deviation_math_and_flagging(self, monkeypatch):
+        _figure_fixture(monkeypatch, {("colA", "lu"): 4.0})
+        comp = compare_figure("figtest", {("colA", "lu"): 5.0}, tolerance_pct=10.0)
+        (cell,) = comp.cells
+        assert cell.deviation_pct == pytest.approx(25.0)
+        assert comp.flagged == [cell]
+        # a deviation is informative, not structural
+        assert comp.ok
+
+    def test_within_tolerance_not_flagged(self, monkeypatch):
+        _figure_fixture(monkeypatch, {("colA", "lu"): 100.0})
+        comp = compare_figure("figtest", {("colA", "lu"): 104.0}, tolerance_pct=5.0)
+        assert not comp.flagged
+
+    def test_missing_cell_is_structural(self, monkeypatch):
+        _figure_fixture(monkeypatch, {("colA", "lu"): 4.0, ("colB", "lu"): 2.0})
+        comp = compare_figure("figtest", {("colA", "lu"): 4.0})
+        assert not comp.ok
+        assert comp.missing == [("colB", "lu")]
+        assert any("colB" in p for p in comp.structural_problems)
+
+    def test_non_finite_value_is_structural(self, monkeypatch):
+        _figure_fixture(monkeypatch, {("colA", "lu"): 4.0})
+        comp = compare_figure("figtest", {("colA", "lu"): float("nan")})
+        assert not comp.ok and comp.non_finite == [("colA", "lu")]
+
+    def test_unexpected_cell_is_structural(self, monkeypatch):
+        _figure_fixture(monkeypatch, {("colA", "lu"): 4.0})
+        comp = compare_figure(
+            "figtest", {("colA", "lu"): 4.0, ("ghost", "lu"): 1.0}
+        )
+        assert not comp.ok and comp.unexpected == [("ghost", "lu")]
+
+    def test_zero_baseline_guarded(self, monkeypatch):
+        _figure_fixture(monkeypatch, {("colA", "lu"): 0.0})
+        comp = compare_figure("figtest", {("colA", "lu"): 0.0})
+        (cell,) = comp.cells
+        assert cell.deviation_pct is None and cell.abs_deviation_pct == 0.0
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(KeyError, match="fig99"):
+            compare_figure("fig99", {})
+
+    def test_real_figure_perfect_match(self):
+        # the pinned data compared against itself: all-zero deviation
+        comp = compare_figure("fig09", dict(BASELINE["fig09"]))
+        assert comp.ok and comp.max_abs_deviation_pct == 0.0
+        assert len(comp.cells) == len(BASELINE["fig09"])
+
+
+class TestRendering:
+    def test_comparison_grid_marks_absent_cells(self):
+        out = format_comparison_grid(
+            "t", ["r1"], ["c1", "c2"],
+            lambda r, c: "1.00 (+0.0%)" if c == "c1" else None,
+        )
+        assert "1.00 (+0.0%)" in out
+        assert out.splitlines()[-1].rstrip().endswith("-")
+
+    def test_figure_table_shows_deviation(self, monkeypatch):
+        _figure_fixture(monkeypatch, {("colA", "lu"): 4.0}, columns=("colA",))
+        comp = compare_figure("figtest", {("colA", "lu"): 5.0})
+        text = render_figure_comparison(comp)
+        assert "5.00 (+25.0%)" in text
+        assert "1 beyond" in text and "STRUCTURAL" not in text
+
+    def test_structural_problems_rendered(self, monkeypatch):
+        _figure_fixture(monkeypatch, {("colA", "lu"): 4.0}, columns=("colA",))
+        comp = compare_figure("figtest", {})
+        assert "STRUCTURAL" in render_figure_comparison(comp)
+
+    def test_full_report_summary_line(self, monkeypatch):
+        _figure_fixture(monkeypatch, {("colA", "lu"): 4.0}, columns=("colA",))
+        comp = compare_figure("figtest", {("colA", "lu"): 4.0})
+        text = render_report([comp], refs=2_000, seed=1)
+        assert "paper-fidelity report" in text
+        assert "figtest" in text and "ok" in text
+        # a sub-baseline trace length is called out in the header
+        assert "trace length differs" in text
+
+    def test_summary_dict_shape(self, monkeypatch):
+        _figure_fixture(monkeypatch, {("colA", "lu"): 4.0}, columns=("colA",))
+        comp = compare_figure("figtest", {("colA", "lu"): 6.0}, tolerance_pct=5.0)
+        d = report_summary_dict([comp])
+        entry = d["figtest"]
+        assert entry["cells"] == 1 and entry["flagged"] == 1
+        assert entry["max_abs_deviation_pct"] == pytest.approx(50.0)
+        assert entry["structural_problems"] == []
+        json.dumps(d)  # manifest-embeddable
+
+
+class TestReportCLI:
+    def test_report_check_on_tiny_run(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "fidelity.txt"
+        rc = main([
+            "report", "--figures", "fig04", "--refs", "600",
+            "--check", "--out", str(out),
+        ])
+        assert rc == 0
+        assert "check ok" in capsys.readouterr().out
+        assert "paper-fidelity report" in out.read_text(encoding="utf-8")
+        manifest = json.loads(
+            (tmp_path / "report-manifest.json").read_text(encoding="utf-8")
+        )
+        assert manifest["kind"] == "report"
+        assert manifest["fidelity"]["fig04"]["structural_problems"] == []
+        assert len(manifest["cells"]) == 16  # 2 systems x 8 benchmarks
+
+    def test_report_rejects_unknown_figure(self):
+        from repro.cli import main
+
+        assert main(["report", "--figures", "fig99"]) == 2
