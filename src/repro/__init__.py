@@ -21,13 +21,19 @@ per-figure reproduction drivers, and DESIGN.md for the system inventory.
 """
 
 from .errors import (
+    CellTimeoutError,
+    CheckpointError,
     ConfigurationError,
+    CorruptTraceError,
+    InjectedFaultError,
     ProtocolError,
     ReproError,
+    RetryExhaustedError,
     TraceError,
     UnknownBenchmarkError,
     UnknownSystemError,
 )
+from .faults import FaultPlan, active_plan
 from .params import (
     CacheGeometry,
     LatencyModel,
@@ -43,8 +49,12 @@ from .stats import Counters, MissClass, Outcome
 from .obs.events import EventTracer, TraceEvent
 from .obs.manifest import build_manifest, manifest_core, write_manifest
 from .obs.metrics import MetricsRegistry, aggregate_metrics
+from .sim.checkpoint import SweepJournal
 from .sim.parallel import (
+    RecoveryLog,
+    SweepPolicy,
     default_jobs,
+    resolve_policy,
     run_parallel_sweep,
     sweep_metrics,
     throughput_report,
@@ -75,8 +85,20 @@ __all__ = [
     "ConfigurationError",
     "ProtocolError",
     "TraceError",
+    "CorruptTraceError",
+    "CellTimeoutError",
+    "RetryExhaustedError",
+    "CheckpointError",
+    "InjectedFaultError",
     "UnknownSystemError",
     "UnknownBenchmarkError",
+    # resilience
+    "FaultPlan",
+    "active_plan",
+    "SweepJournal",
+    "SweepPolicy",
+    "RecoveryLog",
+    "resolve_policy",
     # configuration
     "SystemConfig",
     "CacheGeometry",

@@ -25,6 +25,9 @@ Examples
 
     python -m repro simulate vbp5 radix --refs 200000
     python -m repro sweep base,vb,ncd barnes,radix --metric stall --jobs 4
+    python -m repro sweep base,vb barnes,fft --jobs 4 --resume runs/night1
+    python -m repro sweep base,vb fft --max-retries 3 --cell-timeout 600
+    python -m repro sweep base,vb fft --inject-faults 'seed=7;kill=0.5@1'
     python -m repro experiment fig09 --refs 400000 --jobs 4
     python -m repro report --figures fig03,fig09 --refs 40000
     python -m repro report --check --refs 2000 --figures fig04
@@ -108,11 +111,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    import os
+
+    from .faults import FAULTS_ENV, FaultPlan
+    from .sim.parallel import RecoveryLog, resolve_policy
+
     systems = [s.strip() for s in args.systems.split(",") if s.strip()]
     benches = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+    # validate the retry/timeout knobs before any cell runs
+    resolve_policy(max_retries=args.max_retries, cell_timeout=args.cell_timeout)
+    if args.inject_faults is not None:
+        # parse eagerly (bad grammar fails now, not in a worker), then export
+        # the canonical spec so forked workers inherit the same schedule
+        plan = FaultPlan.parse(args.inject_faults)
+        os.environ[FAULTS_ENV] = plan.spec()
+    recovery = RecoveryLog()
     results = sweep(
         systems, benches, refs=args.refs, seed=args.seed, scale=args.scale,
-        jobs=args.jobs, **_sim_kwargs(args),
+        jobs=args.jobs, run_dir=args.resume, max_retries=args.max_retries,
+        cell_timeout=args.cell_timeout, recovery=recovery, **_sim_kwargs(args),
     )
 
     if args.metric == "miss":
@@ -129,6 +146,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(bar_chart(title, benches, systems, values))
     else:
         print(format_grid(title, benches, systems, cell))
+    if len(recovery):
+        summary = ", ".join(
+            f"{kind}={n}" for kind, n in sorted(recovery.counts.items())
+        )
+        print(f"recovery: {summary}", file=sys.stderr)
     return 0
 
 
@@ -299,6 +321,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=default_jobs(),
                    help="worker processes for the matrix "
                         "(default: REPRO_JOBS or CPU count)")
+    p.add_argument("--resume", metavar="DIR", default=None,
+                   help="journal completed cells in DIR and skip any already "
+                        "recorded there; an interrupted sweep re-run with the "
+                        "same DIR resumes bit-identically")
+    p.add_argument("--max-retries", type=int, default=None, metavar="N",
+                   help="attempts per cell beyond the first before the sweep "
+                        "fails (default: REPRO_MAX_RETRIES or 2)")
+    p.add_argument("--cell-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-cell wall-clock budget; a stuck cell's worker is "
+                        "killed and the cell retried (default: "
+                        "REPRO_CELL_TIMEOUT or unlimited)")
+    p.add_argument("--inject-faults", metavar="SPEC", default=None,
+                   help="deterministic fault injection for robustness "
+                        "testing, e.g. 'seed=7;kill=0.5@1;slow=0.2:1.5' "
+                        "(see docs/ROBUSTNESS.md for the grammar)")
     _add_sim_options(p)
     p.set_defaults(func=_cmd_sweep)
 

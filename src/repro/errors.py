@@ -27,6 +27,79 @@ class TraceError(ReproError):
     """A malformed trace record, file, or generator specification."""
 
 
+class CorruptTraceError(TraceError):
+    """A trace file failed its integrity check (digest mismatch, torn write).
+
+    Raised by :func:`repro.trace.io.load_trace`; the disk trace cache
+    converts it into quarantine-and-regenerate instead of letting it
+    propagate out of a sweep worker.
+    """
+
+    def __init__(self, path: object, reason: str) -> None:
+        super().__init__(f"corrupt trace file {path}: {reason}")
+        self.path = str(path)
+        self.reason = reason
+
+
+class InjectedFaultError(ReproError):
+    """A transient fault raised on purpose by :mod:`repro.faults`.
+
+    Only ever seen when fault injection is enabled (``REPRO_FAULTS`` /
+    ``--inject-faults``); the sweep executor treats it exactly like any
+    other transient per-cell failure, which is the point.
+    """
+
+
+class CellTimeoutError(ReproError):
+    """A sweep cell exceeded its wall-clock budget and its worker was killed."""
+
+    def __init__(self, system: str, benchmark: str, timeout_s: float, attempt: int) -> None:
+        super().__init__(
+            f"cell {system}/{benchmark} exceeded its {timeout_s:g}s wall-clock "
+            f"budget (attempt {attempt + 1})"
+        )
+        self.system = system
+        self.benchmark = benchmark
+        self.timeout_s = timeout_s
+        self.attempt = attempt
+
+
+class RetryExhaustedError(ReproError):
+    """A sweep cell kept failing after every configured retry.
+
+    Carries the full cell context — system, benchmark, seed, chunk — plus
+    how many attempts were made and a description of the last failure, so
+    a multi-hour sweep that dies names the exact cell to investigate.
+    """
+
+    def __init__(
+        self,
+        system: str,
+        benchmark: str,
+        seed: int,
+        attempts: int,
+        last_error: object,
+        chunk: "int | None" = None,
+    ) -> None:
+        where = f"cell {system}/{benchmark} (seed {seed}"
+        if chunk is not None:
+            where += f", chunk {chunk}"
+        where += ")"
+        super().__init__(
+            f"{where} failed after {attempts} attempt(s); last error: {last_error}"
+        )
+        self.system = system
+        self.benchmark = benchmark
+        self.seed = seed
+        self.attempts = attempts
+        self.last_error = last_error
+        self.chunk = chunk
+
+
+class CheckpointError(ReproError):
+    """A sweep journal cannot be resumed (parameter mismatch, bad header)."""
+
+
 class UnknownSystemError(ConfigurationError):
     """A system name was requested that is not in the registry."""
 

@@ -135,22 +135,37 @@ def run_matrix_timed(
     ``timing`` carries the sweep wall-clock, summed engine seconds,
     aggregate refs/sec, and one ``cell_s:system/bench`` entry per cell —
     the payload experiment drivers attach to their ExperimentResult.
+
+    Set ``REPRO_RUN_DIR`` to journal every matrix under
+    ``$REPRO_RUN_DIR/matrix-<id>``: an interrupted experiment re-run with
+    the same environment skips cells already recorded there and merges
+    bit-identically with a from-scratch run (see docs/ROBUSTNESS.md).
     """
     systems = list(systems)
     benches = list(benches)
     n = refs if refs is not None else default_refs()
     j = jobs if jobs is not None else default_jobs()
+
+    matrix_id = None
+    if os.environ.get("REPRO_MANIFEST_DIR") or os.environ.get("REPRO_RUN_DIR"):
+        from ..obs.manifest import config_digest
+
+        matrix_id = config_digest((tuple(systems), tuple(benches), n, seed,
+                                   tuple(sorted(overrides.items(), key=repr))))
+    run_dir = None
+    if os.environ.get("REPRO_RUN_DIR"):
+        run_dir = os.path.join(os.environ["REPRO_RUN_DIR"], f"matrix-{matrix_id}")
+
     start = time.perf_counter()
-    results = sweep(systems, benches, refs=n, seed=seed, jobs=j, **overrides)
+    results = sweep(systems, benches, refs=n, seed=seed, jobs=j,
+                    run_dir=run_dir, **overrides)
     wall = time.perf_counter() - start
 
     # Drop a run manifest when a destination is configured (no-op, and no
     # import cost, in the common interactive case).
     if os.environ.get("REPRO_MANIFEST_DIR"):
-        from ..obs.manifest import config_digest, maybe_write_sweep_manifest
+        from ..obs.manifest import maybe_write_sweep_manifest
 
-        matrix_id = config_digest((tuple(systems), tuple(benches), n, seed,
-                                   tuple(sorted(overrides.items(), key=repr))))
         maybe_write_sweep_manifest(
             results,
             command="run_matrix:" + ",".join(systems),

@@ -28,7 +28,7 @@ See ``docs/OBSERVABILITY.md`` for the event schema, the metrics
 catalog, and the manifest format.
 """
 
-from .events import EVENT_KINDS, EventTracer, TraceEvent
+from .events import EVENT_KINDS, SWEEP_EVENT_KINDS, EventTracer, TraceEvent
 from .manifest import (
     MANIFEST_ENV,
     build_manifest,
@@ -46,6 +46,7 @@ from .metrics import (
 
 __all__ = [
     "EVENT_KINDS",
+    "SWEEP_EVENT_KINDS",
     "EventTracer",
     "TraceEvent",
     "Histogram",

@@ -80,6 +80,25 @@ EVENT_KINDS = {
 }
 
 
+#: resilience events emitted by the sweep executor's RecoveryLog (node and
+#: block are -1: these are sweep-level, not protocol-level; ``now`` is the
+#: recovery-action ordinal, not the simulated clock)
+SWEEP_EVENT_KINDS = {
+    "cell_retry": "a cell attempt failed and was scheduled for retry",
+    "cell_timeout": "a cell exceeded its wall-clock budget; its worker was killed",
+    "worker_lost": "a worker process died; the supervisor took over its work",
+    "cell_redispatch": "a cell lost to a worker crash was queued to run again",
+    "cell_degraded_serial": "a repeatedly worker-fatal cell ran serially in the parent",
+    "cell_recovered": "a cell completed after one or more recovery actions",
+    "cells_resumed": "journalled cells were restored by --resume instead of re-run",
+    "journal_repaired": "torn or stale journal records were skipped on resume",
+    "trace_quarantined": "a corrupt trace-cache entry was quarantined and regenerated",
+    "trace_cache_skipped": "a trace-cache write failed; the run continued uncached",
+    "fault_injected": "the fault-injection harness fired (REPRO_FAULTS only)",
+    "pool_unavailable": "the worker pool could not run; the sweep degraded to serial",
+}
+
+
 class EventTracer:
     """Bounded in-memory event ring with an optional JSONL sink.
 

@@ -41,7 +41,8 @@ MANIFEST_VERSION = 1
 MANIFEST_ENV = "REPRO_MANIFEST_DIR"
 
 #: manifest fields that legitimately differ between identical runs
-VOLATILE_KEYS = ("created_unix", "timing", "git_sha", "version")
+#: ("recovery" records faults survived, which vary run to run by design)
+VOLATILE_KEYS = ("created_unix", "timing", "git_sha", "version", "recovery")
 VOLATILE_CELL_KEYS = ("elapsed_s", "refs_per_sec")
 
 
@@ -207,15 +208,22 @@ def maybe_write_sweep_manifest(
     wall_s: float,
     directory: Optional[Union[str, Path]] = None,
     name: str = "sweep",
+    recovery=None,
 ) -> Optional[Path]:
     """Write a sweep manifest when a destination is configured.
 
     ``directory`` wins; otherwise ``$REPRO_MANIFEST_DIR``; otherwise the
-    sweep leaves no artifact (the common interactive case).
+    sweep leaves no artifact (the common interactive case).  ``recovery``
+    — a :class:`repro.sim.parallel.RecoveryLog` — surfaces every retry,
+    redispatch, timeout, and quarantine the sweep survived under the
+    manifest's (volatile) ``recovery`` key.
     """
     dest = Path(directory) if directory is not None else manifest_dir_from_env()
     if dest is None:
         return None
+    extra = None
+    if recovery is not None and len(recovery):
+        extra = {"recovery": recovery.summary()}
     manifest = build_manifest(
         results,
         kind="sweep",
@@ -225,5 +233,6 @@ def maybe_write_sweep_manifest(
         scale=scale,
         jobs=jobs,
         wall_s=wall_s,
+        extra=extra,
     )
     return write_manifest(manifest, dest, name=name)

@@ -2,7 +2,15 @@
 
 from .simulator import Simulator
 from .latency import remote_read_stall, traffic_blocks
-from .parallel import default_jobs, run_parallel_sweep, throughput_report
+from .checkpoint import SweepJournal
+from .parallel import (
+    RecoveryLog,
+    SweepPolicy,
+    default_jobs,
+    resolve_policy,
+    run_parallel_sweep,
+    throughput_report,
+)
 from .results import SimulationResult
 from .runner import resolve_sweep_configs, simulate, sweep
 
@@ -17,4 +25,8 @@ __all__ = [
     "run_parallel_sweep",
     "default_jobs",
     "throughput_report",
+    "SweepJournal",
+    "SweepPolicy",
+    "RecoveryLog",
+    "resolve_policy",
 ]

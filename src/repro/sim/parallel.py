@@ -1,4 +1,4 @@
-"""Parallel sweep execution over a ``multiprocessing`` worker pool.
+"""Fault-tolerant parallel sweep execution over supervised worker processes.
 
 Every figure in the paper is an embarrassingly parallel systems x
 benchmarks matrix, and each cell is an independent simulation over a
@@ -18,17 +18,62 @@ Mechanics:
 * results come back keyed ``(system, benchmark)`` and are merged in plan
   order, so iteration order of the returned dict matches the serial path;
 * anything that prevents pooling (a platform without working
-  ``multiprocessing``, unpicklable configs, a sandboxed interpreter)
-  degrades to the serial path rather than failing the sweep.
+  ``multiprocessing``, a sandboxed interpreter) degrades to the serial
+  path rather than failing the sweep.
+
+Resilience (see ``docs/ROBUSTNESS.md``):
+
+* each cell gets ``max_retries`` attempts with exponential backoff; a
+  transient failure (corrupt cache entry, injected fault, flaky I/O) is
+  retried rather than sinking the sweep, and exhaustion raises
+  :class:`~repro.errors.RetryExhaustedError` naming the exact cell;
+* an optional per-cell wall-clock timeout kills the wedged worker and
+  retries the cell (:class:`~repro.errors.CellTimeoutError` as the last
+  error once retries run out);
+* a worker that dies mid-cell (OOM-killed, segfault, injected kill) is
+  detected by the supervisor; its in-flight cell is re-dispatched and the
+  rest of its chunk re-queued at no attempt cost.  A cell that keeps
+  dying with its workers falls back to running **serially in the parent**
+  — degrade-to-serial affects only that cell, never the whole sweep;
+* every recovery action is recorded in a :class:`RecoveryLog` — counted
+  for ``obs.metrics``, optionally emitted as ``repro.obs`` events, and
+  surfaced in the run manifest;
+* with a ``run_dir``, completed cells are journalled through
+  :class:`~repro.sim.checkpoint.SweepJournal` as they finish, and a
+  resumed sweep skips them, re-merging bit-identically with a
+  from-scratch run.
 """
 
 from __future__ import annotations
 
+import heapq
 import os
 import time
-from typing import Dict, Iterable, List, Mapping, NamedTuple, Optional, Sequence, Tuple
+import traceback
+from collections import deque
+from typing import (
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from .. import faults
+from ..errors import (
+    CellTimeoutError,
+    CheckpointError,
+    ConfigurationError,
+    RetryExhaustedError,
+)
 from ..params import SystemConfig
+from ..trace import io as trace_io
+from .checkpoint import SweepJournal
 from .results import SimulationResult
 from .runner import DEFAULT_REFS, DEFAULT_SCALE, get_trace, run_trace
 
@@ -51,6 +96,106 @@ def default_jobs() -> int:
     if raw:
         return max(1, int(raw))
     return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------------
+# retry / timeout policy
+# ---------------------------------------------------------------------------
+
+#: env knobs for the resilience policy (CLI flags override them)
+MAX_RETRIES_ENV = "REPRO_MAX_RETRIES"
+CELL_TIMEOUT_ENV = "REPRO_CELL_TIMEOUT"
+BACKOFF_ENV = "REPRO_RETRY_BACKOFF"
+
+DEFAULT_MAX_RETRIES = 2
+DEFAULT_BACKOFF_S = 0.05
+
+
+class SweepPolicy(NamedTuple):
+    """Per-cell fault handling knobs for one sweep."""
+
+    max_retries: int = DEFAULT_MAX_RETRIES  #: retry attempts after the first
+    cell_timeout_s: Optional[float] = None  #: wall-clock budget per cell
+    backoff_s: float = DEFAULT_BACKOFF_S  #: base of the exponential backoff
+
+    def backoff_for(self, attempt: int) -> float:
+        """Delay before retry ``attempt`` (exponential, capped at 30s)."""
+        return min(30.0, self.backoff_s * (2.0**attempt)) if self.backoff_s else 0.0
+
+
+def resolve_policy(
+    max_retries: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
+    backoff_s: Optional[float] = None,
+) -> SweepPolicy:
+    """Fold explicit knobs over the environment defaults, validating."""
+    if max_retries is None:
+        raw = os.environ.get(MAX_RETRIES_ENV)
+        max_retries = int(raw) if raw else DEFAULT_MAX_RETRIES
+    if cell_timeout is None:
+        raw = os.environ.get(CELL_TIMEOUT_ENV)
+        cell_timeout = float(raw) if raw else None
+    if backoff_s is None:
+        raw = os.environ.get(BACKOFF_ENV)
+        backoff_s = float(raw) if raw is not None and raw != "" else DEFAULT_BACKOFF_S
+    if max_retries < 0:
+        raise ConfigurationError("max_retries must be >= 0")
+    if cell_timeout is not None and cell_timeout <= 0:
+        raise ConfigurationError("cell_timeout must be positive")
+    if backoff_s < 0:
+        raise ConfigurationError("retry backoff must be >= 0")
+    return SweepPolicy(max_retries, cell_timeout, backoff_s)
+
+
+class RecoveryLog:
+    """Every recovery action one sweep took, counted and optionally traced.
+
+    ``counts`` aggregates per action kind (the numbers that land in
+    ``obs.metrics``-style snapshots and the run manifest); ``actions``
+    keeps the ordered detail.  Attach an
+    :class:`~repro.obs.events.EventTracer` to additionally emit each
+    action as a structured event (kinds in
+    :data:`repro.obs.events.SWEEP_EVENT_KINDS`).
+    """
+
+    def __init__(self, tracer=None) -> None:
+        self.counts: Dict[str, int] = {}
+        self.actions: List[Dict[str, object]] = []
+        self.tracer = tracer
+
+    def note(
+        self, kind: str, system: str = "", benchmark: str = "", detail: str = ""
+    ) -> None:
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.actions.append(
+            {"kind": kind, "system": system, "benchmark": benchmark, "detail": detail}
+        )
+        if self.tracer is not None:
+            where = f"{system}/{benchmark}: " if system or benchmark else ""
+            self.tracer.emit(kind, now=len(self.actions), detail=where + detail)
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """The counts as an ``obs.metrics``-style snapshot (``sweep.`` keys)."""
+        return {
+            "counters": {f"sweep.{k}": self.counts[k] for k in sorted(self.counts)},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def summary(self) -> Dict[str, object]:
+        """The manifest payload: counts plus the ordered action list."""
+        return {
+            "counts": {k: self.counts[k] for k in sorted(self.counts)},
+            "actions": list(self.actions),
+        }
+
+
+# ---------------------------------------------------------------------------
+# planning
+# ---------------------------------------------------------------------------
 
 
 def plan_cells(
@@ -97,26 +242,429 @@ def chunk_cells(cells: Sequence[SweepCell], jobs: int) -> List[List[SweepCell]]:
     return chunks
 
 
-def _run_cells(
-    cells: Iterable[SweepCell], disk_cache: bool
-) -> List[Tuple[str, str, SimulationResult]]:
-    out = []
-    for cell in cells:
-        trace = get_trace(
-            cell.benchmark,
-            refs=cell.refs,
-            seed=cell.seed,
-            scale=cell.scale,
-            disk_cache=disk_cache,
-        )
-        result = run_trace(cell.config, trace, system_name=cell.system)
-        out.append((cell.system, cell.benchmark, result))
+# ---------------------------------------------------------------------------
+# running one cell (shared by workers, the serial path, and serial degrade)
+# ---------------------------------------------------------------------------
+
+
+def _attempt_cell(cell: SweepCell, disk_cache: bool, attempt: int) -> SimulationResult:
+    """One attempt at one cell, with the fault-injection sites armed."""
+    plan = faults.active_plan()
+    if plan is not None:
+        context = faults.cell_context(cell.system, cell.benchmark, cell.seed)
+        plan.maybe_kill(context, attempt)
+        plan.maybe_slow(context, attempt)
+        plan.maybe_fail_cell(context, attempt)
+    trace = get_trace(
+        cell.benchmark,
+        refs=cell.refs,
+        seed=cell.seed,
+        scale=cell.scale,
+        disk_cache=disk_cache,
+    )
+    return run_trace(cell.config, trace, system_name=cell.system)
+
+
+#: failures that retrying cannot fix (configuration is validated eagerly,
+#: so these indicate caller error, not flakiness)
+_NONRETRYABLE_TYPES = frozenset(
+    {
+        "ConfigurationError",
+        "UnknownSystemError",
+        "UnknownBenchmarkError",
+        "CheckpointError",
+        "KeyboardInterrupt",
+        "SystemExit",
+    }
+)
+
+
+def _run_cell_resilient(
+    cell: SweepCell,
+    policy: SweepPolicy,
+    recovery: RecoveryLog,
+    disk_cache: bool,
+) -> SimulationResult:
+    """Run one cell in this process, retrying transient failures."""
+    last: BaseException = RuntimeError("cell never attempted")
+    for attempt in range(policy.max_retries + 1):
+        try:
+            result = _attempt_cell(cell, disk_cache, attempt)
+            if attempt:
+                recovery.note(
+                    "cell_recovered", cell.system, cell.benchmark,
+                    f"succeeded on attempt {attempt + 1}",
+                )
+            return result
+        except (ConfigurationError, CheckpointError, KeyboardInterrupt):
+            raise
+        except Exception as exc:
+            last = exc
+            if attempt < policy.max_retries:
+                recovery.note(
+                    "cell_retry", cell.system, cell.benchmark,
+                    f"attempt {attempt + 1} failed: {exc!r}",
+                )
+                delay = policy.backoff_for(attempt)
+                if delay:
+                    time.sleep(delay)
+    raise RetryExhaustedError(
+        cell.system, cell.benchmark, cell.seed, policy.max_retries + 1, repr(last)
+    )
+
+
+def _run_cells_serial(
+    cells: Iterable[SweepCell],
+    policy: SweepPolicy,
+    recovery: RecoveryLog,
+    journal: Optional[SweepJournal],
+    disk_cache: bool,
+) -> Dict[Tuple[str, str], SimulationResult]:
+    out: Dict[Tuple[str, str], SimulationResult] = {}
+    previous_hook = trace_io.set_recovery_hook(
+        lambda kind, detail: recovery.note(kind, detail=detail)
+    )
+    try:
+        for cell in cells:
+            result = _run_cell_resilient(cell, policy, recovery, disk_cache)
+            out[(cell.system, cell.benchmark)] = result
+            if journal is not None:
+                journal.append(result, cell.scale)
+    finally:
+        trace_io.set_recovery_hook(previous_hook)
     return out
 
 
-def _worker(chunk: List[SweepCell]) -> List[Tuple[str, str, SimulationResult]]:
-    # module-level so it pickles under every start method
-    return _run_cells(chunk, disk_cache=True)
+# ---------------------------------------------------------------------------
+# the supervised worker pool
+# ---------------------------------------------------------------------------
+
+#: how often the supervisor wakes to check liveness/deadlines/backoff
+_POLL_S = 0.05
+
+
+def _service_worker(worker_id: int, task_q, result_q) -> None:
+    """Worker loop: take a task (a list of cells), report per-cell results.
+
+    Runs until it receives the ``None`` sentinel.  Every cell is bracketed
+    by a ``start`` message (so the parent can enforce wall-clock deadlines
+    and attribute losses) and an ``ok``/``err`` message; a task ends with
+    ``idle``.  Trace-cache recovery actions are forwarded as ``note``s.
+    """
+    faults.mark_worker_process()
+    trace_io.set_recovery_hook(
+        lambda kind, detail: result_q.put(("note", worker_id, kind, detail))
+    )
+    while True:
+        task = task_q.get()
+        if task is None:
+            return
+        items = task  # list of (cell_index, SweepCell, attempt)
+        for idx, cell, attempt in items:
+            result_q.put(("start", worker_id, idx))
+            try:
+                result = _attempt_cell(cell, disk_cache=True, attempt=attempt)
+                result_q.put(("ok", worker_id, idx, result))
+            except Exception as exc:
+                info = {
+                    "type": type(exc).__name__,
+                    "msg": str(exc),
+                    "traceback": traceback.format_exc(limit=8),
+                }
+                result_q.put(("err", worker_id, idx, info))
+        result_q.put(("idle", worker_id))
+
+
+class _WorkerHandle:
+    """Parent-side bookkeeping for one supervised worker process."""
+
+    __slots__ = ("process", "task_q", "items", "started", "idle")
+
+    def __init__(self, process, task_q) -> None:
+        self.process = process
+        self.task_q = task_q
+        self.items: Dict[int, Tuple[SweepCell, int]] = {}  # idx -> (cell, attempt)
+        self.started: Optional[Tuple[int, float]] = None  # (idx, t0)
+        self.idle = True
+
+    def send(self, items: List[Tuple[int, SweepCell, int]]) -> None:
+        self.items = {idx: (cell, attempt) for idx, cell, attempt in items}
+        self.started = None
+        self.idle = False
+        self.task_q.put(items)
+
+
+def _spawn_worker(ctx, worker_id: int, result_q) -> _WorkerHandle:
+    task_q = ctx.Queue()
+    process = ctx.Process(
+        target=_service_worker,
+        args=(worker_id, task_q, result_q),
+        daemon=True,
+        name=f"repro-sweep-{worker_id}",
+    )
+    process.start()
+    return _WorkerHandle(process, task_q)
+
+
+def _execute_cells(
+    cells: Sequence[SweepCell],
+    jobs: int,
+    policy: SweepPolicy,
+    recovery: RecoveryLog,
+    journal: Optional[SweepJournal],
+) -> Dict[Tuple[str, str], SimulationResult]:
+    """Fan ``cells`` over supervised workers with full fault handling."""
+    import queue as queue_mod
+
+    try:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context()
+        result_q = ctx.Queue()
+        workers: Dict[int, _WorkerHandle] = {}
+        for wid in range(max(1, min(jobs, len(cells)))):
+            workers[wid] = _spawn_worker(ctx, wid, result_q)
+    except Exception as exc:
+        # sandboxed interpreter / no working multiprocessing: run the whole
+        # sweep serially rather than failing it
+        recovery.note("pool_unavailable", detail=repr(exc))
+        return _run_cells_serial(cells, policy, recovery, journal, disk_cache=True)
+
+    n = len(cells)
+    results: Dict[int, SimulationResult] = {}
+    failed_attempts: Dict[int, int] = {}  # idx -> attempts consumed so far
+    task_queue: Deque[List[Tuple[int, SweepCell, int]]] = deque(
+        [(_idx_of(cells, chunk)) for chunk in chunk_cells(cells, jobs)]
+    )
+    retry_heap: List[Tuple[float, int, int]] = []  # (ready_time, idx, attempt)
+    fatal: List[BaseException] = []
+
+    def record_ok(idx: int, result: SimulationResult) -> None:
+        if idx in results:
+            return  # duplicate completion after a redispatch race
+        results[idx] = result
+        if journal is not None:
+            journal.append(result, cells[idx].scale)
+        if failed_attempts.get(idx):
+            cell = cells[idx]
+            recovery.note(
+                "cell_recovered", cell.system, cell.benchmark,
+                f"succeeded after {failed_attempts[idx]} failed attempt(s)",
+            )
+
+    def handle_failure(idx: int, attempt: int, kind: str, description: str,
+                       error_type: str = "") -> None:
+        """One attempt at ``idx`` failed; retry, degrade, or give up."""
+        if idx in results:
+            return
+        cell = cells[idx]
+        used = attempt + 1
+        failed_attempts[idx] = max(failed_attempts.get(idx, 0), used)
+        retryable = error_type not in _NONRETRYABLE_TYPES
+        if retryable and used <= policy.max_retries:
+            event = {"timeout": "cell_timeout", "lost": "cell_redispatch"}.get(
+                kind, "cell_retry"
+            )
+            recovery.note(event, cell.system, cell.benchmark, description)
+            # a lost worker is the pool's fault, not the cell's: re-dispatch
+            # immediately instead of backing off
+            delay = 0.0 if kind == "lost" else policy.backoff_for(attempt)
+            heapq.heappush(retry_heap, (time.monotonic() + delay, idx, used))
+            return
+        if kind == "lost":
+            # the cell keeps taking workers down with it — run it in the
+            # parent so only this cell degrades to serial, not the sweep
+            recovery.note(
+                "cell_degraded_serial", cell.system, cell.benchmark,
+                f"after {used} worker loss(es)",
+            )
+            try:
+                record_ok(idx, _attempt_cell(cell, disk_cache=True, attempt=used))
+                return
+            except Exception as exc:
+                description = f"serial fallback failed: {exc!r}"
+        last: object = description
+        if kind == "timeout":
+            last = CellTimeoutError(
+                cell.system, cell.benchmark, policy.cell_timeout_s or 0.0, attempt
+            )
+        fatal.append(
+            RetryExhaustedError(cell.system, cell.benchmark, cell.seed, used, last)
+        )
+
+    def dispatch() -> None:
+        now = time.monotonic()
+        while retry_heap and retry_heap[0][0] <= now:
+            _, idx, attempt = heapq.heappop(retry_heap)
+            if idx not in results:
+                task_queue.append([(idx, cells[idx], attempt)])
+        for handle in workers.values():
+            if not task_queue:
+                break
+            if handle.idle and handle.process.is_alive():
+                handle.send(task_queue.popleft())
+
+    def respawn(wid: int) -> None:
+        handle = workers[wid]
+        started_idx = handle.started[0] if handle.started else None
+        for idx, (cell, attempt) in handle.items.items():
+            if idx == started_idx or idx in results:
+                continue
+            # unstarted chunk-mates of a dead worker cost no attempt
+            task_queue.append([(idx, cell, attempt)])
+        try:
+            workers[wid] = _spawn_worker(ctx, wid, result_q)
+        except Exception as exc:  # pragma: no cover - spawn exhaustion
+            recovery.note("pool_unavailable", detail=repr(exc))
+            del workers[wid]
+
+    try:
+        while len(results) < n and not fatal:
+            dispatch()
+            if not workers:
+                # every worker slot died unrecoverably: finish serially
+                remaining = [c for i, c in enumerate(cells) if i not in results]
+                recovery.note(
+                    "pool_unavailable", detail="all workers lost; finishing serially"
+                )
+                results.update(
+                    {
+                        _index_by_key(cells)[key]: res
+                        for key, res in _run_cells_serial(
+                            remaining, policy, recovery, journal, disk_cache=True
+                        ).items()
+                    }
+                )
+                break
+
+            # drain messages (block briefly on the first for pacing)
+            messages = []
+            try:
+                messages.append(result_q.get(timeout=_POLL_S))
+                while True:
+                    messages.append(result_q.get_nowait())
+            except queue_mod.Empty:
+                pass
+            for message in messages:
+                kind, wid = message[0], message[1]
+                handle = workers.get(wid)
+                if kind == "start":
+                    if handle is not None:
+                        handle.started = (message[2], time.monotonic())
+                elif kind == "ok":
+                    idx, result = message[2], message[3]
+                    record_ok(idx, result)
+                    if handle is not None:
+                        handle.items.pop(idx, None)
+                        if handle.started and handle.started[0] == idx:
+                            handle.started = None
+                elif kind == "err":
+                    idx, info = message[2], message[3]
+                    attempt = 0
+                    if handle is not None:
+                        entry = handle.items.pop(idx, None)
+                        if entry is not None:
+                            attempt = entry[1]
+                        if handle.started and handle.started[0] == idx:
+                            handle.started = None
+                    handle_failure(
+                        idx, attempt, "error",
+                        f"{info['type']}: {info['msg']}", info["type"],
+                    )
+                elif kind == "idle":
+                    if handle is not None:
+                        handle.idle = True
+                        handle.items = {}
+                        handle.started = None
+                elif kind == "note":
+                    recovery.note(message[2], detail=message[3])
+
+            # liveness: a worker that died mid-task loses its in-flight cell
+            now = time.monotonic()
+            for wid, handle in list(workers.items()):
+                if handle.idle:
+                    if not handle.process.is_alive():
+                        respawn(wid)
+                    continue
+                if not handle.process.is_alive():
+                    exitcode = handle.process.exitcode
+                    recovery.note(
+                        "worker_lost", detail=f"worker {wid} exited {exitcode}"
+                    )
+                    # Charge the crash to the cell the worker was on.  A hard
+                    # kill (SIGKILL, os._exit) can lose the queued "start"
+                    # message, so fall back to the first un-acknowledged cell
+                    # in dispatch order — workers run their task in order, so
+                    # that is the in-flight one.  Charging an attempt on every
+                    # death is what bounds a crash-looping cell.
+                    victim: Optional[int] = None
+                    if handle.started is not None:
+                        victim = handle.started[0]
+                    else:
+                        for idx in handle.items:
+                            if idx not in results:
+                                victim = idx
+                                break
+                    if victim is not None:
+                        entry = handle.items.pop(victim, None)
+                        attempt = entry[1] if entry is not None else 0
+                        handle_failure(
+                            victim, attempt, "lost",
+                            f"worker {wid} died mid-cell (exit {exitcode})",
+                        )
+                    respawn(wid)
+                elif (
+                    policy.cell_timeout_s is not None
+                    and handle.started is not None
+                    and now - handle.started[1] > policy.cell_timeout_s
+                ):
+                    idx, _t0 = handle.started
+                    entry = handle.items.pop(idx, None)
+                    attempt = entry[1] if entry is not None else 0
+                    handle.process.kill()
+                    handle.process.join(timeout=1.0)
+                    handle.started = None
+                    handle_failure(
+                        idx, attempt, "timeout",
+                        f"exceeded {policy.cell_timeout_s:g}s wall clock",
+                    )
+                    respawn(wid)
+    finally:
+        for handle in workers.values():
+            try:
+                handle.task_q.put(None)
+            except (OSError, ValueError):
+                pass
+        deadline = time.monotonic() + 2.0
+        for handle in workers.values():
+            handle.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(timeout=1.0)
+        result_q.cancel_join_thread()
+
+    if fatal:
+        raise fatal[0]
+    return {
+        (cell.system, cell.benchmark): results[idx]
+        for idx, cell in enumerate(cells)
+    }
+
+
+def _idx_of(
+    cells: Sequence[SweepCell], chunk: Sequence[SweepCell]
+) -> List[Tuple[int, SweepCell, int]]:
+    index = _index_by_key(cells)
+    return [(index[(c.system, c.benchmark)], c, 0) for c in chunk]
+
+
+def _index_by_key(cells: Sequence[SweepCell]) -> Dict[Tuple[str, str], int]:
+    return {(c.system, c.benchmark): i for i, c in enumerate(cells)}
+
+
+# ---------------------------------------------------------------------------
+# the sweep entry point
+# ---------------------------------------------------------------------------
 
 
 def run_parallel_sweep(
@@ -126,43 +674,81 @@ def run_parallel_sweep(
     seed: int = 1,
     scale: float = DEFAULT_SCALE,
     jobs: int = 1,
+    run_dir: Optional[Union[str, "os.PathLike[str]"]] = None,
+    max_retries: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
+    recovery: Optional[RecoveryLog] = None,
 ) -> Dict[Tuple[str, str], SimulationResult]:
-    """Fan a sweep matrix over ``jobs`` worker processes.
+    """Fan a sweep matrix over ``jobs`` worker processes, fault-tolerantly.
 
     Returns exactly what the serial sweep would: ``(system, benchmark) ->
     SimulationResult`` with bit-identical counters, in the same iteration
-    order.
+    order — including across crash/resume (``run_dir``), retries, worker
+    loss, and injected faults.
     """
     cells = plan_cells(configs, benchmarks, refs=refs, seed=seed, scale=scale)
-    if jobs <= 1 or len(cells) <= 1:
-        flat = _run_cells(cells, disk_cache=False)
-        return {(s, b): r for s, b, r in flat}
+    policy = resolve_policy(max_retries, cell_timeout)
+    if recovery is None:
+        recovery = RecoveryLog()
 
-    # Pre-seed the disk cache so no worker regenerates a trace.  Under the
-    # default fork start method workers additionally inherit the parent's
-    # warm in-process cache for free.
-    for bench in benchmarks:
-        get_trace(bench, refs=refs, seed=seed, scale=scale, disk_cache=True)
+    journal: Optional[SweepJournal] = None
+    done: Dict[Tuple[str, str], SimulationResult] = {}
+    if run_dir is not None:
+        journal = SweepJournal.open(
+            run_dir,
+            refs=refs,
+            seed=seed,
+            scale=scale,
+            systems=list(configs),
+            benchmarks=list(benchmarks),
+        )
+        done = journal.load(configs)
+        if done:
+            recovery.note(
+                "cells_resumed",
+                detail=f"{len(done)} cell(s) restored from {journal.run_dir}",
+            )
+        if journal.torn_lines or journal.stale_records:
+            recovery.note(
+                "journal_repaired",
+                detail=(
+                    f"skipped {journal.torn_lines} torn line(s) and "
+                    f"{journal.stale_records} stale record(s)"
+                ),
+            )
 
-    chunks = chunk_cells(cells, jobs)
-    flat: List[Tuple[str, str, SimulationResult]] = []
+    todo = [c for c in cells if (c.system, c.benchmark) not in done]
+    # surface parent-side trace-cache recovery (quarantines during the
+    # pre-seed phase, skipped writes) alongside the workers' notes
+    previous_hook = trace_io.set_recovery_hook(
+        lambda kind, detail: recovery.note(kind, detail=detail)
+    )
     try:
-        import multiprocessing
+        if todo:
+            if jobs <= 1 or len(todo) <= 1:
+                fresh = _run_cells_serial(
+                    todo, policy, recovery, journal, disk_cache=False
+                )
+            else:
+                # Pre-seed the disk cache so no worker regenerates a trace.
+                # Under the default fork start method workers additionally
+                # inherit the parent's warm in-process cache for free.
+                for bench in {c.benchmark for c in todo}:
+                    try:
+                        get_trace(bench, refs=refs, seed=seed, scale=scale,
+                                  disk_cache=True)
+                    except OSError:
+                        pass  # workers fall back to generating it themselves
+                fresh = _execute_cells(todo, jobs, policy, recovery, journal)
+            done.update(fresh)
+    finally:
+        trace_io.set_recovery_hook(previous_hook)
+        if journal is not None:
+            journal.close()
 
-        with multiprocessing.Pool(processes=min(jobs, len(chunks))) as pool:
-            for chunk_result in pool.map(_worker, chunks):
-                flat.extend(chunk_result)
-    except Exception:
-        # pickling-hostile platform / sandboxed interpreter: fall back to
-        # the serial path rather than failing the sweep
-        flat = _run_cells(cells, disk_cache=True)
-
-    merged = {(s, b): r for s, b, r in flat}
     # deterministic merge: plan order, exactly the serial dict order
-    return {
-        (cell.system, cell.benchmark): merged[(cell.system, cell.benchmark)]
-        for cell in cells
-    }
+    return {(cell.system, cell.benchmark): done[(cell.system, cell.benchmark)]
+            for cell in cells}
 
 
 # ---------------------------------------------------------------------------
@@ -230,15 +816,24 @@ def timed_sweep(
     manifest_dir: Optional[str] = None,
     manifest_name: str = "sweep",
     command: str = "",
+    run_dir: Optional[str] = None,
+    max_retries: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
+    recovery: Optional[RecoveryLog] = None,
 ) -> Tuple[Dict[Tuple[str, str], SimulationResult], float]:
     """Run a sweep (parallel or serial) and return ``(results, wall_s)``.
 
     A run manifest is written to ``manifest_dir`` when given, else to
-    ``$REPRO_MANIFEST_DIR`` when set, else not at all.
+    ``$REPRO_MANIFEST_DIR`` when set, else not at all; any recovery
+    actions the sweep took are surfaced in it.
     """
+    if recovery is None:
+        recovery = RecoveryLog()
     start = time.perf_counter()
     results = run_parallel_sweep(
-        configs, benchmarks, refs=refs, seed=seed, scale=scale, jobs=jobs
+        configs, benchmarks, refs=refs, seed=seed, scale=scale, jobs=jobs,
+        run_dir=run_dir, max_retries=max_retries, cell_timeout=cell_timeout,
+        recovery=recovery,
     )
     wall_s = time.perf_counter() - start
     from ..obs.manifest import maybe_write_sweep_manifest
@@ -253,5 +848,6 @@ def timed_sweep(
         wall_s=wall_s,
         directory=manifest_dir,
         name=manifest_name,
+        recovery=recovery,
     )
     return results, wall_s

@@ -67,7 +67,14 @@ def get_trace(
             trace = trace_io.load_cached_trace(spec)
             if trace is None:
                 trace = generate_trace(spec)
-                trace_io.store_cached_trace(spec, trace)
+                try:
+                    trace_io.store_cached_trace(spec, trace)
+                except OSError as exc:
+                    # a full disk (or an injected I/O fault) must not sink
+                    # the run: continue with the in-memory trace, uncached
+                    trace_io.note_recovery(
+                        "trace_cache_skipped", f"{benchmark}: {exc}"
+                    )
         else:
             trace = generate_trace(spec)
         _trace_cache[key] = trace
@@ -198,6 +205,10 @@ def sweep(
     scale: float = DEFAULT_SCALE,
     jobs: int = 1,
     config_overrides: Optional[Mapping[str, Mapping[str, object]]] = None,
+    run_dir: Optional[str] = None,
+    max_retries: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
+    recovery=None,
     **shared_overrides: object,
 ) -> Dict[Tuple[str, str], SimulationResult]:
     """Run a systems x benchmarks matrix; keys are ``(system, benchmark)``.
@@ -207,25 +218,23 @@ def sweep(
     bit-identical to a serial run.  ``config_overrides`` scopes overrides to
     a single system (``{"vxp5": {"initial_threshold": 8}}``) while plain
     keyword overrides apply to the whole matrix.
+
+    Resilience knobs (serial and parallel alike; see ``docs/ROBUSTNESS.md``):
+    ``run_dir`` journals completed cells so an interrupted sweep resumes
+    bit-identically; ``max_retries``/``cell_timeout`` bound per-cell fault
+    handling (defaults from ``REPRO_MAX_RETRIES``/``REPRO_CELL_TIMEOUT``);
+    ``recovery`` — a :class:`repro.sim.parallel.RecoveryLog` — collects
+    every recovery action the sweep took.
     """
     systems = list(systems)
     benchmarks = list(benchmarks)
     configs = resolve_sweep_configs(
         systems, config_overrides=config_overrides, **shared_overrides
     )
+    from .parallel import run_parallel_sweep
 
-    if jobs > 1:
-        from .parallel import run_parallel_sweep
-
-        return run_parallel_sweep(
-            configs, benchmarks, refs=refs, seed=seed, scale=scale, jobs=jobs
-        )
-
-    out: Dict[Tuple[str, str], SimulationResult] = {}
-    for bench in benchmarks:
-        trace = get_trace(bench, refs=refs, seed=seed, scale=scale)
-        for system in systems:
-            out[(system, bench)] = run_trace(
-                configs[system], trace, system_name=system
-            )
-    return out
+    return run_parallel_sweep(
+        configs, benchmarks, refs=refs, seed=seed, scale=scale, jobs=jobs,
+        run_dir=run_dir, max_retries=max_retries, cell_timeout=cell_timeout,
+        recovery=recovery,
+    )

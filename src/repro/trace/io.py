@@ -9,6 +9,15 @@ hashes to a stable file name under :func:`trace_cache_dir`, so parallel
 sweep workers and repeated figure runs load each trace once instead of
 regenerating it per process.  Set ``REPRO_TRACE_CACHE`` to move the cache
 (e.g. to a tmpfs in CI) and :func:`clear_disk_trace_cache` to empty it.
+
+Integrity: every file carries a SHA-256 **payload digest** over the
+reference arrays and metadata, written atomically (temp file +
+``os.replace``) so a killed worker can never leave a half-written file
+for other workers to load.  :func:`load_trace` verifies the digest and
+raises :class:`~repro.errors.CorruptTraceError` on mismatch; the disk
+cache converts any corruption into **quarantine + regenerate** (the bad
+file is renamed ``*.corrupt`` for post-mortem, the caller regenerates)
+instead of crashing the sweep worker that tripped over it.
 """
 
 from __future__ import annotations
@@ -17,19 +26,40 @@ import hashlib
 import json
 import os
 import tempfile
+import zipfile
 from pathlib import Path
-from typing import Optional, Union
+from typing import Callable, Optional, Union
 
 import numpy as np
 
-from ..errors import TraceError
+from ..errors import CorruptTraceError, TraceError
 from .record import Trace, TraceSpec
 
-_FORMAT_VERSION = 1
+#: bumped to 2 when the payload digest field was added
+_FORMAT_VERSION = 2
+
+
+def _payload_digest(
+    pids: np.ndarray, addrs: np.ndarray, writes: np.ndarray, meta: dict
+) -> str:
+    """SHA-256 over the reference arrays plus the digest-free metadata."""
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(pids).tobytes())
+    h.update(np.ascontiguousarray(addrs).tobytes())
+    h.update(np.ascontiguousarray(writes).tobytes())
+    canon = {k: v for k, v in meta.items() if k != "digest"}
+    h.update(json.dumps(canon, sort_keys=True, default=str).encode("utf-8"))
+    return h.hexdigest()
 
 
 def save_trace(trace: Trace, path: Union[str, Path]) -> None:
-    """Write a trace to ``path`` (``.npz``)."""
+    """Write a trace to ``path`` (``.npz``), atomically.
+
+    The bytes land in a temp file first and are renamed into place, so a
+    crash mid-write leaves either the old file or no file — never a torn
+    one.  The embedded payload digest lets :func:`load_trace` verify the
+    file end to end.
+    """
     path = Path(path)
     meta = {
         "version": _FORMAT_VERSION,
@@ -40,33 +70,59 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> None:
         ),
         "meta": trace.meta,
     }
-    np.savez_compressed(
-        path,
-        pids=trace.pids,
-        addrs=trace.addrs,
-        writes=trace.writes,
-        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    meta["digest"] = _payload_digest(trace.pids, trace.addrs, trace.writes, meta)
+    # the suffix must stay ".npz" — np.savez would otherwise append one and
+    # the temp name handed to os.replace would no longer exist
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.stem + ".", suffix=".tmp.npz", dir=path.parent or Path(".")
     )
+    try:
+        os.close(fd)
+        np.savez_compressed(
+            tmp_name,
+            pids=trace.pids,
+            addrs=trace.addrs,
+            writes=trace.writes,
+            meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        )
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def load_trace(path: Union[str, Path]) -> Trace:
-    """Read a trace written by :func:`save_trace`."""
+    """Read a trace written by :func:`save_trace`, verifying its digest."""
     path = Path(path)
     if not path.exists():
         raise TraceError(f"trace file not found: {path}")
-    with np.load(path) as data:
-        try:
-            meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
-            pids = data["pids"]
-            addrs = data["addrs"]
-            writes = data["writes"]
-        except KeyError as exc:
-            raise TraceError(f"malformed trace file {path}: missing {exc}") from exc
+    try:
+        with np.load(path) as data:
+            try:
+                meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
+                pids = data["pids"]
+                addrs = data["addrs"]
+                writes = data["writes"]
+            except KeyError as exc:
+                raise TraceError(f"malformed trace file {path}: missing {exc}") from exc
+    except (OSError, ValueError, zipfile.BadZipFile, EOFError) as exc:
+        # zipfile/np.load failures on torn or bit-flipped files
+        raise CorruptTraceError(path, f"unreadable archive: {exc}") from exc
     if meta.get("version") != _FORMAT_VERSION:
         raise TraceError(
             f"trace file {path} has version {meta.get('version')}, "
             f"expected {_FORMAT_VERSION}"
         )
+    expected = meta.get("digest")
+    if expected is not None:
+        actual = _payload_digest(pids, addrs, writes, meta)
+        if actual != expected:
+            raise CorruptTraceError(
+                path, f"payload digest mismatch ({actual[:12]} != {expected[:12]})"
+            )
     placement = meta.get("placement")
     if placement is not None:
         placement = {int(k): int(v) for k, v in placement.items()}
@@ -87,6 +143,29 @@ def load_trace(path: Union[str, Path]) -> Trace:
 
 #: environment variable overriding the cache directory
 CACHE_ENV = "REPRO_TRACE_CACHE"
+
+# recovery hook: the sweep executor installs one so cache-level recovery
+# actions (quarantines, skipped writes) surface as obs events / metrics
+_recovery_hook: Optional[Callable[[str, str], None]] = None
+
+
+def set_recovery_hook(
+    hook: Optional[Callable[[str, str], None]],
+) -> Optional[Callable[[str, str], None]]:
+    """Install ``hook(kind, detail)`` for cache recovery actions.
+
+    Returns the previous hook so callers can restore it.  Kinds emitted:
+    ``trace_quarantined`` and ``trace_cache_skipped``.
+    """
+    global _recovery_hook
+    previous = _recovery_hook
+    _recovery_hook = hook
+    return previous
+
+
+def note_recovery(kind: str, detail: str) -> None:
+    if _recovery_hook is not None:
+        _recovery_hook(kind, detail)
 
 
 def trace_cache_dir() -> Path:
@@ -121,61 +200,70 @@ def trace_cache_path(spec: TraceSpec) -> Path:
     return trace_cache_dir() / f"{spec.benchmark.lower()}-{trace_cache_key(spec)}.npz"
 
 
+def quarantine_path(path: Union[str, Path]) -> Path:
+    """Where a corrupt cache entry is parked for post-mortem inspection."""
+    path = Path(path)
+    return path.with_name(path.name + ".corrupt")
+
+
 def load_cached_trace(spec: TraceSpec) -> Optional[Trace]:
     """The cached trace for ``spec``, or None on miss/corruption.
 
-    A corrupt or version-skewed entry is deleted rather than raised: the
-    caller can always regenerate, so the cache must never brick a sweep.
+    A corrupt or version-skewed entry is **quarantined** (renamed
+    ``*.corrupt``) rather than raised: the caller can always regenerate,
+    so the cache must never brick a sweep — but the bad bytes are kept
+    around so the corruption can be diagnosed.  Every quarantine is
+    reported through the recovery hook.
     """
     path = trace_cache_path(spec)
     if not path.exists():
         return None
     try:
         return load_trace(path)
-    except (TraceError, OSError, ValueError):
+    except (TraceError, OSError, ValueError) as exc:
         try:
-            path.unlink()
+            os.replace(path, quarantine_path(path))
+            note_recovery("trace_quarantined", f"{path.name}: {exc}")
         except OSError:
-            pass
+            try:
+                path.unlink()
+            except OSError:
+                pass
         return None
 
 
 def store_cached_trace(spec: TraceSpec, trace: Trace) -> Path:
     """Persist ``trace`` under its content key; returns the cache path.
 
-    The write is atomic (temp file + ``os.replace``), so concurrent workers
-    racing to store the same trace cannot leave a torn file behind.
+    The write is atomic (:func:`save_trace`), so concurrent workers racing
+    to store the same trace cannot leave a torn file behind.
     """
+    from .. import faults
+
     path = trace_cache_path(spec)
     path.parent.mkdir(parents=True, exist_ok=True)
-    # the suffix must stay ".npz" — np.savez would otherwise append one and
-    # the temp name handed to os.replace would no longer exist
-    fd, tmp_name = tempfile.mkstemp(
-        prefix=path.stem + ".", suffix=".tmp.npz", dir=path.parent
-    )
-    try:
-        os.close(fd)
-        save_trace(trace, tmp_name)
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
+    plan = faults.active_plan()
+    if plan is not None:
+        plan.maybe_io_error(f"store:{trace_cache_key(spec)}")
+    save_trace(trace, path)
+    if plan is not None and plan.maybe_corrupt_file(
+        path, f"corrupt:{trace_cache_key(spec)}"
+    ):
+        note_recovery("fault_injected", f"corrupted cache entry {path.name}")
     return path
 
 
 def clear_disk_trace_cache() -> int:
-    """Delete every cached trace; returns how many files were removed."""
+    """Delete every cached trace (and quarantined entry); returns the count."""
     root = trace_cache_dir()
     if not root.is_dir():
         return 0
     removed = 0
-    for entry in root.glob("*.npz"):
-        try:
-            entry.unlink()
-            removed += 1
-        except OSError:
-            pass
+    for pattern in ("*.npz", "*.npz.corrupt"):
+        for entry in root.glob(pattern):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
     return removed

@@ -1,0 +1,207 @@
+"""Tests for the sweep journal: crash-safe checkpoint/resume that merges
+bit-identically with a from-scratch run."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.sim.checkpoint import SweepJournal
+from repro.sim.parallel import RecoveryLog
+from repro.sim.runner import clear_trace_cache, resolve_sweep_configs, sweep
+
+SYSTEMS = ["base", "vb"]
+BENCHES = ["fft", "lu"]
+REFS = 3_000
+SCALE = 0.02
+
+
+@pytest.fixture(autouse=True)
+def _isolated(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_RETRY_BACKOFF", "0")
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+
+
+def _sweep(run_dir=None, recovery=None, jobs=1):
+    return sweep(
+        SYSTEMS,
+        BENCHES,
+        refs=REFS,
+        scale=SCALE,
+        jobs=jobs,
+        run_dir=str(run_dir) if run_dir is not None else None,
+        recovery=recovery,
+    )
+
+
+def _assert_identical(expected, actual):
+    assert list(expected) == list(actual)
+    for key in expected:
+        assert expected[key].counters == actual[key].counters, key
+        assert expected[key].metrics == actual[key].metrics, key
+
+
+class TestJournalRoundTrip:
+    def test_append_then_load_restores_cells(self, tmp_path):
+        results = _sweep()
+        configs = resolve_sweep_configs(SYSTEMS)
+        journal = SweepJournal.open(
+            tmp_path / "run",
+            refs=REFS,
+            seed=1,
+            scale=SCALE,
+            systems=SYSTEMS,
+            benchmarks=BENCHES,
+        )
+        with journal:
+            for result in results.values():
+                journal.append(result, SCALE)
+        restored = journal.load(configs)
+        assert set(restored) == set(results)
+        for key in results:
+            assert restored[key].counters == results[key].counters
+            assert restored[key].metrics == results[key].metrics
+        assert journal.torn_lines == 0 and journal.stale_records == 0
+
+    def test_header_written_once_and_validated(self, tmp_path):
+        run = tmp_path / "run"
+        SweepJournal.open(
+            run, refs=REFS, seed=1, scale=SCALE,
+            systems=SYSTEMS, benchmarks=BENCHES,
+        ).close()
+        header = json.loads((run / "run.json").read_text())
+        assert header["refs"] == REFS and header["systems"] == SYSTEMS
+        # reopening with identical parameters is fine
+        SweepJournal.open(
+            run, refs=REFS, seed=1, scale=SCALE,
+            systems=SYSTEMS, benchmarks=BENCHES,
+        ).close()
+
+    def test_parameter_mismatch_raises(self, tmp_path):
+        run = tmp_path / "run"
+        SweepJournal.open(
+            run, refs=REFS, seed=1, scale=SCALE,
+            systems=SYSTEMS, benchmarks=BENCHES,
+        ).close()
+        with pytest.raises(CheckpointError) as excinfo:
+            SweepJournal.open(
+                run, refs=REFS * 2, seed=1, scale=SCALE,
+                systems=SYSTEMS, benchmarks=BENCHES,
+            )
+        assert "refs" in str(excinfo.value)
+
+    def test_unreadable_header_raises(self, tmp_path):
+        run = tmp_path / "run"
+        run.mkdir()
+        (run / "run.json").write_text("{not json")
+        with pytest.raises(CheckpointError):
+            SweepJournal.open(
+                run, refs=REFS, seed=1, scale=SCALE,
+                systems=SYSTEMS, benchmarks=BENCHES,
+            )
+
+
+class TestJournalTolerance:
+    def _journalled_run(self, tmp_path):
+        run = tmp_path / "run"
+        results = _sweep(run_dir=run)
+        return run, results
+
+    def test_torn_trailing_line_skipped(self, tmp_path):
+        run, results = self._journalled_run(tmp_path)
+        journal_path = run / "journal.jsonl"
+        with open(journal_path, "a", encoding="utf-8") as fh:
+            fh.write('{"journal_version": 1, "system": "base", "bench')  # torn
+        journal = SweepJournal(run)
+        restored = journal.load(resolve_sweep_configs(SYSTEMS))
+        assert journal.torn_lines == 1
+        assert set(restored) == set(results)
+
+    def test_tampered_counters_discarded(self, tmp_path):
+        run, results = self._journalled_run(tmp_path)
+        journal_path = run / "journal.jsonl"
+        lines = journal_path.read_text().strip().splitlines()
+        rec = json.loads(lines[0])
+        rec["counters"]["reads"] = rec["counters"]["reads"] + 1
+        lines[0] = json.dumps(rec, sort_keys=True)
+        journal_path.write_text("\n".join(lines) + "\n")
+        journal = SweepJournal(run)
+        restored = journal.load(resolve_sweep_configs(SYSTEMS))
+        assert journal.stale_records == 1
+        assert len(restored) == len(results) - 1
+
+    def test_config_change_invalidates_records(self, tmp_path):
+        run, results = self._journalled_run(tmp_path)
+        journal = SweepJournal(run)
+        changed = resolve_sweep_configs(SYSTEMS, cache_assoc=4)
+        restored = journal.load(changed)
+        assert restored == {}
+        assert journal.stale_records == len(results)
+
+
+class TestResume:
+    def test_resume_bit_identical_to_scratch(self, tmp_path):
+        scratch = _sweep()
+        clear_trace_cache()
+
+        run = tmp_path / "run"
+        first = _sweep(run_dir=run)
+        _assert_identical(scratch, first)
+
+        # drop the last journalled cell to simulate an interrupted run
+        journal_path = run / "journal.jsonl"
+        lines = journal_path.read_text().strip().splitlines()
+        journal_path.write_text("\n".join(lines[:-1]) + "\n")
+
+        clear_trace_cache()
+        recovery = RecoveryLog()
+        resumed = _sweep(run_dir=run, recovery=recovery)
+        _assert_identical(scratch, resumed)
+        assert recovery.counts.get("cells_resumed", 0) == 1
+
+    def test_fully_journalled_run_resumes_without_simulating(self, tmp_path):
+        run = tmp_path / "run"
+        first = _sweep(run_dir=run)
+        recovery = RecoveryLog()
+        resumed = _sweep(run_dir=run, recovery=recovery)
+        _assert_identical(first, resumed)
+        assert recovery.counts.get("cells_resumed", 0) == 1
+        # nothing was re-simulated, so nothing was re-journalled
+        lines = (run / "journal.jsonl").read_text().strip().splitlines()
+        assert len(lines) == len(first)
+
+    def test_resume_parallel_matches_scratch(self, tmp_path):
+        scratch = _sweep()
+        clear_trace_cache()
+
+        run = tmp_path / "run"
+        partial = dict(scratch)
+        configs = resolve_sweep_configs(SYSTEMS)
+        journal = SweepJournal.open(
+            run, refs=REFS, seed=1, scale=SCALE,
+            systems=SYSTEMS, benchmarks=BENCHES,
+        )
+        with journal:
+            # journal only half the matrix; the rest runs in workers
+            for key in list(partial)[:2]:
+                journal.append(partial[key], SCALE)
+
+        recovery = RecoveryLog()
+        resumed = _sweep(run_dir=run, recovery=recovery, jobs=2)
+        _assert_identical(scratch, resumed)
+        assert recovery.counts.get("cells_resumed", 0) == 1
+
+    def test_torn_journal_surfaces_repair_note(self, tmp_path):
+        run = tmp_path / "run"
+        _sweep(run_dir=run)
+        with open(run / "journal.jsonl", "a", encoding="utf-8") as fh:
+            fh.write('{"torn')
+        clear_trace_cache()
+        recovery = RecoveryLog()
+        _sweep(run_dir=run, recovery=recovery)
+        assert recovery.counts.get("journal_repaired", 0) == 1
