@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Gate engine throughput against the committed baseline floors.
+
+Compares the ``refs_per_sec`` figures that ``benchmarks/bench_core.py``
+records in its pytest-benchmark JSON output against the floors in
+``benchmarks/baseline_core.json``.  A run **fails** when any benchmark
+drops more than the tolerance (default 20%) below its floor::
+
+    python -m pytest benchmarks/bench_core.py --benchmark-only \\
+        --benchmark-json=bench_core.json
+    python scripts/check_bench_regression.py bench_core.json \\
+        benchmarks/baseline_core.json
+
+The committed floors deliberately sit well below developer-machine
+numbers (about 5x headroom) so shared CI runners never flap, while a real
+regression — losing the inlined read-hit loop, re-introducing
+per-reference allocation — still lands far below them.
+
+``--update`` rewrites the baseline from the current run, dividing each
+measurement by ``--headroom`` (default 5.0) to regain that margin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+
+def extract_refs_per_sec(bench_json_path: str) -> Dict[str, float]:
+    """Pull ``extra_info.refs_per_sec`` per benchmark from pytest-benchmark
+    JSON; benchmarks without one (pure-latency micro-benches) are skipped."""
+    with open(bench_json_path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    out: Dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        rate = bench.get("extra_info", {}).get("refs_per_sec")
+        if rate is not None:
+            out[bench["name"]] = float(rate)
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="pytest-benchmark JSON from this run")
+    parser.add_argument("baseline", help="benchmarks/baseline_core.json")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.8,
+        help="fail when current < floor * tolerance (default %(default)s, "
+             "i.e. a >20%% drop below the floor)",
+    )
+    parser.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline from the current run instead of gating",
+    )
+    parser.add_argument(
+        "--headroom", type=float, default=5.0,
+        help="with --update, store measured/headroom as the new floor "
+             "(default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    current = extract_refs_per_sec(args.current)
+    if not current:
+        print(f"error: no refs_per_sec entries in {args.current}",
+              file=sys.stderr)
+        return 2
+
+    if args.update:
+        baseline = {
+            "_comment": (
+                "Throughput floors for benchmarks/bench_core.py, in "
+                "references simulated per second.  Floors are measured "
+                f"values divided by {args.headroom:g} so loaded CI runners "
+                "never flap; scripts/check_bench_regression.py fails a run "
+                "that drops more than 20% below a floor."
+            ),
+            "refs_per_sec": {
+                name: round(rate / args.headroom)
+                for name, rate in sorted(current.items())
+            },
+        }
+        with open(args.baseline, "w", encoding="utf-8") as fh:
+            json.dump(baseline, fh, indent=2)
+            fh.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        for name, floor in baseline["refs_per_sec"].items():
+            print(f"  {name:40s} floor {floor:>12,}")
+        return 0
+
+    with open(args.baseline, "r", encoding="utf-8") as fh:
+        floors = json.load(fh)["refs_per_sec"]
+
+    failures = []
+    for name, floor in sorted(floors.items()):
+        rate = current.get(name)
+        if rate is None:
+            failures.append(f"{name}: missing from {args.current}")
+            print(f"MISSING {name:40s} floor {floor:>12,.0f}")
+            continue
+        limit = floor * args.tolerance
+        status = "ok" if rate >= limit else "REGRESSION"
+        print(f"{status:10s} {name:40s} {rate:>12,.0f} refs/s "
+              f"(floor {floor:,.0f}, limit {limit:,.0f})")
+        if rate < limit:
+            failures.append(
+                f"{name}: {rate:,.0f} refs/s is below {limit:,.0f} "
+                f"({args.tolerance:.0%} of the {floor:,.0f} floor)"
+            )
+
+    extra = sorted(set(current) - set(floors))
+    if extra:
+        print("note: benchmarks not in the baseline (add with --update): "
+              + ", ".join(extra))
+
+    if failures:
+        print("\nthroughput regression gate FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nthroughput regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""repro.check — the protocol verification suite.
+
+Three engines, all reachable through ``repro check`` (see
+``docs/VERIFICATION.md``):
+
+* :mod:`repro.check.explore` — an exhaustive model checker.  For tiny
+  configurations (2 clusters x 2 processors, 2-4 blocks) it BFS-enumerates
+  every reachable machine state under every possible reference event and
+  asserts the :mod:`repro.sim.validate` invariants plus per-transition
+  legality on each one.  A violation is reported with the *minimal* event
+  path that reaches it (BFS order guarantees minimality).
+
+* :mod:`repro.check.oracle` — an independent differential oracle.  A
+  deliberately simple flat-memory, sequential-consistency reference
+  simulator (naive scans, sets and dicts, no inlining, its own per-block
+  ownership tracking and a write-version value model) is run against the
+  optimised :class:`~repro.sim.simulator.Simulator` over generated traces;
+  any difference in counters or final machine state is a divergence.  The
+  same module asserts serial and ``--jobs N`` parallel sweeps stay
+  bit-identical.
+
+* :mod:`repro.check.fuzz` — a seeded protocol fuzzer.  Generates
+  adversarial interleavings (upgrade races, victimisation storms,
+  relocation-threshold edges), runs them through the simulator, the
+  machine validator, and the oracle diff, and shrinks any failing trace to
+  a minimal replayable JSON artifact.
+
+What is *proved* (exhaustively, for the tiny configurations) versus what
+is *sampled* (fuzzing and trace diffs) is spelled out in
+``docs/VERIFICATION.md``.
+"""
+
+from .explore import (
+    DEFAULT_VARIANTS,
+    ExplorationReport,
+    explore_variant,
+    tiny_check_config,
+)
+from .fuzz import FuzzCase, FuzzReport, replay_artifact, run_fuzz
+from .oracle import OracleSimulator, diff_cell, diff_parallel_sweep
+
+__all__ = [
+    "DEFAULT_VARIANTS",
+    "ExplorationReport",
+    "explore_variant",
+    "tiny_check_config",
+    "OracleSimulator",
+    "diff_cell",
+    "diff_parallel_sweep",
+    "FuzzCase",
+    "FuzzReport",
+    "replay_artifact",
+    "run_fuzz",
+]

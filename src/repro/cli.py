@@ -288,6 +288,128 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    import os
+    import time
+
+    from .check import (
+        DEFAULT_VARIANTS,
+        diff_cell,
+        diff_parallel_sweep,
+        explore_variant,
+        replay_artifact,
+        run_fuzz,
+    )
+    from .errors import ModelCheckViolation, OracleDivergenceError
+    from .obs import EventTracer
+    from .obs.manifest import build_manifest, manifest_dir_from_env, write_manifest
+
+    if args.replay:
+        verdict = replay_artifact(args.replay)
+        status = "REPRODUCED" if verdict["reproduced"] else "passes now"
+        print(f"{args.replay}: {status} "
+              f"({verdict['events']} events, expected {verdict['expected_error']}, "
+              f"got {verdict['error']})")
+        return 1 if verdict["reproduced"] else 0
+
+    # no engine selected => run all three (explore, diff, a short fuzz)
+    run_all = not (args.explore or args.diff or args.fuzz)
+    if args.events and os.path.dirname(args.events):
+        os.makedirs(os.path.dirname(args.events), exist_ok=True)
+    tracer = EventTracer(jsonl_path=args.events) if args.events else None
+    started = time.time()
+    summary: dict = {}
+    failed = False
+
+    try:
+        if args.explore or run_all:
+            variants = (
+                [v.strip() for v in args.variants.split(",") if v.strip()]
+                if args.variants else list(DEFAULT_VARIANTS)
+            )
+            for system in variants:
+                try:
+                    rep = explore_variant(
+                        system, n_blocks=args.blocks, max_states=args.max_states
+                    )
+                except ModelCheckViolation as exc:
+                    failed = True
+                    if tracer is not None:
+                        tracer.emit("explore_violation", 0, detail=str(exc))
+                    print(f"explore {system:6s} VIOLATION\n{exc}")
+                    continue
+                if tracer is not None:
+                    tracer.emit(
+                        "explore_variant", rep.n_states,
+                        detail=f"{system}={rep.n_states}={rep.n_transitions}",
+                    )
+                print(f"explore {system:6s} OK  {rep.n_states:7d} states  "
+                      f"{rep.n_transitions:8d} transitions  depth {rep.max_depth}")
+            summary["explored_variants"] = len(variants)
+
+        if args.diff or run_all:
+            systems = [s.strip() for s in args.systems.split(",") if s.strip()]
+            benches = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+            cells = 0
+            for system in systems:
+                for bench in benches:
+                    try:
+                        diff_cell(system, bench, refs=args.refs,
+                                  seed=args.seed, scale=args.scale)
+                        cells += 1
+                        if tracer is not None:
+                            tracer.emit("diff_cell", cells,
+                                        detail=f"{system}/{bench}")
+                    except OracleDivergenceError as exc:
+                        failed = True
+                        if tracer is not None:
+                            tracer.emit("diff_divergence", cells, detail=str(exc))
+                        print(f"diff {system}/{bench} DIVERGENCE: {exc}")
+            print(f"diff    {cells} cells agree (simulator == oracle, "
+                  f"{args.refs} refs each)")
+            n = diff_parallel_sweep(systems, benches, refs=args.refs,
+                                    seed=args.seed, scale=args.scale,
+                                    jobs=args.jobs)
+            if tracer is not None:
+                tracer.emit("diff_parallel", n, detail="identical")
+            print(f"diff    serial == --jobs {args.jobs} on {n} cells")
+            summary["diffed_cells"] = cells
+
+        if args.fuzz or run_all:
+            budget = args.budget if not run_all else min(args.budget, 10.0)
+            report = run_fuzz(
+                seed=args.seed, budget_s=budget, max_cases=args.max_cases,
+                out_dir=args.out_dir, tracer=tracer,
+            )
+            print(f"fuzz    {report.cases_run} cases in {report.elapsed:.1f}s, "
+                  f"{len(report.failures)} failures")
+            for f in report.failures:
+                failed = True
+                print(f"  {f.error}: shrunk {f.original_length} -> "
+                      f"{len(f.case.events)} events -> {f.artifact_path}")
+            summary["fuzz_cases"] = report.cases_run
+            summary["fuzz_failures"] = len(report.failures)
+    finally:
+        if tracer is not None:
+            tracer.close()
+
+    manifest_dest = args.manifest_dir or manifest_dir_from_env()
+    if manifest_dest:
+        summary["verdict"] = "fail" if failed else "pass"
+        manifest = build_manifest(
+            {}, kind="check", command="check",
+            seed=args.seed, wall_s=time.time() - started, extra=summary,
+        )
+        path = write_manifest(manifest, manifest_dest, name="check")
+        print(f"manifest written to {path}")
+
+    if failed:
+        print("check: FAILED")
+        return 1
+    print("check: all engines passed")
+    return 0
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("systems:     " + " ".join(SYSTEM_NAMES)
           + "   (+ digit suffix for PC fraction, e.g. ncp5)")
@@ -400,6 +522,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stats", action="store_true",
                    help="print trace characterisation")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "check",
+        help="run the protocol verification suite "
+             "(model checker / oracle diff / fuzzer)",
+    )
+    p.add_argument("--explore", action="store_true",
+                   help="exhaustively model-check tiny configurations")
+    p.add_argument("--diff", action="store_true",
+                   help="diff the simulator against the reference oracle")
+    p.add_argument("--fuzz", action="store_true",
+                   help="fuzz adversarial interleavings")
+    p.add_argument("--replay", metavar="ARTIFACT",
+                   help="re-execute a saved fuzz artifact and exit")
+    p.add_argument("--variants", default=None,
+                   help="comma-separated systems to explore "
+                        "(default: the built-in tiny-config set)")
+    p.add_argument("--blocks", type=int, default=2,
+                   help="blocks in the explored address space "
+                        "(default %(default)s; 3+ is much slower)")
+    p.add_argument("--max-states", type=int, default=2_000_000,
+                   help="abort exploration past this many states")
+    p.add_argument("--systems", default="base,nc,ncd,ncs,vb,vp,p2,vbp2,vxp2",
+                   help="systems for --diff (comma-separated)")
+    p.add_argument("--benchmarks",
+                   default="barnes,cholesky,fft,fmm,lu,ocean,radix,raytrace",
+                   help="benchmarks for --diff (comma-separated)")
+    p.add_argument("--refs", type=int, default=10_000,
+                   help="references per --diff cell (default %(default)s)")
+    p.add_argument("--scale", type=float, default=0.03125,
+                   help="dataset scale for --diff traces (default %(default)s)")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="parallel jobs for the serial-vs-parallel diff")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--budget", type=float, default=60.0,
+                   help="fuzzing time budget in seconds (default %(default)s)")
+    p.add_argument("--max-cases", type=int, default=None,
+                   help="stop fuzzing after N cases (overrides --budget)")
+    p.add_argument("--out-dir", default="fuzz-artifacts",
+                   help="directory for shrunk failing-case artifacts")
+    p.add_argument("--events", default=None,
+                   help="stream verification events to this JSONL file")
+    p.add_argument("--manifest-dir", default=None,
+                   help="write a check manifest here (or $REPRO_MANIFEST_DIR)")
+    p.set_defaults(func=_cmd_check)
 
     p = sub.add_parser("list", help="show systems/benchmarks/experiments")
     p.set_defaults(func=_cmd_list)

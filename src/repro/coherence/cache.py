@@ -149,6 +149,31 @@ class SetAssocCache:
         """Fraction of frames in use."""
         return len(self) / (self.n_sets * self.assoc)
 
+    def set_contents(self) -> "Tuple[Tuple[Tuple[int, int], ...], ...]":
+        """Canonical snapshot: per set, (block, state) pairs in LRU order.
+
+        The tuple captures everything that determines future behaviour —
+        residency, states, and the exact LRU order — so two caches with
+        equal snapshots are behaviourally indistinguishable.  Used by the
+        model checker (:mod:`repro.check.explore`) to canonicalise and to
+        reconstruct machine states.
+        """
+        return tuple(
+            tuple((line.block, line.state) for line in lines) for lines in self._sets
+        )
+
+    def load_contents(
+        self, contents: "Tuple[Tuple[Tuple[int, int], ...], ...]"
+    ) -> None:
+        """Restore a snapshot produced by :meth:`set_contents`."""
+        self.clear()
+        for index, lines in enumerate(contents):
+            bucket = self._sets[index]
+            for block, state in lines:
+                line = CacheLine(block, state)
+                bucket.append(line)
+                self._tag[block] = line
+
     # ---- observability snapshots (repro.obs.metrics) --------------------
 
     def state_counts(self) -> Dict[int, int]:

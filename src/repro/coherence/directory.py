@@ -210,6 +210,19 @@ class Directory:
         entry = self._entries.get(block)
         return entry[0] if entry else 0
 
+    def entries(self) -> "List[Tuple[int, int, int]]":
+        """Canonical snapshot: sorted ``(block, presence_mask, owner)``.
+
+        ``owner`` is the raw stored value (-1 when memory is clean).  The
+        model checker uses this to canonicalise machine states; sorting
+        removes the (behaviourally irrelevant) creation order of entries.
+        """
+        return sorted((b, e[0], e[1]) for b, e in self._entries.items())
+
+    def load_entries(self, entries: "List[Tuple[int, int, int]]") -> None:
+        """Restore a snapshot produced by :meth:`entries`."""
+        self._entries = {b: [presence, owner] for b, presence, owner in entries}
+
     def owned_blocks(self):
         """Blocks with a recorded dirty owner (validator sweep)."""
         return [b for b, e in self._entries.items() if e[1] >= 0]

@@ -100,6 +100,56 @@ class CheckpointError(ReproError):
     """A sweep journal cannot be resumed (parameter mismatch, bad header)."""
 
 
+class VerificationError(ReproError):
+    """Base class for failures reported by the ``repro check`` suite."""
+
+
+class ModelCheckViolation(VerificationError):
+    """The exhaustive explorer reached a state that breaks an invariant.
+
+    Carries the minimal event path (BFS order guarantees minimality) from
+    the initial machine state to the violating transition, so the failure
+    is replayable by hand: each entry is ``(pid, block, is_write)``.
+    """
+
+    def __init__(self, system: str, reason: str, path: "list[tuple[int, int, bool]]") -> None:
+        steps = " -> ".join(
+            f"{'W' if w else 'R'}(pid={pid}, block={block})" for pid, block, w in path
+        )
+        super().__init__(
+            f"model check of {system!r} failed after {len(path)} event(s): "
+            f"{reason}\n  minimal path: {steps or '<initial state>'}"
+        )
+        self.system = system
+        self.reason = reason
+        self.path = list(path)
+
+
+class OracleDivergenceError(VerificationError):
+    """The optimised simulator and the reference oracle disagree.
+
+    Names the cell, the first divergent reference index (when localised),
+    and the counters that differ, so the disagreement is immediately
+    actionable.
+    """
+
+    def __init__(
+        self,
+        system: str,
+        benchmark: str,
+        detail: str,
+        first_divergence: "int | None" = None,
+    ) -> None:
+        where = f"cell {system}/{benchmark}"
+        if first_divergence is not None:
+            where += f" at reference {first_divergence}"
+        super().__init__(f"oracle divergence in {where}: {detail}")
+        self.system = system
+        self.benchmark = benchmark
+        self.detail = detail
+        self.first_divergence = first_divergence
+
+
 class UnknownSystemError(ConfigurationError):
     """A system name was requested that is not in the registry."""
 

@@ -28,7 +28,13 @@ See ``docs/OBSERVABILITY.md`` for the event schema, the metrics
 catalog, and the manifest format.
 """
 
-from .events import EVENT_KINDS, SWEEP_EVENT_KINDS, EventTracer, TraceEvent
+from .events import (
+    CHECK_EVENT_KINDS,
+    EVENT_KINDS,
+    SWEEP_EVENT_KINDS,
+    EventTracer,
+    TraceEvent,
+)
 from .manifest import (
     MANIFEST_ENV,
     build_manifest,
@@ -45,6 +51,7 @@ from .metrics import (
 )
 
 __all__ = [
+    "CHECK_EVENT_KINDS",
     "EVENT_KINDS",
     "SWEEP_EVENT_KINDS",
     "EventTracer",

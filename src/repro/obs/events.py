@@ -99,6 +99,30 @@ SWEEP_EVENT_KINDS = {
 }
 
 
+#: verification events emitted by the ``repro check`` engines (node and
+#: block are -1 unless the event names one; ``now`` is the engine's own
+#: ordinal — explored states, diffed cells, or fuzz cases — not a simulated
+#: clock)
+CHECK_EVENT_KINDS = {
+    "explore_variant": "one tiny configuration exhaustively explored "
+    "(detail: system=states=transitions)",
+    "explore_violation": "the explorer hit an invariant violation "
+    "(detail: the minimal event path)",
+    "diff_cell": "one (system, benchmark) cell diffed against the oracle "
+    "(detail: system/benchmark)",
+    "diff_divergence": "the optimised simulator and the oracle disagree "
+    "(detail: cell and first differing counter)",
+    "diff_parallel": "serial vs --jobs N sweep counters compared "
+    "(detail: identical|divergent)",
+    "fuzz_case": "one fuzz case executed (detail: strategy)",
+    "fuzz_failure": "a fuzz case failed and will be shrunk "
+    "(detail: error class)",
+    "fuzz_shrunk": "a failing fuzz case was minimised and saved "
+    "(detail: artifact path)",
+    "replay": "a saved fuzz artifact was re-executed (detail: verdict)",
+}
+
+
 class EventTracer:
     """Bounded in-memory event ring with an optional JSONL sink.
 

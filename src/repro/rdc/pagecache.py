@@ -18,7 +18,7 @@ relocation cost.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional
 
 from ..coherence.states import PCBlockState
 from ..errors import ConfigurationError

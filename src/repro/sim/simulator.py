@@ -27,7 +27,6 @@ dirty data in an L1, its NC, or its PC frame.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..coherence.cache import CacheLine
 from ..coherence.states import MESIR, NCState, PCBlockState

@@ -14,7 +14,7 @@ plus the remote data traffic (read misses + write misses + write-backs).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 from typing import Dict
 
 

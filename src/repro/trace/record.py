@@ -9,7 +9,7 @@ ratios as a percentage of shared (non-stack) references.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
 import numpy as np

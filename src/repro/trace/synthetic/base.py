@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import abc
 import zlib
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

@@ -23,7 +23,7 @@ import numpy as np
 
 from ..patterns import sequential_words, zipf_ranks
 from ..record import TraceSpec
-from ..regions import PAGE, Layout, Region
+from ..regions import PAGE, Layout
 from .base import Phase, SyntheticBenchmark
 
 

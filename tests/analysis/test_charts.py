@@ -27,8 +27,8 @@ class TestBarChart:
             {("a", "g"): 4.0, ("b", "g"): 2.0},
             width=20,
         )
-        line_a = next(l for l in txt.splitlines() if " a " in l)
-        line_b = next(l for l in txt.splitlines() if " b " in l)
+        line_a = next(ln for ln in txt.splitlines() if " a " in ln)
+        line_b = next(ln for ln in txt.splitlines() if " b " in ln)
         assert line_a.count("#") == 2 * line_b.count("#")
 
     def test_reference_ruler(self):
@@ -56,7 +56,7 @@ class TestStackedChart:
             {("ncp5", "radix"): {"read": 4.0, "write": 10.0, "relocation": 5.0}},
             width=19,
         )
-        row = next(l for l in txt.splitlines() if "ncp5" in l)
+        row = next(ln for ln in txt.splitlines() if "ncp5" in ln)
         assert "#" in row and "=" in row and "%" in row
         assert "19.00" in row
 
@@ -69,6 +69,6 @@ class TestStackedChart:
             },
             width=10,
         )
-        rows = [l for l in txt.splitlines() if " s " in l]
+        rows = [ln for ln in txt.splitlines() if " s " in ln]
         assert rows[0].count("#") == 10
         assert rows[1].count("#") == 5

@@ -10,7 +10,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import baseline_data, fidelity
+from repro.analysis import baseline_data
 from repro.analysis.baseline_data import (
     BASELINE,
     BASELINE_COLUMNS,

@@ -1,0 +1,77 @@
+"""Differential oracle: simulator agreement, value model, parallel identity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.oracle import (
+    OracleSimulator,
+    diff_cell,
+    diff_parallel_sweep,
+    machine_snapshot,
+)
+from repro.coherence.states import NCState
+from repro.errors import ConfigurationError, OracleDivergenceError
+from repro.params import BusProtocol
+from repro.rdc.victim import VictimNC
+from repro.sim.runner import get_trace
+from repro.sim.simulator import Simulator
+from repro.system.builder import build_machine, system_config
+from repro.trace.synthetic import BENCHMARK_NAMES
+
+REFS = 2_000
+SCALE = 0.03125
+
+
+@pytest.mark.parametrize("bench", sorted(BENCHMARK_NAMES))
+def test_oracle_agrees_on_every_benchmark(bench):
+    # one NC-less, one victim-NC, one full page-cache system per benchmark
+    for system in ("base", "vp", "vxp2"):
+        diff_cell(system, bench, refs=REFS, seed=1, scale=SCALE)
+
+
+@pytest.mark.parametrize(
+    "system", ["nc", "ncd", "ncs", "vb", "p2", "vbp2"]
+)
+def test_oracle_agrees_on_every_nc_variant(system):
+    diff_cell(system, "radix", refs=REFS, seed=2, scale=SCALE)
+    diff_cell(system, "ocean", refs=REFS, seed=2, scale=SCALE)
+
+
+def test_oracle_counters_and_state_match_simulator():
+    config = system_config("vbp2")
+    trace = get_trace("fft", refs=REFS, seed=3, scale=SCALE)
+    machine = build_machine(config, dataset_bytes=trace.dataset_bytes)
+    sim = Simulator(machine)
+    sim.run(trace)
+    oracle = OracleSimulator(config, dataset_bytes=trace.dataset_bytes)
+    oracle.run(trace)
+    assert sim.counters.as_dict() == oracle.counters.as_dict()
+    assert machine_snapshot(machine) == oracle.snapshot()
+
+
+def test_oracle_rejects_moesir():
+    config = system_config("vb", protocol=BusProtocol.MOESIR)
+    with pytest.raises(ConfigurationError, match="MESIR"):
+        OracleSimulator(config)
+
+
+def test_divergence_is_detected_and_localised(monkeypatch):
+    """With a bug injected into the optimised simulator only, diff_cell
+    must raise and name the first diverging reference."""
+    monkeypatch.setattr(
+        VictimNC,
+        "accept_dirty_victim",
+        lambda self, block: self._accept(block, NCState.CLEAN),
+    )
+    with pytest.raises(OracleDivergenceError) as exc_info:
+        diff_cell("vb", "radix", refs=REFS, seed=1, scale=SCALE)
+    err = exc_info.value
+    assert err.system == "vb" and err.benchmark == "radix"
+
+
+def test_serial_and_parallel_sweeps_bit_identical():
+    n = diff_parallel_sweep(
+        ["base", "vp"], ["fft", "radix"], refs=REFS, seed=1, scale=SCALE, jobs=2
+    )
+    assert n == 4

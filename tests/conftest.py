@@ -10,14 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.params import (
-    CacheGeometry,
-    NCConfig,
-    NCIndexing,
-    NCKind,
-    PCConfig,
-    SystemConfig,
-)
+from repro.params import SystemConfig
 from repro.sim.simulator import Simulator
 from repro.system.builder import build_machine, system_config
 

@@ -181,7 +181,6 @@ class TestResume:
 
         run = tmp_path / "run"
         partial = dict(scratch)
-        configs = resolve_sweep_configs(SYSTEMS)
         journal = SweepJournal.open(
             run, refs=REFS, seed=1, scale=SCALE,
             systems=SYSTEMS, benchmarks=BENCHES,

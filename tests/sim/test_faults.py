@@ -5,7 +5,6 @@ timeouts."""
 
 from __future__ import annotations
 
-import os
 
 import pytest
 
@@ -18,7 +17,7 @@ from repro.errors import (
 )
 from repro.faults import FaultPlan, cell_context
 from repro.sim.parallel import RecoveryLog
-from repro.sim.runner import clear_trace_cache, resolve_sweep_configs, sweep
+from repro.sim.runner import clear_trace_cache, sweep
 from repro.trace import io as trace_io
 from repro.trace.record import TraceSpec
 from repro.trace.synthetic import generate_trace

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.params import LatencyModel, SystemConfig
 from repro.sim import latency as lat
 from repro.sim.results import SimulationResult
 from repro.stats import Counters

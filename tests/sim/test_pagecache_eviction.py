@@ -10,10 +10,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.coherence.states import MESIR, PCBlockState
+from repro.coherence.states import PCBlockState
 from repro.params import RelocationCounters
-from repro.system.builder import build_machine, system_config
-from repro.sim.simulator import Simulator
 from tests.conftest import Harness, addr, tiny_config
 
 

@@ -7,12 +7,7 @@ import pytest
 
 from repro.errors import ConfigurationError
 from repro.sim import runner
-from repro.sim.parallel import (
-    SweepCell,
-    chunk_cells,
-    plan_cells,
-    throughput_report,
-)
+from repro.sim.parallel import chunk_cells, plan_cells, throughput_report
 from repro.sim.runner import (
     clear_trace_cache,
     get_trace,

@@ -4,7 +4,6 @@ MOESIR's O state, decrement-on-invalidation, and NC-set counter sharing.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.coherence.states import MESIR, NCState
 from repro.params import BusProtocol

@@ -9,11 +9,9 @@ enforcement, page-cache fills/absorption, and miss classification.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.coherence.states import MESIR, NCState, PCBlockState
-from repro.stats import MissClass
-from tests.conftest import Harness, addr, tiny_config
+from tests.conftest import Harness, addr
 
 # pids: node 0 = {0, 1}, node 1 = {2, 3}
 

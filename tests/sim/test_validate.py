@@ -6,7 +6,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.coherence.states import MESIR, NCState
+from repro.coherence.states import MESIR
 from repro.sim.runner import get_trace
 from repro.sim.simulator import Simulator
 from repro.sim.validate import InvariantViolation, check_machine

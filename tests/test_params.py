@@ -5,16 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.params import (
-    CacheGeometry,
-    LatencyModel,
-    NCConfig,
-    NCIndexing,
-    NCKind,
-    PCConfig,
-    RelocationCounters,
-    SystemConfig,
-)
+from repro.params import CacheGeometry, LatencyModel, NCConfig, NCKind, PCConfig, RelocationCounters, SystemConfig
 
 
 class TestLatencyModel:

@@ -13,7 +13,6 @@ import hypothesis.strategies as st
 from hypothesis import HealthCheck, given, settings
 
 from repro.coherence.cache import SetAssocCache
-from repro.coherence.states import MESIR
 from repro.params import CacheGeometry
 from repro.rdc.adaptive import AdaptiveThreshold
 from repro.rdc.pagecache import PageCache

@@ -3,9 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
-from repro.errors import TraceError
 from repro.trace.record import TraceSpec
 from repro.trace.regions import PAGE, Layout
 from repro.trace.synthetic.base import MB, SyntheticBenchmark
