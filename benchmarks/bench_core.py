@@ -55,6 +55,29 @@ def test_step_throughput(benchmark, system):
     benchmark.extra_info["refs_per_sec"] = len(trace) / benchmark.stats.stats.min
 
 
+def test_step_throughput_profiled(benchmark):
+    """Whole-engine throughput with the stall profiler attached.
+
+    Tracked against its own baseline floor so a regression in the
+    profiler's miss-path hooks (e.g. work leaking onto the read-hit fast
+    path, or per-event allocation in the window tallies) fails the bench
+    gate even though profiling is off by default.
+    """
+    from repro.obs.profile import StallProfiler
+
+    trace = get_trace("barnes", refs=40_000)
+    config = system_config("vpp5")
+
+    def run_once():
+        machine = build_machine(config, dataset_bytes=trace.dataset_bytes)
+        profiler = StallProfiler(config)
+        Simulator(machine, profiler=profiler).run(trace)
+        profiler.finish(len(trace))
+
+    benchmark.pedantic(run_once, rounds=3, iterations=1)
+    benchmark.extra_info["refs_per_sec"] = len(trace) / benchmark.stats.stats.min
+
+
 #: conservative floor for the inlined L1 read-hit fast path; the optimised
 #: loop clears this by a wide margin even on loaded CI machines, while the
 #: pre-optimisation engine (per-reference step()/lookup() calls) does not

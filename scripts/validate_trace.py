@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Validate an exported Chrome trace-event file — the CI gate behind
+``repro trace export``.
+
+Structurally validates the ``trace.json`` produced by ``repro trace
+export`` (the check :func:`repro.obs.timeline.validate_chrome_trace`
+implements: the ``traceEvents`` envelope, known phases, names, integer
+pid/tid, non-negative timestamps, durations on complete spans) and
+prints a short shape summary so the CI log shows *what* was exported,
+not just that it parsed::
+
+    python scripts/validate_trace.py trace.json
+
+Exits 0 when the trace is valid, 1 with the problem list otherwise.
+``--min-events N`` additionally fails traces carrying fewer than N
+non-metadata events (guards against an export that silently traced
+nothing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.obs.timeline import validate_chrome_trace  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="path to an exported trace.json")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="fail unless at least N non-metadata events "
+                             "are present (default %(default)s)")
+    args = parser.parse_args(argv)
+
+    problems = validate_chrome_trace(args.trace)
+    if problems:
+        for p in problems:
+            print(f"INVALID: {p}", file=sys.stderr)
+        return 1
+
+    with open(args.trace, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    events = doc["traceEvents"]
+    by_phase = {}
+    for ev in events:
+        by_phase[ev["ph"]] = by_phase.get(ev["ph"], 0) + 1
+    clusters = {ev["pid"] for ev in events}
+    payload = len(events) - by_phase.get("M", 0)
+    meta = doc.get("metadata", {})
+    print(f"{args.trace}: valid Chrome trace "
+          f"({meta.get('system', '?')}/{meta.get('benchmark', '?')}, "
+          f"{len(events)} events: "
+          f"{by_phase.get('X', 0)} spans, {by_phase.get('i', 0)} instants, "
+          f"{by_phase.get('M', 0)} metadata; {len(clusters)} clusters)")
+    if payload < args.min_events:
+        print(f"INVALID: only {payload} non-metadata events "
+              f"(--min-events {args.min_events})", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,14 @@ from .stats import Counters, MissClass, Outcome
 from .obs.events import EventTracer, TraceEvent
 from .obs.manifest import build_manifest, manifest_core, write_manifest
 from .obs.metrics import MetricsRegistry, aggregate_metrics
+from .obs.monitor import SweepProgress
+from .obs.profile import (
+    STALL_COMPONENTS,
+    StallProfiler,
+    attributed_stall,
+    stall_breakdown,
+)
+from .obs.timeline import export_chrome_trace, validate_chrome_trace
 from .sim.checkpoint import SweepJournal
 from .sim.parallel import (
     RecoveryLog,
@@ -140,6 +148,13 @@ __all__ = [
     "build_manifest",
     "manifest_core",
     "write_manifest",
+    "STALL_COMPONENTS",
+    "StallProfiler",
+    "attributed_stall",
+    "stall_breakdown",
+    "export_chrome_trace",
+    "validate_chrome_trace",
+    "SweepProgress",
     # traces
     "Trace",
     "TraceSpec",

@@ -1,15 +1,17 @@
 """Metrics helpers and plain-text report tables for experiment output."""
 
-from .charts import bar_chart, stacked_chart
+from .charts import bar_chart, stacked_chart, stall_component_chart
 from .metrics import geometric_mean, normalize_map, stacked_miss_bars
-from .report import format_grid, format_stacked_bars
+from .report import format_grid, format_stacked_bars, format_stall_breakdown
 
 __all__ = [
     "bar_chart",
     "stacked_chart",
+    "stall_component_chart",
     "geometric_mean",
     "normalize_map",
     "stacked_miss_bars",
     "format_grid",
     "format_stacked_bars",
+    "format_stall_breakdown",
 ]

@@ -110,3 +110,56 @@ def stacked_chart(
         lines.append("")
     lines.append("(# read miss, = write miss, % relocation overhead)")
     return "\n".join(lines)
+
+
+#: fill character per Eq. 1 stall component, in the paper's stacking order
+STALL_FILLS = (
+    ("cluster_hit", "c"),
+    ("nc_hit", "#"),
+    ("pc_hit", "="),
+    ("remote_miss", "@"),
+    ("relocation", "%"),
+)
+
+
+def stall_component_chart(
+    title: str,
+    groups: Sequence[str],
+    series: Sequence[str],
+    stacks: Mapping[Tuple[str, str], Dict[str, float]],
+    width: int = 48,
+) -> str:
+    """Stacked stall-attribution bars — the Fig. 6-style system comparison
+    drawn from the profiler's Eq. 1 decomposition.
+
+    ``stacks`` maps (system, benchmark) to component -> cycles (the shape
+    :func:`repro.sim.latency.stall_components` and
+    :func:`repro.obs.profile.stall_breakdown` both produce).  One group
+    per benchmark, one bar per system, five fills in Eq. 1 order.
+    """
+    totals = [sum(v.values()) for v in stacks.values()]
+    scale = max([t for t in totals if t > 0], default=1.0)
+    label_w = max((len(s) for s in series), default=4)
+
+    lines = [title]
+    for group in groups:
+        first = True
+        for s in series:
+            parts = stacks.get((s, group))
+            if parts is None:
+                continue
+            bar = ""
+            for key, fill in STALL_FILLS:
+                component = parts.get(key, 0.0)
+                cells = int(round(component / scale * width))
+                bar += fill * cells
+            total = sum(parts.values())
+            head = f"{group:10s}" if first else " " * 10
+            lines.append(f"{head} {s:{label_w}s} | {bar} {total:,.0f}")
+            first = False
+        lines.append("")
+    lines.append(
+        "(c cluster c2c, # NC hit, = PC hit, @ remote miss, % relocation; "
+        "cycles)"
+    )
+    return "\n".join(lines)

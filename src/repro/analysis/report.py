@@ -90,3 +90,50 @@ def format_stacked_bars(
         "equivalent miss %)"
     )
     return "\n".join(lines)
+
+
+#: Eq. 1 component order and display labels for the stall breakdown table
+_STALL_COLUMNS = (
+    ("cluster_hit", "c2c"),
+    ("nc_hit", "nc_hit"),
+    ("pc_hit", "pc_hit"),
+    ("remote_miss", "remote"),
+    ("relocation", "reloc"),
+)
+
+
+def format_stall_breakdown(
+    title: str,
+    row_labels: Sequence[str],
+    breakdowns: Mapping[str, Dict[str, float]],
+    col_width: int = 14,
+) -> str:
+    """Per-system Eq. 1 stall attribution table (cycles and % of total).
+
+    ``breakdowns`` maps a row label (usually a system) to component ->
+    cycles — the shape the stall profiler and
+    :func:`repro.sim.latency.stall_components` both produce.  Components
+    render as absolute cycles with their share of the row's total, so a
+    reader sees at a glance *where* each system's stall goes.
+    """
+    lines = [title]
+    header = f"{'':12s}" + "".join(
+        f"{label:>{col_width}s}" for _key, label in _STALL_COLUMNS
+    ) + f"{'total':>{col_width}s}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in row_labels:
+        parts = breakdowns.get(r)
+        if parts is None:
+            lines.append(f"{r:12s}" + "-".rjust(col_width) * (len(_STALL_COLUMNS) + 1))
+            continue
+        total = sum(parts.values())
+        cells = []
+        for key, _label in _STALL_COLUMNS:
+            v = parts.get(key, 0.0)
+            pct = 100.0 * v / total if total else 0.0
+            cells.append(f"{v:,.0f}({pct:.0f}%)".rjust(col_width))
+        cells.append(f"{total:,.0f}".rjust(col_width))
+        lines.append(f"{r:12s}" + "".join(cells))
+    lines.append("(Eq. 1 cycles per component, share of the row total in parens)")
+    return "\n".join(lines)

@@ -1394,13 +1394,36 @@ def diff_parallel_sweep(
     jobs: int = 2,
 ) -> int:
     """Assert a serial sweep and a ``jobs=N`` parallel sweep are
-    bit-identical; returns the number of compared cells."""
+    bit-identical; returns the number of compared cells.
+
+    Both sweeps run with the stall profiler enabled (via the same
+    ``$REPRO_PROFILE`` inheritance a ``--profile`` sweep uses), so the
+    comparison covers counters **and** the full metrics snapshot —
+    profile counters, stall histograms, and windowed series included.
+    Each cell's attributed stall is additionally checked for the Eq. 1
+    conservation invariant: the per-component sum must equal
+    ``remote_read_stall(counters, config)`` exactly.
+    """
+    import os
+
+    from ..obs.profile import PROFILE_ENV, attributed_stall
+    from ..sim.latency import remote_read_stall
     from ..sim.runner import sweep
 
     systems = list(systems)
     benchmarks = list(benchmarks)
-    serial = sweep(systems, benchmarks, refs=refs, seed=seed, scale=scale, jobs=1)
-    parallel = sweep(systems, benchmarks, refs=refs, seed=seed, scale=scale, jobs=jobs)
+    saved = os.environ.get(PROFILE_ENV)
+    os.environ[PROFILE_ENV] = "1"
+    try:
+        serial = sweep(systems, benchmarks, refs=refs, seed=seed, scale=scale, jobs=1)
+        parallel = sweep(
+            systems, benchmarks, refs=refs, seed=seed, scale=scale, jobs=jobs
+        )
+    finally:
+        if saved is None:
+            os.environ.pop(PROFILE_ENV, None)
+        else:
+            os.environ[PROFILE_ENV] = saved
     if set(serial) != set(parallel):
         raise OracleDivergenceError(
             ",".join(systems),
@@ -1416,4 +1439,22 @@ def diff_parallel_sweep(
             raise OracleDivergenceError(
                 key[0], key[1], "serial vs parallel mismatch: " + "; ".join(diffs)
             )
+        if serial[key].metrics != parallel[key].metrics:
+            raise OracleDivergenceError(
+                key[0],
+                key[1],
+                "serial vs parallel metrics snapshots differ "
+                "(profile counters/histograms/series included)",
+            )
+        result = serial[key]
+        if result.metrics is not None:
+            attributed = attributed_stall(result.metrics, key[0], key[1])
+            expected = int(remote_read_stall(result.counters, result.config))
+            if attributed != expected:
+                raise OracleDivergenceError(
+                    key[0],
+                    key[1],
+                    f"stall attribution broke Eq. 1 conservation: "
+                    f"attributed {attributed} != remote_read_stall {expected}",
+                )
     return len(serial)

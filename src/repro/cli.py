@@ -13,9 +13,13 @@ report
     baseline run, printing per-figure paper-fidelity tables with percent
     deviation (``--check`` fails on structural mismatches).
 trace
-    Generate, save, load, and characterise benchmark traces.
+    Generate, save, load, and characterise benchmark traces; ``trace
+    export SYSTEM BENCHMARK`` writes a Chrome/Perfetto ``trace.json``.
 perf
-    Measure engine throughput (refs/sec) and print a report.
+    Measure engine throughput (refs/sec) and print a report; ``--json``
+    also writes the machine-readable form the bench-regression gate reads.
+top
+    Live monitor for a running (or finished) checkpointed sweep.
 list
     Show the available systems, benchmarks, and experiments.
 
@@ -23,16 +27,19 @@ Examples
 --------
 ::
 
-    python -m repro simulate vbp5 radix --refs 200000
+    python -m repro simulate vbp5 radix --refs 200000 --profile
     python -m repro sweep base,vb,ncd barnes,radix --metric stall --jobs 4
+    python -m repro sweep base,vb barnes,radix --profile --metric breakdown
     python -m repro sweep base,vb barnes,fft --jobs 4 --resume runs/night1
     python -m repro sweep base,vb fft --max-retries 3 --cell-timeout 600
     python -m repro sweep base,vb fft --inject-faults 'seed=7;kill=0.5@1'
     python -m repro experiment fig09 --refs 400000 --jobs 4
     python -m repro report --figures fig03,fig09 --refs 40000
     python -m repro report --check --refs 2000 --figures fig04
-    python -m repro perf --refs 40000 --out throughput.txt
+    python -m repro perf --refs 40000 --out throughput.txt --json perf.json
     python -m repro trace radix --refs 100000 --out radix.npz --stats
+    python -m repro trace export vpp5 radix --refs 50000 --out trace.json
+    python -m repro top runs/night1 --follow --jobs 4
     python -m repro list
 """
 
@@ -101,12 +108,25 @@ def _sim_kwargs(args: argparse.Namespace) -> dict:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     result = simulate(
         args.system, args.benchmark, refs=args.refs, seed=args.seed,
-        scale=args.scale, **_sim_kwargs(args),
+        scale=args.scale, profile=args.profile, **_sim_kwargs(args),
     )
     print(f"{result.system} / {result.benchmark}  "
           f"({result.refs} refs, {result.elapsed_s:.2f}s)")
     for key, value in result.summary().items():
         print(f"  {key:28s} {value:14.2f}")
+    if args.profile:
+        from .analysis.report import format_stall_breakdown
+        from .obs.profile import stall_breakdown
+
+        parts = stall_breakdown(
+            result.metrics or {}, result.system, result.benchmark
+        )
+        print()
+        print(format_stall_breakdown(
+            "Eq. 1 stall attribution (cycles)",
+            [result.system],
+            {result.system: {k: float(v) for k, v in parts.items()}},
+        ))
     return 0
 
 
@@ -120,6 +140,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     benches = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
     # validate the retry/timeout knobs before any cell runs
     resolve_policy(max_retries=args.max_retries, cell_timeout=args.cell_timeout)
+    if args.profile or args.metric == "breakdown":
+        # export, don't just set a local: forked workers inherit the switch
+        from .obs.profile import PROFILE_ENV
+
+        os.environ[PROFILE_ENV] = "1"
     if args.inject_faults is not None:
         # parse eagerly (bad grammar fails now, not in a worker), then export
         # the canonical spec so forked workers inherit the same schedule
@@ -132,26 +157,68 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cell_timeout=args.cell_timeout, recovery=recovery, **_sim_kwargs(args),
     )
 
-    if args.metric == "miss":
-        cell = lambda b, s: results[(s, b)].miss_ratio  # noqa: E731
-        title = "Cluster miss ratio (%)"
-    elif args.metric == "stall":
-        cell = lambda b, s: results[(s, b)].stall_per_reference  # noqa: E731
-        title = "Remote read stall (cycles/ref)"
+    if args.metric == "breakdown":
+        _print_stall_breakdowns(results, systems, benches, chart=args.chart)
     else:
-        cell = lambda b, s: float(results[(s, b)].traffic_blocks)  # noqa: E731
-        title = "Remote traffic (blocks)"
-    if args.chart:
-        values = {(s, b): cell(b, s) for s in systems for b in benches}
-        print(bar_chart(title, benches, systems, values))
-    else:
-        print(format_grid(title, benches, systems, cell))
+        if args.metric == "miss":
+            cell = lambda b, s: results[(s, b)].miss_ratio  # noqa: E731
+            title = "Cluster miss ratio (%)"
+        elif args.metric == "stall":
+            cell = lambda b, s: results[(s, b)].stall_per_reference  # noqa: E731
+            title = "Remote read stall (cycles/ref)"
+        else:
+            cell = lambda b, s: float(results[(s, b)].traffic_blocks)  # noqa: E731
+            title = "Remote traffic (blocks)"
+        if args.chart:
+            values = {(s, b): cell(b, s) for s in systems for b in benches}
+            print(bar_chart(title, benches, systems, values))
+        else:
+            print(format_grid(title, benches, systems, cell))
     if len(recovery):
         summary = ", ".join(
             f"{kind}={n}" for kind, n in sorted(recovery.counts.items())
         )
         print(f"recovery: {summary}", file=sys.stderr)
     return 0
+
+
+def _print_stall_breakdowns(results, systems, benches, chart: bool) -> None:
+    """Render the profiled Eq. 1 stall attribution of a sweep.
+
+    Prefers the profiler's attribution out of each cell's metrics snapshot
+    (bit-identical across serial/parallel runs); cells without profile
+    data fall back to the equivalent closed-form
+    ``result.stall_components`` — the two agree exactly by the
+    conservation invariant.
+    """
+    from .analysis.charts import stall_component_chart
+    from .analysis.report import format_stall_breakdown
+    from .obs.profile import profiled_cells, stall_breakdown
+
+    stacks = {}
+    for s in systems:
+        for b in benches:
+            result = results[(s, b)]
+            snap = result.metrics or {}
+            if f"{s}/{b}" in profiled_cells(snap):
+                parts = stall_breakdown(snap, s, b)
+            else:
+                parts = result.stall_components
+            stacks[(s, b)] = {k: float(v) for k, v in parts.items()}
+    if chart:
+        print(stall_component_chart(
+            "Remote read stall attribution (Eq. 1 cycles)",
+            benches, systems, stacks,
+        ))
+        return
+    for i, b in enumerate(benches):
+        if i:
+            print()
+        print(format_stall_breakdown(
+            f"Eq. 1 stall attribution — {b} (cycles)",
+            systems,
+            {s: stacks[(s, b)] for s in systems},
+        ))
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -253,6 +320,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.benchmark == "export":
+        return _cmd_trace_export(args)
+    if args.export_args:
+        print("error: unexpected arguments "
+              f"{' '.join(args.export_args)!r} (only 'trace export' takes "
+              "SYSTEM BENCHMARK positionals)", file=sys.stderr)
+        return 2
     trace = get_trace(args.benchmark, refs=args.refs, seed=args.seed,
                       scale=args.scale)
     print(f"{trace!r}")
@@ -272,6 +346,46 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    from .obs.timeline import trace_simulation, validate_chrome_trace, write_chrome_trace
+
+    if len(args.export_args) != 2:
+        print("usage: repro trace export SYSTEM BENCHMARK "
+              "[--refs N] [--seed S] [--scale F] [--out trace.json]",
+              file=sys.stderr)
+        return 2
+    system, benchmark = args.export_args
+    result, doc = trace_simulation(
+        system, benchmark, refs=args.refs, seed=args.seed, scale=args.scale,
+    )
+    problems = validate_chrome_trace(doc)
+    if problems:  # should be unreachable; belt-and-braces before writing
+        for p in problems:
+            print(f"invalid trace: {p}", file=sys.stderr)
+        return 1
+    out = args.out or "trace.json"
+    write_chrome_trace(doc, out)
+    n_events = len(doc["traceEvents"])
+    print(f"{system} / {benchmark}: {n_events} trace events "
+          f"({result.refs} refs) written to {out}")
+    print("open in chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .obs.monitor import watch
+
+    progress = watch(
+        args.run_dir, follow=args.follow, interval=args.interval,
+        jobs=args.jobs, max_updates=args.max_updates,
+    )
+    if not progress.header_present:
+        print(f"warning: no run.json in {args.run_dir} "
+              "(sweep not started, or not a --resume run directory)",
+              file=sys.stderr)
+    return 0
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     systems = [s.strip() for s in args.systems.split(",") if s.strip()]
     benches = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
@@ -285,6 +399,16 @@ def _cmd_perf(args: argparse.Namespace) -> int:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(report + "\n")
         print(f"report written to {args.out}")
+    if args.json:
+        import json as _json
+
+        from .sim.parallel import perf_json
+
+        doc = perf_json(results, wall_s=wall, jobs=args.jobs)
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"machine-readable report written to {args.json}")
     return 0
 
 
@@ -430,16 +554,25 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("simulate", help="run one system on one benchmark")
     p.add_argument("system")
     p.add_argument("benchmark")
+    p.add_argument("--profile", action="store_true",
+                   help="attribute the remote read stall to its Eq. 1 "
+                        "components and print the breakdown")
     _add_sim_options(p)
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("sweep", help="run a systems x benchmarks matrix")
     p.add_argument("systems", help="comma-separated system names")
     p.add_argument("benchmarks", help="comma-separated benchmark names")
-    p.add_argument("--metric", choices=("miss", "stall", "traffic"),
-                   default="miss")
+    p.add_argument("--metric", choices=("miss", "stall", "traffic", "breakdown"),
+                   default="miss",
+                   help="'breakdown' prints the profiled Eq. 1 stall "
+                        "attribution per benchmark (implies --profile)")
     p.add_argument("--chart", action="store_true",
                    help="draw horizontal bars instead of a number grid")
+    p.add_argument("--profile", action="store_true",
+                   help="run the stall profiler in every cell (workers "
+                        "inherit it); profile data lands in each cell's "
+                        "metrics snapshot")
     p.add_argument("--jobs", type=int, default=default_jobs(),
                    help="worker processes for the matrix "
                         "(default: REPRO_JOBS or CPU count)")
@@ -511,17 +644,46 @@ def build_parser() -> argparse.ArgumentParser:
                         "refs/sec is the regression-tracked number)")
     p.add_argument("--out", default=None,
                    help="also write the report to this file")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write a machine-readable report here (the "
+                        "shape scripts/check_bench_regression.py consumes)")
     p.set_defaults(func=_cmd_perf)
 
-    p = sub.add_parser("trace", help="generate/inspect a benchmark trace")
-    p.add_argument("benchmark")
+    p = sub.add_parser(
+        "trace",
+        help="generate/inspect a benchmark trace, or 'trace export "
+             "SYSTEM BENCHMARK' for a Chrome/Perfetto trace.json",
+    )
+    p.add_argument("benchmark",
+                   help="benchmark name, or 'export' to write a Chrome "
+                        "trace-event file of a simulated run")
+    p.add_argument("export_args", nargs="*", metavar="SYSTEM BENCHMARK",
+                   help="for 'trace export': the system and benchmark to "
+                        "simulate with event tracing on")
     p.add_argument("--refs", type=int, default=DEFAULT_REFS)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
-    p.add_argument("--out", default=None, help="save as .npz")
+    p.add_argument("--out", default=None,
+                   help="save as .npz (trace) / trace.json (trace export)")
     p.add_argument("--stats", action="store_true",
                    help="print trace characterisation")
     p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "top",
+        help="live monitor for a checkpointed sweep's run directory",
+    )
+    p.add_argument("run_dir", help="the sweep's --resume directory")
+    p.add_argument("--follow", action="store_true",
+                   help="keep refreshing until the sweep completes")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between refreshes with --follow "
+                        "(default %(default)s)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker count the sweep runs with (sharpens the ETA)")
+    p.add_argument("--max-updates", type=int, default=None,
+                   help="stop after N refreshes even if incomplete")
+    p.set_defaults(func=_cmd_top)
 
     p = sub.add_parser(
         "check",

@@ -1,6 +1,6 @@
 """repro.obs — the observability layer.
 
-Three cooperating pieces, all optional and all zero-cost when unused:
+Cooperating pieces, all optional and all zero-cost when unused:
 
 * :mod:`repro.obs.events` — structured event tracing.  An
   :class:`~repro.obs.events.EventTracer` attached to a
@@ -24,8 +24,23 @@ Three cooperating pieces, all optional and all zero-cost when unused:
   (counter digests, metrics, timings) so every results artifact is
   reproducible from its manifest alone.
 
+* :mod:`repro.obs.profile` — the simulated-time stall profiler.  A
+  :class:`~repro.obs.profile.StallProfiler` attributes every remote
+  reference's stall to its Eq. 1 component (exactly: the attribution
+  sums integer-equal to the run's remote read stall) and records
+  windowed interval time-series of how the caches evolve over a trace.
+
+* :mod:`repro.obs.timeline` — Chrome/Perfetto trace-event export.
+  ``repro trace export`` renders a traced run as ``trace.json`` in
+  simulated bus-cycle time, openable in chrome://tracing or Perfetto.
+
+* :mod:`repro.obs.monitor` — live sweep monitoring.  ``repro top``
+  tails a running sweep's ``run.json`` / ``journal.jsonl`` /
+  ``recovery.jsonl`` and renders per-cell progress, refs/sec, an ETA,
+  and recovery counts, without touching the run directory.
+
 See ``docs/OBSERVABILITY.md`` for the event schema, the metrics
-catalog, and the manifest format.
+catalog, the profiler key layout, and the manifest format.
 """
 
 from .events import (
@@ -49,6 +64,24 @@ from .metrics import (
     merge_snapshots,
     run_metrics,
 )
+from .monitor import SweepProgress, watch
+from .profile import (
+    DEFAULT_WINDOW,
+    PROFILE_ENV,
+    PROFILE_WINDOW_ENV,
+    STALL_COMPONENTS,
+    StallProfiler,
+    attributed_stall,
+    profiled_cells,
+    profiling_enabled,
+    stall_breakdown,
+)
+from .timeline import (
+    export_chrome_trace,
+    trace_simulation,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 
 __all__ = [
     "CHECK_EVENT_KINDS",
@@ -66,4 +99,19 @@ __all__ = [
     "manifest_core",
     "manifest_dir_from_env",
     "write_manifest",
+    "DEFAULT_WINDOW",
+    "PROFILE_ENV",
+    "PROFILE_WINDOW_ENV",
+    "STALL_COMPONENTS",
+    "StallProfiler",
+    "attributed_stall",
+    "profiled_cells",
+    "profiling_enabled",
+    "stall_breakdown",
+    "export_chrome_trace",
+    "trace_simulation",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "SweepProgress",
+    "watch",
 ]

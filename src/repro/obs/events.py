@@ -128,16 +128,26 @@ class EventTracer:
 
     ``capacity`` bounds the ring buffer (oldest events fall off);
     ``jsonl_path`` additionally streams every event to a file, one JSON
-    object per line, flushed on :meth:`close`.  The tracer is cheap but
-    not free — attach one only when the events are wanted.
+    object per line, flushed on :meth:`close`.  By default the stream
+    relies on the interpreter's buffering — a worker killed mid-run can
+    lose the buffered tail — so durability-sensitive callers pass
+    ``flush_every`` to force a flush after every N emitted events
+    (``flush_every=1`` flushes per event; whole lines are written before
+    any flush, so a flushed event always survives as a complete line).
+    The tracer is cheap but not free — attach one only when the events
+    are wanted.
     """
 
-    __slots__ = ("_ring", "_seq", "kind_counts", "_sink", "_own_sink")
+    __slots__ = (
+        "_ring", "_seq", "kind_counts", "_sink", "_own_sink",
+        "_flush_every", "_since_flush",
+    )
 
     def __init__(
         self,
         capacity: int = 65536,
         jsonl_path: Optional[str] = None,
+        flush_every: Optional[int] = None,
     ) -> None:
         self._ring: "deque[TraceEvent]" = deque(maxlen=capacity)
         self._seq = 0
@@ -145,6 +155,10 @@ class EventTracer:
         self.kind_counts: Dict[str, int] = {}
         self._sink: Optional[IO[str]] = None
         self._own_sink = False
+        if flush_every is not None and flush_every <= 0:
+            raise ValueError("flush_every must be a positive integer")
+        self._flush_every = flush_every
+        self._since_flush = 0
         if jsonl_path is not None:
             self._sink = open(jsonl_path, "w", encoding="utf-8")
             self._own_sink = True
@@ -161,6 +175,11 @@ class EventTracer:
         counts[kind] = counts.get(kind, 0) + 1
         if self._sink is not None:
             self._sink.write(json.dumps(event.as_dict()) + "\n")
+            if self._flush_every is not None:
+                self._since_flush += 1
+                if self._since_flush >= self._flush_every:
+                    self._sink.flush()
+                    self._since_flush = 0
 
     # ---- inspection ------------------------------------------------------
 

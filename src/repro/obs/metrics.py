@@ -11,6 +11,14 @@ ride back from sweep worker processes unchanged) with three sections:
   arithmetic over the merge order, which the sweep engine fixes to plan
   order).
 * ``histograms`` — fixed-bucket distributions; merging sums buckets.
+  Merging histograms with *different* bucket bounds is a caller error
+  and raises :class:`ValueError` naming the offending metric — never a
+  silent mis-merge.
+* ``series`` — windowed interval time-series (``{"window": W, "values":
+  [...]}``): one value per simulated-time window of ``W`` references,
+  written by the stall profiler (:mod:`repro.obs.profile`).  Merging
+  adds values element-wise (shorter series are zero-padded); a window
+  size mismatch raises :class:`ValueError`.
 
 :func:`run_metrics` builds the standard snapshot for one finished
 simulation: every :class:`~repro.stats.Counters` field under
@@ -63,7 +71,13 @@ class Histogram:
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "Histogram":
         h = cls(data["bounds"])  # type: ignore[arg-type]
-        h.counts = list(data["counts"])  # type: ignore[arg-type]
+        counts = list(data["counts"])  # type: ignore[arg-type]
+        if len(counts) != len(h.bounds) + 1:
+            raise ValueError(
+                f"histogram counts/bounds mismatch: {len(h.bounds)} bounds "
+                f"need {len(h.bounds) + 1} buckets, got {len(counts)}"
+            )
+        h.counts = counts
         return h
 
 
@@ -99,18 +113,42 @@ class MetricsRegistry:
             "histograms": {
                 k: self._hists[k].as_dict() for k in sorted(self._hists)
             },
+            "series": {},
         }
 
 
 def _empty_snapshot() -> Snapshot:
-    return {"counters": {}, "gauges": {}, "histograms": {}}
+    return {"counters": {}, "gauges": {}, "histograms": {}, "series": {}}
+
+
+def _merge_series(
+    name: str, into: Dict[str, object], new: Dict[str, object]
+) -> Dict[str, object]:
+    """Element-wise sum of two windowed series; zero-pads the shorter."""
+    if int(into["window"]) != int(new["window"]):
+        raise ValueError(
+            f"series {name!r}: window mismatch "
+            f"({into['window']} vs {new['window']}); re-profile with the "
+            f"same REPRO_PROFILE_WINDOW before merging"
+        )
+    a, b = list(into["values"]), list(new["values"])
+    if len(a) < len(b):
+        a, b = b, a
+    merged = list(a)
+    for i, v in enumerate(b):
+        merged[i] += v
+    return {"window": int(into["window"]), "values": merged}
 
 
 def merge_snapshots(a: Optional[Snapshot], b: Optional[Snapshot]) -> Snapshot:
-    """Merge two snapshots: counters add, gauges average, buckets add.
+    """Merge two snapshots: counters add, gauges average, buckets add,
+    series add element-wise.
 
     ``None`` inputs are treated as empty, so results without metrics can
-    participate in an aggregate without special-casing.
+    participate in an aggregate without special-casing.  Histograms (or
+    series) recorded under the same name with different bucket bounds
+    (or window sizes) raise :class:`ValueError` naming the metric —
+    mismatched shapes are a caller bug, never silently mis-merged.
     """
     out = _empty_snapshot()
     for snap in (a, b):
@@ -121,12 +159,20 @@ def merge_snapshots(a: Optional[Snapshot], b: Optional[Snapshot]) -> Snapshot:
         for k, v in snap.get("histograms", {}).items():
             if k in out["histograms"]:
                 h = Histogram.from_dict(out["histograms"][k])
-                h.merge(Histogram.from_dict(v))
+                try:
+                    h.merge(Histogram.from_dict(v))
+                except ValueError as exc:
+                    raise ValueError(f"histogram {k!r}: {exc}") from exc
                 out["histograms"][k] = h.as_dict()
             else:
-                out["histograms"][k] = {
-                    "bounds": list(v["bounds"]),
-                    "counts": list(v["counts"]),
+                out["histograms"][k] = Histogram.from_dict(v).as_dict()
+        for k, v in snap.get("series", {}).items():
+            if k in out["series"]:
+                out["series"][k] = _merge_series(k, out["series"][k], v)
+            else:
+                out["series"][k] = {
+                    "window": int(v["window"]),
+                    "values": list(v["values"]),
                 }
     # gauges: unweighted mean over however many snapshots carried the key
     seen: Dict[str, Tuple[float, int]] = {}
@@ -147,6 +193,7 @@ def merge_snapshots(a: Optional[Snapshot], b: Optional[Snapshot]) -> Snapshot:
     out["counters"] = {k: out["counters"][k] for k in sorted(out["counters"])}
     out["gauges"] = {k: out["gauges"][k] for k in sorted(out["gauges"])}
     out["histograms"] = {k: out["histograms"][k] for k in sorted(out["histograms"])}
+    out["series"] = {k: out["series"][k] for k in sorted(out["series"])}
     return out
 
 

@@ -1,0 +1,253 @@
+"""Chrome/Perfetto trace-event export of a traced simulation.
+
+``repro trace export`` (and :func:`export_chrome_trace` underneath it)
+turns a run's :class:`~repro.obs.events.EventTracer` stream into the
+`Chrome trace-event format`__ — a ``trace.json`` that chrome://tracing,
+Perfetto, and speedscope all open directly — so a reproduction run can be
+*scrubbed* on a timeline instead of read as counters:
+
+* one **process row per cluster** (pid = cluster id, named via ``M``
+  metadata events);
+* serviced remote references become **complete spans** (``ph: "X"``)
+  whose duration is the Table 1/2 latency of the path that serviced them
+  (cache-to-cache supply, NC hit, PC hit, or full remote access);
+* page relocations become 225-cycle spans on the owning cluster's row;
+* NC/PC evictions, invalidations, write-backs, upgrades, and the rest of
+  the protocol chatter become **instant events** (``ph: "i"``).
+
+__ https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+Timestamps are **simulated bus cycles**, not wall-clock: each cluster row
+carries its own running cycle clock that advances by every span's
+latency, so span widths are exact and rows never self-overlap.  (The
+paper's model is contention-free — there is no global interleaving to
+recover — so per-cluster cycle accumulation is the faithful rendering.)
+The trace-event ``ts`` unit is microseconds by convention; we map one bus
+cycle to one microsecond and say so in ``metadata.ts_unit``.
+
+:func:`validate_chrome_trace` structurally validates a trace document —
+the check CI runs against the exported artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Union
+
+from .events import EVENT_KINDS, TraceEvent
+
+JsonDict = Dict[str, object]
+
+#: event kinds rendered as latency spans; the duration resolver lives in
+#: _span_duration (NC/remote latencies depend on the system's NC flavour)
+SPAN_KINDS = ("bus_c2c", "nc_hit", "pc_hit", "dir_access", "pc_relocate")
+
+#: phases a structurally valid exported trace may contain
+_VALID_PHASES = {"X", "i", "M"}
+
+
+def _span_duration(kind: str, config) -> int:
+    from ..sim.latency import nc_hit_latency, remote_miss_latency
+
+    lat = config.latency
+    if kind == "bus_c2c":
+        return lat.cache_to_cache
+    if kind == "nc_hit":
+        return nc_hit_latency(config)
+    if kind == "pc_hit":
+        return lat.pc_hit
+    if kind == "dir_access":
+        return remote_miss_latency(config)
+    if kind == "pc_relocate":
+        return lat.page_relocation
+    raise ValueError(f"not a span kind: {kind!r}")
+
+
+_SPAN_NAMES = {
+    "bus_c2c": "cluster c2c",
+    "nc_hit": "NC hit",
+    "pc_hit": "PC hit",
+    "dir_access": "remote miss",
+    "pc_relocate": "page relocation",
+}
+
+
+def export_chrome_trace(
+    events: Iterable[TraceEvent],
+    config,
+    system: str = "",
+    benchmark: str = "",
+) -> JsonDict:
+    """Render traced protocol events as a Chrome trace-event document.
+
+    Deterministic for a given event stream: events are processed in
+    emission order and every timestamp is derived from the per-cluster
+    cycle clocks, so two exports of the same run are byte-identical.
+    """
+    durations = {kind: _span_duration(kind, config) for kind in SPAN_KINDS}
+    clocks: Dict[int, int] = {}  # cluster -> next free bus cycle
+    trace_events: List[JsonDict] = []
+    seen_clusters: List[int] = []
+    for ev in events:
+        pid = ev.node if ev.node >= 0 else 0
+        if pid not in clocks:
+            clocks[pid] = 0
+            seen_clusters.append(pid)
+        ts = clocks[pid]
+        args: Dict[str, object] = {"ref": ev.now, "seq": ev.seq}
+        if ev.block >= 0:
+            args["block"] = ev.block
+        if ev.detail:
+            args["detail"] = ev.detail
+        if ev.kind in durations:
+            dur = durations[ev.kind]
+            name = _SPAN_NAMES[ev.kind]
+            if ev.detail and ev.kind != "pc_relocate":
+                name = f"{name} ({ev.detail})"
+            trace_events.append(
+                {
+                    "name": name,
+                    "cat": ev.kind,
+                    "ph": "X",
+                    "ts": ts,
+                    "dur": dur,
+                    "pid": pid,
+                    "tid": 0,
+                    "args": args,
+                }
+            )
+            clocks[pid] = ts + dur
+        else:
+            trace_events.append(
+                {
+                    "name": ev.kind,
+                    "cat": ev.kind,
+                    "ph": "i",
+                    "ts": ts,
+                    "s": "t",  # thread-scoped instant
+                    "pid": pid,
+                    "tid": 0,
+                    "args": args,
+                }
+            )
+    metadata: List[JsonDict] = []
+    for pid in sorted(seen_clusters):
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"cluster {pid}"},
+            }
+        )
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": "cluster bus"},
+            }
+        )
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+        "metadata": {
+            "ts_unit": "simulated bus cycles (1 cycle = 1 us)",
+            "system": system or config.name,
+            "benchmark": benchmark,
+            "event_kinds": sorted(EVENT_KINDS),
+        },
+    }
+
+
+def write_chrome_trace(doc: JsonDict, path: str) -> None:
+    """Write an exported trace document as ``trace.json``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=None, separators=(",", ":"), sort_keys=False)
+        fh.write("\n")
+
+
+def validate_chrome_trace(doc: Union[JsonDict, str]) -> List[str]:
+    """Structurally validate a Chrome trace-event document.
+
+    Accepts the document dict or a path to a JSON file; returns a list of
+    problems (empty == valid).  Checked: the JSON-object envelope with a
+    ``traceEvents`` array; per event — a known phase, string ``name``,
+    integer ``pid``/``tid``, a numeric non-negative ``ts``; ``X`` events
+    additionally need a numeric non-negative ``dur``.  This is the gate
+    CI runs over the exported artifact.
+    """
+    if isinstance(doc, str):
+        try:
+            with open(doc, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError) as exc:
+            return [f"unreadable trace: {exc}"]
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["trace document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not an array"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _VALID_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problems.append(f"{where}: missing event name")
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                problems.append(f"{where}: {field} is not an integer")
+        if ph == "M":
+            continue  # metadata events carry no timestamp
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: ts is not a non-negative number")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: dur is not a non-negative number")
+    if len(problems) > 20:  # keep CI output readable
+        problems = problems[:20] + [f"... {len(problems) - 20} more"]
+    return problems
+
+
+def trace_simulation(
+    system: str,
+    benchmark: str,
+    refs: int,
+    seed: int = 1,
+    scale: Optional[float] = None,
+    capacity: int = 1 << 20,
+):
+    """Run one traced cell and return ``(result, trace_document)``.
+
+    The convenience path behind ``repro trace export``: attaches an
+    :class:`~repro.obs.events.EventTracer` sized to retain the whole run,
+    simulates, and renders the Chrome trace.
+    """
+    from ..sim.runner import DEFAULT_SCALE, simulate
+    from .events import EventTracer
+
+    tracer = EventTracer(capacity=capacity)
+    result = simulate(
+        system,
+        benchmark,
+        refs=refs,
+        seed=seed,
+        scale=DEFAULT_SCALE if scale is None else scale,
+        tracer=tracer,
+    )
+    doc = export_chrome_trace(
+        tracer.events(), result.config, system=system, benchmark=benchmark
+    )
+    return result, doc

@@ -40,6 +40,46 @@ from .results import SimulationResult
 JOURNAL_VERSION = 1
 HEADER_NAME = "run.json"
 JOURNAL_NAME = "journal.jsonl"
+#: live recovery-action feed written beside the journal (one JSON object
+#: per RecoveryLog action; tailed by `repro top`)
+RECOVERY_NAME = "recovery.jsonl"
+
+
+def read_run_header(run_dir: Union[str, Path]) -> Optional[dict]:
+    """Best-effort read of a run directory's ``run.json``.
+
+    Returns ``None`` when the header is missing or unparsable — monitors
+    observing a directory mid-creation must tolerate both, never raise.
+    """
+    path = Path(run_dir) / HEADER_NAME
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+def iter_journal_lines(path: Union[str, Path]):
+    """Yield parsed records from a (possibly live) JSONL file.
+
+    Torn or half-written lines — normal while a sweep is appending — are
+    skipped, exactly like :meth:`SweepJournal.load` treats them; a missing
+    file yields nothing.  Used by ``repro top`` on both ``journal.jsonl``
+    and ``recovery.jsonl``.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    rec = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(rec, dict):
+                    yield rec
+    except OSError:
+        return
 
 
 def _config_digest(config: SystemConfig) -> str:

@@ -48,6 +48,23 @@ def remote_read_stall(counters: Counters, config: SystemConfig) -> float:
     )
 
 
+def stall_components(counters: Counters, config: SystemConfig) -> "dict[str, int]":
+    """Eq. 1 term by term: the stall decomposed into its five components.
+
+    Keys match :data:`repro.obs.profile.STALL_COMPONENTS`; values are
+    integers and sum exactly to :func:`remote_read_stall` — the invariant
+    the stall profiler's attribution is verified against.
+    """
+    lat = config.latency
+    return {
+        "cluster_hit": counters.read_cluster_hits * lat.cache_to_cache,
+        "nc_hit": counters.read_nc_hits * nc_hit_latency(config),
+        "pc_hit": counters.read_pc_hits * lat.pc_hit,
+        "remote_miss": counters.read_remote * remote_miss_latency(config),
+        "relocation": counters.pc_relocations * lat.page_relocation,
+    }
+
+
 def relocation_overhead_cycles(counters: Counters, config: SystemConfig) -> int:
     """The relocation component of the stall, separated as in Figs. 7/9/11."""
     return counters.pc_relocations * config.latency.page_relocation

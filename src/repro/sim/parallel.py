@@ -50,7 +50,7 @@ import heapq
 import os
 import time
 import traceback
-from collections import deque
+from collections import OrderedDict, deque
 from typing import (
     Deque,
     Dict,
@@ -155,21 +155,55 @@ class RecoveryLog:
     keeps the ordered detail.  Attach an
     :class:`~repro.obs.events.EventTracer` to additionally emit each
     action as a structured event (kinds in
-    :data:`repro.obs.events.SWEEP_EVENT_KINDS`).
+    :data:`repro.obs.events.SWEEP_EVENT_KINDS`); attach a JSONL sink
+    (:meth:`attach_jsonl`) to additionally stream each action to disk as
+    it happens — the feed ``repro top`` tails for a running sweep's
+    retry/fault column.  Sweeps given a ``run_dir`` get the sink
+    automatically (``recovery.jsonl`` beside the journal).
     """
 
     def __init__(self, tracer=None) -> None:
         self.counts: Dict[str, int] = {}
         self.actions: List[Dict[str, object]] = []
         self.tracer = tracer
+        self._sink = None
+
+    def attach_jsonl(self, path: Union[str, "os.PathLike[str]"]) -> None:
+        """Stream every future action to ``path``, one JSON line each.
+
+        Lines are flushed per action (a monitor sees them promptly); a
+        failure to open or write the sink never sinks the sweep — the log
+        silently drops the sink and keeps counting in memory.
+        """
+        try:
+            self._sink = open(path, "a", encoding="utf-8")
+        except OSError:
+            self._sink = None
+
+    def close(self) -> None:
+        if self._sink is not None:
+            try:
+                self._sink.close()
+            except OSError:
+                pass
+            self._sink = None
 
     def note(
         self, kind: str, system: str = "", benchmark: str = "", detail: str = ""
     ) -> None:
         self.counts[kind] = self.counts.get(kind, 0) + 1
-        self.actions.append(
-            {"kind": kind, "system": system, "benchmark": benchmark, "detail": detail}
-        )
+        action = {
+            "kind": kind, "system": system, "benchmark": benchmark, "detail": detail
+        }
+        self.actions.append(action)
+        if self._sink is not None:
+            import json as _json
+
+            try:
+                self._sink.write(_json.dumps(action, sort_keys=True) + "\n")
+                self._sink.flush()
+            except (OSError, ValueError):
+                self._sink = None  # a broken sink must not sink the sweep
         if self.tracer is not None:
             where = f"{system}/{benchmark}: " if system or benchmark else ""
             self.tracer.emit(kind, now=len(self.actions), detail=where + detail)
@@ -702,6 +736,10 @@ def run_parallel_sweep(
             systems=list(configs),
             benchmarks=list(benchmarks),
         )
+        # live recovery feed beside the journal (tailed by `repro top`)
+        from .checkpoint import RECOVERY_NAME
+
+        recovery.attach_jsonl(journal.run_dir / RECOVERY_NAME)
         done = journal.load(configs)
         if done:
             recovery.note(
@@ -745,6 +783,7 @@ def run_parallel_sweep(
         trace_io.set_recovery_hook(previous_hook)
         if journal is not None:
             journal.close()
+            recovery.close()
 
     # deterministic merge: plan order, exactly the serial dict order
     return {(cell.system, cell.benchmark): done[(cell.system, cell.benchmark)]
@@ -756,6 +795,29 @@ def run_parallel_sweep(
 # ---------------------------------------------------------------------------
 
 
+def per_benchmark_throughput(
+    results: Mapping[Tuple[str, str], SimulationResult],
+) -> "OrderedDict[str, Dict[str, float]]":
+    """Aggregate engine throughput per benchmark, in results order.
+
+    Each entry: ``{"refs": total simulated refs, "elapsed_s": engine
+    seconds, "refs_per_sec": aggregate rate, "cells": cell count}``.
+    """
+    out: "OrderedDict[str, Dict[str, float]]" = OrderedDict()
+    for (_system, bench), r in results.items():
+        agg = out.setdefault(
+            bench, {"refs": 0.0, "elapsed_s": 0.0, "refs_per_sec": 0.0, "cells": 0.0}
+        )
+        agg["refs"] += r.refs
+        agg["elapsed_s"] += r.elapsed_s
+        agg["cells"] += 1
+    for agg in out.values():
+        agg["refs_per_sec"] = (
+            agg["refs"] / agg["elapsed_s"] if agg["elapsed_s"] > 0 else 0.0
+        )
+    return out
+
+
 def throughput_report(
     results: Mapping[Tuple[str, str], SimulationResult],
     wall_s: Optional[float] = None,
@@ -763,8 +825,9 @@ def throughput_report(
 ) -> str:
     """Human-readable engine throughput report for one sweep.
 
-    Per-cell simulated references, engine seconds, and refs/sec, plus the
-    aggregate — the number CI tracks for hot-path regressions.
+    Per-cell simulated references, engine seconds, and refs/sec; a
+    per-benchmark aggregate block; and the sweep total — the number CI
+    tracks for hot-path regressions.
     """
     lines = ["engine throughput report", "=" * 24]
     lines.append(f"{'system':<8} {'benchmark':<10} {'refs':>9} {'secs':>8} {'refs/s':>11}")
@@ -777,10 +840,20 @@ def throughput_report(
             f"{system:<8} {bench:<10} {r.refs:>9,} {r.elapsed_s:>8.3f} "
             f"{r.refs_per_sec:>11,.0f}"
         )
-    agg = total_refs / total_elapsed if total_elapsed > 0 else 0.0
+    per_bench = per_benchmark_throughput(results)
+    if len(per_bench) > 1 or any(a["cells"] > 1 for a in per_bench.values()):
+        lines.append("-" * 50)
+        lines.append("per benchmark:")
+        for bench, agg in per_bench.items():
+            lines.append(
+                f"{'':<8} {bench:<10} {int(agg['refs']):>9,} "
+                f"{agg['elapsed_s']:>8.3f} {agg['refs_per_sec']:>11,.0f}"
+                f"  ({int(agg['cells'])} cells)"
+            )
+    agg_rate = total_refs / total_elapsed if total_elapsed > 0 else 0.0
     lines.append("-" * 50)
     lines.append(
-        f"{'total':<8} {'':<10} {total_refs:>9,} {total_elapsed:>8.3f} {agg:>11,.0f}"
+        f"{'total':<8} {'':<10} {total_refs:>9,} {total_elapsed:>8.3f} {agg_rate:>11,.0f}"
     )
     if wall_s is not None and wall_s > 0:
         lines.append(
@@ -789,6 +862,57 @@ def throughput_report(
             f"speedup x{total_elapsed / wall_s:.2f} over engine time)"
         )
     return "\n".join(lines)
+
+
+def perf_json(
+    results: Mapping[Tuple[str, str], SimulationResult],
+    wall_s: Optional[float] = None,
+    jobs: int = 1,
+) -> Dict[str, object]:
+    """Machine-readable throughput payload for ``repro perf --json``.
+
+    The shape matches what ``scripts/check_bench_regression.py`` consumes
+    from pytest-benchmark (``benchmarks[].extra_info.refs_per_sec``), so
+    one gate script handles both sources.  One benchmark entry per sweep
+    *benchmark* (aggregated over its systems) plus a ``sweep_total``
+    entry; per-cell rates ride in ``extra_info.cells``.
+    """
+    per_bench = per_benchmark_throughput(results)
+    entries: List[Dict[str, object]] = []
+    for bench, agg in per_bench.items():
+        cells = {
+            system: round(r.refs_per_sec, 1)
+            for (system, b), r in results.items()
+            if b == bench
+        }
+        entries.append(
+            {
+                "name": f"perf::{bench}",
+                "extra_info": {
+                    "refs_per_sec": agg["refs_per_sec"],
+                    "refs": int(agg["refs"]),
+                    "elapsed_s": agg["elapsed_s"],
+                    "cells": cells,
+                },
+            }
+        )
+    total_refs = sum(int(a["refs"]) for a in per_bench.values())
+    total_elapsed = sum(a["elapsed_s"] for a in per_bench.values())
+    entries.append(
+        {
+            "name": "perf::sweep_total",
+            "extra_info": {
+                "refs_per_sec": (
+                    total_refs / total_elapsed if total_elapsed > 0 else 0.0
+                ),
+                "refs": total_refs,
+                "elapsed_s": total_elapsed,
+                "wall_s": wall_s,
+                "jobs": jobs,
+            },
+        }
+    )
+    return {"benchmarks": entries}
 
 
 def sweep_metrics(

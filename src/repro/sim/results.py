@@ -43,6 +43,11 @@ class SimulationResult:
         return _lat.remote_read_stall(self.counters, self.config)
 
     @property
+    def stall_components(self) -> Dict[str, int]:
+        """Eq. 1 decomposed per component (sums exactly to the stall)."""
+        return _lat.stall_components(self.counters, self.config)
+
+    @property
     def relocation_overhead_cycles(self) -> int:
         return _lat.relocation_overhead_cycles(self.counters, self.config)
 

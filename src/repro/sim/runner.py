@@ -18,7 +18,8 @@ from collections import OrderedDict
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from ..errors import ConfigurationError
-from ..obs.metrics import run_metrics
+from ..obs.metrics import merge_snapshots, run_metrics
+from ..obs.profile import StallProfiler, profiling_enabled
 from ..params import SystemConfig
 from ..system.builder import build_machine, system_config
 from ..trace.record import Trace, TraceSpec
@@ -94,28 +95,41 @@ def run_trace(
     trace: Trace,
     system_name: str = "",
     tracer=None,
+    profiler=None,
 ) -> SimulationResult:
     """Run one prepared trace through one machine configuration.
 
     ``tracer`` — an optional :class:`repro.obs.events.EventTracer` —
     enables structured event emission for this run (see ``repro.obs``).
+    ``profiler`` — an optional :class:`repro.obs.profile.StallProfiler` —
+    enables per-reference stall attribution; with ``$REPRO_PROFILE`` set
+    (how sweep worker processes inherit ``--profile``) one is constructed
+    automatically.  A profiled run's snapshot carries the attribution
+    under ``profile.*``/``hist.stall/*``/``series.profile/*`` keys.
     Every result carries a deterministic metrics snapshot either way.
     """
+    if profiler is None and profiling_enabled():
+        profiler = StallProfiler(config)
     machine = build_machine(config, dataset_bytes=trace.dataset_bytes)
-    sim = Simulator(machine, tracer=tracer)
+    sim = Simulator(machine, tracer=tracer, profiler=profiler)
     start = time.perf_counter()
     counters = sim.run(trace)
     elapsed = time.perf_counter() - start
     counters.check()
+    metrics = run_metrics(counters, machine, tracer=tracer)
+    name = system_name or config.name
+    if profiler is not None:
+        profiler.finish(sim.now)
+        metrics = merge_snapshots(metrics, profiler.snapshot(name, trace.name))
     return SimulationResult(
-        system=system_name or config.name,
+        system=name,
         benchmark=trace.name,
         config=config,
         counters=counters,
         refs=len(trace),
         seed=int(trace.meta.get("seed", 0)),
         elapsed_s=elapsed,
-        metrics=run_metrics(counters, machine, tracer=tracer),
+        metrics=metrics,
     )
 
 
@@ -127,6 +141,7 @@ def simulate(
     scale: float = DEFAULT_SCALE,
     config: Optional[SystemConfig] = None,
     tracer=None,
+    profile: bool = False,
     **config_overrides: object,
 ) -> SimulationResult:
     """Simulate one paper system on one benchmark.
@@ -137,12 +152,16 @@ def simulate(
     ``config`` supplies a fully-custom :class:`SystemConfig`; otherwise the
     named system is built with optional keyword overrides (``cache_assoc``,
     ``nc_size``, ``threshold_policy``, ``initial_threshold``, ...).
-    ``tracer`` attaches an :class:`repro.obs.events.EventTracer` to the run.
+    ``tracer`` attaches an :class:`repro.obs.events.EventTracer` to the run;
+    ``profile=True`` attaches a :class:`repro.obs.profile.StallProfiler`.
     """
     trace = get_trace(benchmark, refs=refs, seed=seed, scale=scale)
     if config is None:
         config = system_config(system, **config_overrides)  # type: ignore[arg-type]
-    return run_trace(config, trace, system_name=system, tracer=tracer)
+    profiler = StallProfiler(config) if profile else None
+    return run_trace(
+        config, trace, system_name=system, tracer=tracer, profiler=profiler
+    )
 
 
 # ---------------------------------------------------------------------------

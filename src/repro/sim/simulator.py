@@ -56,20 +56,26 @@ class Simulator:
     """Drives one machine through one trace, tallying monitored events.
 
     ``tracer`` — an optional :class:`repro.obs.events.EventTracer` — turns
-    on structured event emission.  Every emission site sits on the miss
+    on structured event emission.  ``profiler`` — an optional
+    :class:`repro.obs.profile.StallProfiler` — turns on per-reference
+    stall attribution.  Every emission/attribution site sits on the miss
     path behind an ``is None`` guard; the inlined L1 read-hit loop in
-    :meth:`run` carries no tracing code at all, so simulation throughput
-    with tracing off is unchanged (pinned by ``benchmarks/bench_core.py``).
+    :meth:`run` carries no instrumentation code at all, so simulation
+    throughput with both off is unchanged (pinned by
+    ``benchmarks/bench_core.py``).
     """
 
-    def __init__(self, machine: Machine, tracer=None) -> None:
+    def __init__(self, machine: Machine, tracer=None, profiler=None) -> None:
         self.machine = machine
         self.config: SystemConfig = machine.config
         self.counters = Counters()
         self.now = 0  # reference index; the LRM clock
         self._tracer = tracer
+        self._profiler = profiler
         if tracer is not None:
             machine.directory._tracer = tracer
+        if profiler is not None:
+            profiler.bind_machine(machine)
 
         cfg = self.config
         self._block_bits = cfg.block_bits
@@ -334,6 +340,8 @@ class Simulator:
                                 "nc_hit", self.now,
                                 node=node_idx, block=block, detail="write",
                             )
+                        if self._profiler is not None:
+                            self._profiler.on_nc_hit(self.now, True)
                         return
                     self._fill(
                         pid, node, block, page,
@@ -345,6 +353,8 @@ class Simulator:
                             "nc_hit", self.now,
                             node=node_idx, block=block, detail="read",
                         )
+                    if self._profiler is not None:
+                        self._profiler.on_nc_hit(self.now, False)
                     return
             elif not self._nc_null and self._try_nc(
                 pid, node, node_idx, block, page, is_write
@@ -415,6 +425,8 @@ class Simulator:
                 c.local_write_misses += 1
             else:
                 c.write_cluster_hits += 1
+                if self._profiler is not None:
+                    self._profiler.on_cluster_hit(self.now, True)
             return
 
         # read: supply via cache-to-cache; a dirty supplier downgrades —
@@ -436,6 +448,8 @@ class Simulator:
             c.local_read_misses += 1
         else:
             c.read_cluster_hits += 1
+            if self._profiler is not None:
+                self._profiler.on_cluster_hit(self.now, False)
 
     def _dispose_downgraded_dirty(
         self, node: Node, block: int, page: int, home: int
@@ -514,6 +528,8 @@ class Simulator:
                 self._tracer.emit(
                     "nc_hit", self.now, node=node_idx, block=block, detail="write"
                 )
+            if self._profiler is not None:
+                self._profiler.on_nc_hit(self.now, True)
             return True
 
         st = nc.service_read(block)
@@ -530,6 +546,8 @@ class Simulator:
             self._tracer.emit(
                 "nc_hit", self.now, node=node_idx, block=block, detail="read"
             )
+        if self._profiler is not None:
+            self._profiler.on_nc_hit(self.now, False)
         return True
 
     # ---- 3: page cache ---------------------------------------------------------
@@ -571,6 +589,8 @@ class Simulator:
                 node=node_idx, block=block,
                 detail="write" if is_write else "read",
             )
+        if self._profiler is not None:
+            self._profiler.on_pc_hit(self.now, is_write)
         return True
 
     # ---- 4a: local home memory ---------------------------------------------------
@@ -678,6 +698,8 @@ class Simulator:
             c.write_remote += 1
         else:
             c.read_remote += 1
+        if self._profiler is not None:
+            self._profiler.on_remote(self.now, is_write)
         tr = self._tracer
         if tr is not None:
             # Directory.access is inlined above, so the event is emitted
@@ -1033,6 +1055,8 @@ class Simulator:
         c.pc_relocations += 1
         if tr is not None:
             tr.emit("pc_relocate", self.now, node=node.node_id, detail=str(page))
+        if self._profiler is not None:
+            self._profiler.on_relocation(self.now)
         evicted = pc.allocate(page, self.now)
         if evicted is not None:
             c.pc_evictions += 1

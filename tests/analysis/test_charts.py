@@ -72,3 +72,38 @@ class TestStackedChart:
         rows = [ln for ln in txt.splitlines() if " s " in ln]
         assert rows[0].count("#") == 10
         assert rows[1].count("#") == 5
+
+
+class TestStallComponentChart:
+    def test_five_fills_in_eq1_order(self):
+        from repro.analysis.charts import stall_component_chart
+
+        txt = stall_component_chart(
+            "T", ["radix"], ["vxp5"],
+            {("vxp5", "radix"): {
+                "cluster_hit": 10.0, "nc_hit": 10.0, "pc_hit": 10.0,
+                "remote_miss": 10.0, "relocation": 10.0,
+            }},
+            width=50,
+        )
+        row = next(ln for ln in txt.splitlines() if "vxp5" in ln)
+        bar = row.split("|")[1]
+        # fills appear left-to-right in Eq. 1 order
+        assert bar.index("c") < bar.index("#") < bar.index("=")
+        assert bar.index("=") < bar.index("@") < bar.index("%")
+        assert "50" in row  # the total
+        assert "remote miss" in txt  # the legend
+
+    def test_scale_shared_across_systems(self):
+        from repro.analysis.charts import stall_component_chart
+
+        txt = stall_component_chart(
+            "T", ["lu"], ["a", "b"],
+            {
+                ("a", "lu"): {"remote_miss": 100.0},
+                ("b", "lu"): {"remote_miss": 50.0},
+            },
+            width=10,
+        )
+        rows = [ln for ln in txt.splitlines() if "@" in ln and "|" in ln]
+        assert rows[0].count("@") == 10 and rows[1].count("@") == 5

@@ -79,3 +79,34 @@ class TestFormatters:
     def test_stacked_bars_missing_cell(self):
         txt = format_stacked_bars("T", ["r"], ["c"], {})
         assert "-" in txt.splitlines()[-2]
+
+
+class TestFormatStallBreakdown:
+    def test_cycles_and_percentages(self):
+        from repro.analysis.report import format_stall_breakdown
+
+        txt = format_stall_breakdown(
+            "T", ["vb"],
+            {"vb": {"cluster_hit": 100.0, "nc_hit": 0.0, "pc_hit": 0.0,
+                    "remote_miss": 900.0, "relocation": 0.0}},
+        )
+        row = next(ln for ln in txt.splitlines() if ln.startswith("vb"))
+        assert "100(10%)" in row and "900(90%)" in row
+        assert "1,000" in row  # the total column, thousands-grouped
+
+    def test_missing_row_renders_dashes(self):
+        from repro.analysis.report import format_stall_breakdown
+
+        txt = format_stall_breakdown("T", ["ghost"], {})
+        row = next(ln for ln in txt.splitlines() if ln.startswith("ghost"))
+        assert row.count("-") >= 6  # five components + total
+
+    def test_zero_total_does_not_divide(self):
+        from repro.analysis.report import format_stall_breakdown
+
+        txt = format_stall_breakdown(
+            "T", ["p"], {"p": {c: 0.0 for c in (
+                "cluster_hit", "nc_hit", "pc_hit", "remote_miss", "relocation"
+            )}},
+        )
+        assert "(0%)" in txt

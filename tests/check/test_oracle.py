@@ -75,3 +75,44 @@ def test_serial_and_parallel_sweeps_bit_identical():
         ["base", "vp"], ["fft", "radix"], refs=REFS, seed=1, scale=SCALE, jobs=2
     )
     assert n == 4
+
+
+def test_parallel_diff_now_covers_profiles_and_conservation(monkeypatch):
+    """diff_parallel_sweep runs both sweeps profiled: the metrics
+    snapshots (profile counters, histograms, series included) must be
+    bit-identical and every cell must conserve Eq. 1 exactly — and the
+    caller's REPRO_PROFILE setting must be restored afterwards."""
+    import os
+
+    from repro.obs.profile import PROFILE_ENV
+
+    monkeypatch.delenv(PROFILE_ENV, raising=False)
+    n = diff_parallel_sweep(
+        ["vb", "vpp5"], ["radix"], refs=REFS, seed=1, scale=SCALE, jobs=2
+    )
+    assert n == 2
+    assert PROFILE_ENV not in os.environ
+
+    monkeypatch.setenv(PROFILE_ENV, "0")
+    diff_parallel_sweep(["base"], ["fft"], refs=REFS, seed=1, scale=SCALE)
+    assert os.environ[PROFILE_ENV] == "0"
+
+
+def test_parallel_diff_catches_broken_attribution(monkeypatch):
+    """A profiler that mis-charges a component must fail conservation."""
+    from repro.check import oracle as oracle_mod
+    from repro.obs.profile import StallProfiler
+
+    original = StallProfiler.on_remote
+
+    def lossy(self, now, is_write):
+        # drop every second remote read from the attribution
+        original(self, now, is_write)
+        if not is_write and self.reads["remote_miss"] % 2 == 0:
+            self.reads["remote_miss"] -= 1
+
+    monkeypatch.setattr(StallProfiler, "on_remote", lossy)
+    with pytest.raises(OracleDivergenceError, match="conservation"):
+        oracle_mod.diff_parallel_sweep(
+            ["base"], ["radix"], refs=REFS, seed=1, scale=SCALE, jobs=1
+        )

@@ -133,6 +133,83 @@ class TestEventTracer:
         assert len(lines) == 10
         assert json.loads(lines[-1])["seq"] == 9
 
+    def test_ring_overflow_keeps_newest_drops_oldest(self):
+        tracer = EventTracer(capacity=3)
+        for i in range(7):
+            tracer.emit("nc_evict", now=i, block=i)
+        events = tracer.events()
+        assert len(tracer) == 3 and len(events) == 3
+        assert [e.block for e in events] == [4, 5, 6]  # newest survive
+        assert tracer.total_emitted == 7  # totals are never truncated
+        assert tracer.kind_counts["nc_evict"] == 7
+
+    def test_flush_every_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            EventTracer(flush_every=0)
+
+
+class TestSinkDurability:
+    """JSONL-sink behaviour when the writing process dies mid-run.
+
+    Reuses the fault-injection harness's worker-kill mechanism
+    (``FaultPlan`` + ``mark_worker_process``) so the death is the same
+    ``os._exit`` a killed sweep worker suffers — no ``close()``, no
+    interpreter shutdown, no buffer flush.
+    """
+
+    @staticmethod
+    def _die_mid_write(path: str, flush_every):
+        from repro import faults
+        from repro.faults import FaultPlan
+
+        faults.mark_worker_process()
+        tracer = EventTracer(jsonl_path=path, flush_every=flush_every)
+        for i in range(200):
+            tracer.emit("invalidate", now=i, block=i)
+        # kill=1.0 always selects; fires because this is a marked worker
+        FaultPlan.parse("seed=1;kill=1.0").maybe_kill("sink-test", 0)
+        raise AssertionError("kill fault did not fire")  # pragma: no cover
+
+    def _run_and_kill(self, path, flush_every):
+        import multiprocessing
+
+        from repro.faults import KILL_EXIT_CODE
+
+        ctx = multiprocessing.get_context("fork")
+        proc = ctx.Process(
+            target=self._die_mid_write, args=(str(path), flush_every)
+        )
+        proc.start()
+        proc.join(timeout=30)
+        assert proc.exitcode == KILL_EXIT_CODE
+
+    def test_flushed_sink_survives_worker_kill_complete(self, tmp_path):
+        path = tmp_path / "flushed.jsonl"
+        self._run_and_kill(path, flush_every=1)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 200  # every flushed event survived
+        for i, line in enumerate(lines):
+            rec = json.loads(line)  # every line is complete JSON
+            assert rec["seq"] == i
+
+    def test_batched_flush_loses_at_most_one_batch(self, tmp_path):
+        path = tmp_path / "batched.jsonl"
+        self._run_and_kill(path, flush_every=50)
+        lines = path.read_text().splitlines()
+        # 200 events at flush_every=50: all four batches were flushed
+        assert len(lines) == 200
+        assert all(json.loads(line) for line in lines)
+
+    def test_unflushed_sink_loses_only_the_buffered_tail(self, tmp_path):
+        # without flush_every the file may lose the buffered tail, but
+        # whatever did reach disk must be a prefix of complete lines
+        path = tmp_path / "unflushed.jsonl"
+        self._run_and_kill(path, flush_every=None)
+        text = path.read_text() if path.exists() else ""
+        complete = text.splitlines()[: text.count("\n")]
+        for i, line in enumerate(complete):
+            assert json.loads(line)["seq"] == i
+
 
 class TestMetricsRegistry:
     def test_snapshot_sections_and_sorting(self):
@@ -176,6 +253,43 @@ class TestMetricsRegistry:
         h = Histogram((1.0,))
         with pytest.raises(ValueError, match="bounds mismatch"):
             h.merge(Histogram((2.0,)))
+
+    def test_merge_snapshots_names_the_mismatched_histogram(self):
+        a = {"counters": {}, "gauges": {},
+             "histograms": {"h.bad": {"bounds": [1.0], "counts": [1, 1]}}}
+        b = {"counters": {}, "gauges": {},
+             "histograms": {"h.bad": {"bounds": [2.0], "counts": [1, 1]}}}
+        with pytest.raises(ValueError, match="'h.bad'.*bounds mismatch"):
+            merge_snapshots(a, b)
+
+    def test_from_dict_rejects_wrong_bucket_count(self):
+        with pytest.raises(ValueError, match="counts/bounds mismatch"):
+            Histogram.from_dict({"bounds": [1.0, 2.0], "counts": [1, 2]})
+
+    def test_series_merge_sums_elementwise_and_pads(self):
+        a = {"counters": {}, "gauges": {}, "histograms": {},
+             "series": {"s": {"window": 100, "values": [1, 2, 3]}}}
+        b = {"counters": {}, "gauges": {}, "histograms": {},
+             "series": {"s": {"window": 100, "values": [10, 10]}}}
+        out = merge_snapshots(a, b)
+        assert out["series"]["s"] == {"window": 100, "values": [11, 12, 3]}
+
+    def test_series_window_mismatch_names_the_series(self):
+        a = {"counters": {}, "gauges": {}, "histograms": {},
+             "series": {"s.win": {"window": 100, "values": [1]}}}
+        b = {"counters": {}, "gauges": {}, "histograms": {},
+             "series": {"s.win": {"window": 200, "values": [1]}}}
+        with pytest.raises(ValueError, match="'s.win'.*window mismatch"):
+            merge_snapshots(a, b)
+
+    def test_snapshots_without_series_section_still_merge(self):
+        # pre-profiler snapshots (older journals) have no "series" key
+        old = {"counters": {"x": 1}, "gauges": {}, "histograms": {}}
+        new = {"counters": {"x": 1}, "gauges": {}, "histograms": {},
+               "series": {"s": {"window": 10, "values": [5]}}}
+        out = merge_snapshots(old, new)
+        assert out["counters"]["x"] == 2
+        assert out["series"]["s"]["values"] == [5]
 
     def test_histogram_overflow_bucket(self):
         h = Histogram((0.0, 1.0))

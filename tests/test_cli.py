@@ -97,3 +97,98 @@ class TestSweepChart:
         ) == 0
         out = capsys.readouterr().out
         assert "#" in out and "base" in out
+
+
+class TestProfileFlags:
+    def test_simulate_profile_prints_breakdown(self, capsys):
+        assert main(
+            ["simulate", "vb", "radix", "--refs", "10000", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Eq. 1 stall attribution" in out
+        assert "remote" in out and "nc_hit" in out
+
+    def test_sweep_breakdown_metric(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert main(
+            ["sweep", "base,vb", "radix", "--refs", "10000",
+             "--metric", "breakdown"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Eq. 1 stall attribution — radix" in out
+        assert "base" in out and "vb" in out and "(100%)" in out
+
+    def test_sweep_breakdown_chart(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert main(
+            ["sweep", "base,vb", "radix", "--refs", "10000",
+             "--metric", "breakdown", "--chart"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Remote read stall attribution" in out and "@" in out
+
+
+class TestTraceExport:
+    def test_export_writes_valid_chrome_trace(self, capsys, tmp_path):
+        from repro.obs.timeline import validate_chrome_trace
+
+        out_file = tmp_path / "trace.json"
+        assert main(
+            ["trace", "export", "vpp5", "radix", "--refs", "10000",
+             "--out", str(out_file)]
+        ) == 0
+        assert "trace events" in capsys.readouterr().out
+        assert validate_chrome_trace(str(out_file)) == []
+
+    def test_export_requires_system_and_benchmark(self, capsys):
+        assert main(["trace", "export", "vpp5"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_plain_trace_rejects_stray_positionals(self, capsys):
+        assert main(["trace", "radix", "vb", "--refs", "5000"]) == 2
+        assert "unexpected" in capsys.readouterr().err
+
+
+class TestTop:
+    def test_board_for_finished_sweep(self, capsys, tmp_path):
+        run_dir = tmp_path / "run"
+        assert main(
+            ["sweep", "base", "lu", "--refs", "8000",
+             "--resume", str(run_dir)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["top", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 done" in out and "complete" in out
+
+    def test_missing_run_dir_warns(self, capsys, tmp_path):
+        assert main(["top", str(tmp_path / "nope")]) == 0
+        captured = capsys.readouterr()
+        assert "no run.json" in captured.err
+
+
+class TestPerfJson:
+    def test_json_report_feeds_the_regression_gate(self, capsys, tmp_path):
+        import json
+
+        json_path = tmp_path / "perf.json"
+        assert main(
+            ["perf", "--systems", "base", "--benchmarks", "lu",
+             "--refs", "8000", "--json", str(json_path)]
+        ) == 0
+        doc = json.loads(json_path.read_text())
+        names = [b["name"] for b in doc["benchmarks"]]
+        assert "perf::lu" in names and "perf::sweep_total" in names
+        for bench in doc["benchmarks"]:
+            assert bench["extra_info"]["refs_per_sec"] > 0
+        # the exact shape scripts/check_bench_regression.py consumes
+        import importlib.util
+        import pathlib
+
+        script = (pathlib.Path(__file__).parent.parent
+                  / "scripts" / "check_bench_regression.py")
+        spec = importlib.util.spec_from_file_location("cbr", script)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        rates = mod.extract_refs_per_sec(str(json_path))
+        assert rates["perf::lu"] > 0
