@@ -86,6 +86,10 @@ def _add_sim_options(p: argparse.ArgumentParser) -> None:
                    help="enable the dirty-shared O state (Sec. 3.2 ablation)")
     p.add_argument("--decrement-on-invalidation", action="store_true",
                    help="enable the Sec. 3.4 counter-decrement refinement")
+    p.add_argument("--engine", choices=("interp", "batch"), default=None,
+                   help="execution backend (default: REPRO_ENGINE or interp); "
+                        "'batch' is the vectorised engine, bit-identical to "
+                        "the interpreter")
 
 
 def _sim_kwargs(args: argparse.Namespace) -> dict:
@@ -108,7 +112,8 @@ def _sim_kwargs(args: argparse.Namespace) -> dict:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     result = simulate(
         args.system, args.benchmark, refs=args.refs, seed=args.seed,
-        scale=args.scale, profile=args.profile, **_sim_kwargs(args),
+        scale=args.scale, profile=args.profile, engine=args.engine,
+        **_sim_kwargs(args),
     )
     print(f"{result.system} / {result.benchmark}  "
           f"({result.refs} refs, {result.elapsed_s:.2f}s)")
@@ -154,7 +159,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     results = sweep(
         systems, benches, refs=args.refs, seed=args.seed, scale=args.scale,
         jobs=args.jobs, run_dir=args.resume, max_retries=args.max_retries,
-        cell_timeout=args.cell_timeout, recovery=recovery, **_sim_kwargs(args),
+        cell_timeout=args.cell_timeout, recovery=recovery, engine=args.engine,
+        **_sim_kwargs(args),
     )
 
     if args.metric == "breakdown":
@@ -390,10 +396,32 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     systems = [s.strip() for s in args.systems.split(",") if s.strip()]
     benches = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
     configs = resolve_sweep_configs(systems)
-    results, wall = timed_sweep(
-        configs, benches, refs=args.refs, seed=args.seed, jobs=args.jobs
-    )
-    report = throughput_report(results, wall_s=wall, jobs=args.jobs)
+    if args.engine == "both":
+        from .sim.parallel import engine_comparison_json, engine_comparison_report
+
+        interp, wall_i = timed_sweep(
+            configs, benches, refs=args.refs, seed=args.seed, jobs=args.jobs,
+            engine="interp", manifest_name="perf-interp",
+            command="perf --engine both",
+        )
+        batch, wall_b = timed_sweep(
+            configs, benches, refs=args.refs, seed=args.seed, jobs=args.jobs,
+            engine="batch", manifest_name="perf-batch",
+            command="perf --engine both",
+        )
+        report = engine_comparison_report(interp, batch)
+        doc = engine_comparison_json(
+            interp, batch, wall_interp=wall_i, wall_batch=wall_b, jobs=args.jobs
+        )
+    else:
+        results, wall = timed_sweep(
+            configs, benches, refs=args.refs, seed=args.seed, jobs=args.jobs,
+            engine=args.engine,
+        )
+        report = throughput_report(results, wall_s=wall, jobs=args.jobs)
+        from .sim.parallel import perf_json
+
+        doc = perf_json(results, wall_s=wall, jobs=args.jobs)
     print(report)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
@@ -402,9 +430,6 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     if args.json:
         import json as _json
 
-        from .sim.parallel import perf_json
-
-        doc = perf_json(results, wall_s=wall, jobs=args.jobs)
         with open(args.json, "w", encoding="utf-8") as fh:
             _json.dump(doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
@@ -642,6 +667,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes (default serial — single-core "
                         "refs/sec is the regression-tracked number)")
+    p.add_argument("--engine", choices=("interp", "batch", "both"),
+                   default=None,
+                   help="execution backend to measure (default: REPRO_ENGINE "
+                        "or interp); 'both' runs each engine and prints a "
+                        "side-by-side speedup column")
     p.add_argument("--out", default=None,
                    help="also write the report to this file")
     p.add_argument("--json", default=None, metavar="PATH",

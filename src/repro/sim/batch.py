@@ -1,0 +1,530 @@
+"""The vectorised batch execution engine.
+
+:class:`BatchSimulator` runs the same protocol as
+:class:`~repro.sim.simulator.Simulator` — it *is* one, by inheritance —
+but classifies whole batches of references at once with numpy instead of
+deciding hit/miss per reference in Python.  The dominant case — an L1
+read hit — never touches a Python-level branch: a dense tag mirror of
+every L1 is compared against the batch's block vector, and the surviving
+references are committed with a handful of array operations.  Everything
+else — misses, writes, and references whose mirror slot an earlier
+in-batch reference touched — drops into the inherited per-reference
+protocol code (``_upgrade`` / ``_miss``), which stays the single source
+of truth for coherence semantics.  Counters, final machine state,
+profiler attribution, and traced events are bit-identical to the
+interpreter engine (CI-enforced by ``repro check --diff`` across all
+nine NC variants).
+
+Mechanics
+---------
+* **Tag mirror.**  Two flat numpy arrays of shape
+  ``n_procs * n_sets * assoc`` shadow every L1 frame: the resident block
+  number (``-1`` when empty) and an LRU timestamp.  Frames are addressed
+  as ``(pid * n_sets + set) * assoc + way``; a line carries its frame
+  index for the whole time it is resident (:class:`_BLine`), and the L1s
+  are :class:`MirroredL1` caches whose ``remove`` clears the tag mirror —
+  so every slow-path invalidation, inclusion eviction, and owner flush
+  keeps the mirror exact without changing a line of protocol code.
+* **Reads only.**  Only read hits are vector-committed.  Reads are
+  state-independent (any resident line serves them), so the mirror needs
+  no MESIR state and protocol state transitions (`ln.state = X`) stay
+  plain attribute stores at full interpreter speed.  Writes always take
+  the per-reference path; a write hit on an already-M line costs one
+  dict probe there, which is noise at real write fractions.
+* **LRU as timestamps.**  The interpreter keeps LRU as list order inside
+  each set; the batch engine instead stamps a frame with the reference
+  index (``now``) on every touch.  At most one frame per (pid, set) is
+  touched per reference and ``now`` strictly increases, so stamps within
+  a set are unique and stamp order is exactly the interpreter's list
+  order; eviction picks the min-stamp way where the interpreter pops
+  ``lines[0]``.  :meth:`sync_lru_order` re-sorts the Python line lists
+  by stamp so final-state snapshots compare equal to the interpreter's.
+* **In-batch coherence.**  Per-reference work can invalidate the batch's
+  up-front classification (the adversarial cases: an upgrade then a read
+  of the same block by two pids in one batch, a miss-evicted line
+  re-referenced within the batch).  Every frame whose *tag* changes
+  during the batch is flagged in a touched mask; a span of fast reads is
+  committed wholesale only if none of its frames are flagged, and
+  otherwise is re-classified against the live mirror, splitting at the
+  first demoted reference — which then runs through the per-reference
+  path, where the authoritative Python state is re-probed from scratch.
+  Demotion is therefore always safe, never a correctness decision.
+* **Chained-reuse promotion.**  The one classification the chunk-start
+  mirror cannot make is a hit on a line the batch itself fills (short
+  reuse distances put a miss and its re-references in one chunk).  A
+  read whose (pid, block) occurred *earlier in the chunk* is resident by
+  the time it executes — any reference leaves its line cached — so it is
+  promoted to provisionally-fast; spans containing provisional reads
+  re-classify against the live mirror rather than trusting chunk-start
+  frames.  An intervening conflict eviction or invalidation simply
+  demotes the read back to the per-reference path.
+
+Profiler and tracer instrumentation sit entirely on the miss path inside
+the inherited machinery, and ``self.now`` is set before every
+per-reference call, so ``simulate(..., profile=True, engine="batch")``
+attributes stalls identically to the interpreter at full vector speed
+(no downgrade path needed); the Eq. 1 conservation invariant holds
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+import numpy as np
+
+from ..coherence.cache import CacheLine, SetAssocCache
+from ..errors import ConfigurationError
+from ..params import CacheGeometry
+from ..stats import Counters
+from ..system.machine import Machine
+from ..trace.record import Trace
+from .simulator import _E, _M, Simulator
+
+#: environment variable selecting the execution engine (CLI flags win)
+ENGINE_ENV = "REPRO_ENGINE"
+
+#: the available execution engines, in (default, alternative) order
+ENGINES = ("interp", "batch")
+
+DEFAULT_ENGINE = "interp"
+
+
+def resolve_engine(engine: Optional[str] = None) -> str:
+    """Fold an explicit engine choice over ``$REPRO_ENGINE``, validating.
+
+    ``None`` (the library default) consults the environment so sweep
+    worker processes inherit ``--engine`` the same way they inherit
+    ``--profile``; an unknown name raises :class:`ConfigurationError`
+    naming the valid choices.
+    """
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV) or DEFAULT_ENGINE
+    engine = str(engine).lower()
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; valid engines: {', '.join(ENGINES)}"
+        )
+    return engine
+
+
+def make_simulator(
+    engine: Optional[str], machine: Machine, tracer=None, profiler=None
+) -> Simulator:
+    """Construct the chosen engine over ``machine`` (fresh caches required)."""
+    if resolve_engine(engine) == "batch":
+        return BatchSimulator(machine, tracer=tracer, profiler=profiler)
+    return Simulator(machine, tracer=tracer, profiler=profiler)
+
+
+class _BLine(CacheLine):
+    """A cache line that knows which mirror frame it occupies.
+
+    ``state`` stays the inherited plain attribute — protocol state
+    transitions pay nothing for the mirror, because the vector path only
+    serves reads and reads are state-independent.
+    """
+
+    __slots__ = ("flat",)
+
+    def __init__(self, block: int, state: int, flat: int) -> None:
+        # direct stores: this runs once per L1 fill, on the hot miss path
+        self.block = block
+        self.state = state
+        self.flat = flat
+
+
+class MirroredL1(SetAssocCache):
+    """A processor cache that keeps the batch engine's tag mirror exact.
+
+    Only ``remove`` needs overriding: every slow-path invalidation,
+    inclusion eviction, owner flush, and victim swap funnels through it.
+    Insertions are owned by :meth:`BatchSimulator._fill`.
+    """
+
+    __slots__ = ("_mirror_base", "_tags_flat", "_tags_mv", "_tmask_mv")
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        tags_flat: np.ndarray,
+        tags_mv: "memoryview",
+        tmask_mv: "memoryview",
+        mirror_base: int,
+    ) -> None:
+        super().__init__(geometry)
+        self._tags_flat = tags_flat
+        # scalar stores go through memoryviews over the same buffers:
+        # measurably cheaper than ndarray item access, and they yield
+        # plain Python ints on loads
+        self._tags_mv = tags_mv
+        self._tmask_mv = tmask_mv
+        self._mirror_base = mirror_base
+
+    def remove(self, block: int):
+        line = self._tag.pop(block, None)
+        if line is None:
+            return None
+        self._sets[(block >> self._shift) & self._set_mask].remove(line)
+        flat = line.flat
+        self._tags_mv[flat] = -1
+        self._tmask_mv[flat] = 1
+        return line
+
+    def clear(self) -> None:
+        super().clear()
+        base = self._mirror_base
+        self._tags_flat[base : base + self.n_sets * self.assoc] = -1
+
+
+class BatchSimulator(Simulator):
+    """Drives one machine through one trace in vectorised batches.
+
+    Construct over a **fresh** machine (empty caches), exactly as
+    :func:`~repro.sim.runner.run_trace` does — the constructor replaces
+    every node's L1s with :class:`MirroredL1` instances.  Semantics are
+    bit-identical to :class:`~repro.sim.simulator.Simulator` (counters,
+    final machine state, profile attribution, traced events); see the
+    module docstring for the equivalence argument.
+    """
+
+    #: references classified per vector batch
+    _BATCH = 1 << 14
+
+    #: spans shorter than this are walked per-reference instead of paying
+    #: numpy fixed costs on a handful of elements
+    _SHORT_SPAN = 32
+
+    def __init__(self, machine: Machine, tracer=None, profiler=None) -> None:
+        geom = machine.config.cache
+        n_procs = machine.config.n_procs
+        self._n_sets = geom.n_sets
+        self._assoc = geom.assoc
+        total = n_procs * geom.n_sets * geom.assoc
+        self._tags_flat = np.full(total, -1, dtype=np.int64)
+        self._stamps_flat = np.zeros(total, dtype=np.int64)
+        #: frames whose tag changed since the current batch was classified
+        self._tmask = np.zeros(total, dtype=bool)
+        self._tags_mv = memoryview(self._tags_flat)
+        self._stamps_mv = memoryview(self._stamps_flat)
+        self._tmask_mv = memoryview(self._tmask.view(np.uint8))
+        self._ways = np.arange(geom.assoc, dtype=np.int64)
+        frame = geom.n_sets * geom.assoc
+        pid = 0
+        for node in machine.nodes:
+            for i, l1 in enumerate(node.l1s):
+                if len(l1):
+                    raise ConfigurationError(
+                        "BatchSimulator requires a fresh machine (non-empty L1)"
+                    )
+                node.l1s[i] = MirroredL1(
+                    geom, self._tags_flat, self._tags_mv, self._tmask_mv,
+                    pid * frame,
+                )
+                pid += 1
+        super().__init__(machine, tracer=tracer, profiler=profiler)
+
+    # ------------------------------------------------------------------
+    # per-reference path (inherited protocol code underneath)
+    # ------------------------------------------------------------------
+
+    def _slow_ref(self, now: int, pid: int, block: int, is_write: bool) -> None:
+        """One reference through the authoritative per-reference path.
+
+        Re-probes the Python tag map from scratch, so it is always
+        correct to demote a reference here — including references whose
+        batch classification an earlier in-batch mutation invalidated.
+        """
+        self.now = now
+        c = self.counters
+        line = self._l1s[pid]._tag.get(block)
+        if line is not None:
+            # any hit refreshes LRU, exactly as the interpreter's inline
+            # list reordering would — here it is one stamp store
+            self._stamps_mv[line.flat] = now
+            if not is_write:
+                c.l1_read_hits += 1
+                return
+            c.l1_write_hits += 1
+            st = line.state
+            if st == _M:
+                return
+            if st == _E:
+                line.state = _M
+                return
+            self._upgrade(pid, block, line)
+            return
+        self._miss(pid, block, is_write)
+
+    def _fill(self, pid: int, node, block: int, page: int, state: int) -> None:
+        """Insert a fetched block, evicting the min-stamp (LRU) way.
+
+        Mirrors :meth:`Simulator._fill` exactly: the interpreter pops
+        ``lines[0]`` (list-order LRU); stamp order equals list order, so
+        the min-stamp way is the same victim.
+        """
+        l1 = self._l1s[pid]
+        set_idx = block & l1._set_mask
+        lines = l1._sets[set_idx]
+        assoc = self._assoc
+        base = l1._mirror_base + set_idx * assoc
+        stamps = self._stamps_mv
+        n_res = len(lines)
+        if n_res >= assoc:
+            if n_res == 2:
+                # unrolled two-way victim pick: min-stamp way == the way
+                # the interpreter's list order would pop first
+                flat = base + 1 if stamps[base + 1] < stamps[base] else base
+                a = lines[0]
+                if a.flat == flat:
+                    evicted = a
+                    del lines[0]
+                else:
+                    evicted = lines[1]
+                    del lines[1]
+            else:
+                flat = base
+                best = stamps[base]
+                for w in range(1, assoc):
+                    s = stamps[base + w]
+                    if s < best:
+                        best = s
+                        flat = base + w
+                # the victim line knows its frame; no tag-mirror load needed
+                evicted = lines[0]
+                if evicted.flat != flat:
+                    for ln in lines:
+                        if ln.flat == flat:
+                            evicted = ln
+                            break
+                lines.remove(evicted)
+            del l1._tag[evicted.block]
+            # the frame's tag changes under any chunk-start classification
+            self._tmask_mv[flat] = 1
+        else:
+            # find a free way without touching numpy: the resident lines
+            # know their frames, and assoc is small
+            evicted = None
+            if not lines:
+                flat = base
+            elif len(lines) == 1:
+                flat = base + 1 if lines[0].flat == base else base
+            else:
+                taken = {ln.flat for ln in lines}
+                flat = base
+                while flat in taken:
+                    flat += 1
+        line = _BLine(block, state, flat)
+        self._tags_mv[flat] = block
+        stamps[flat] = self.now
+        lines.append(line)
+        l1._tag[block] = line
+        if evicted is not None:
+            self._handle_l1_victim(node, evicted)
+
+    def step(self, pid: int, addr: int, is_write: bool) -> None:
+        """Process one shared reference (fuzz/lockstep entry point)."""
+        c = self.counters
+        if is_write:
+            c.writes += 1
+        else:
+            c.reads += 1
+        self._slow_ref(self.now + 1, pid, addr >> self._block_bits, bool(is_write))
+
+    # ------------------------------------------------------------------
+    # the batch loop
+    # ------------------------------------------------------------------
+
+    def run(self, trace: Trace) -> Counters:
+        """Simulate the whole trace in vectorised batches."""
+        if trace.placement:
+            for page, home in trace.placement.items():
+                self._placement.touch(page, home)
+        c = self.counters
+        n = len(trace)
+        if n == 0:
+            return c
+        # ---- per-chunk scratch buffers -------------------------------
+        # Trace-wide precompute arrays (one per quantity, each refs*8
+        # bytes) are large enough that the allocator hands them back to
+        # the OS on free, so every run pays mmap + page-fault costs.
+        # Chunk-sized buffers are allocated once and reused by every
+        # batch, so the derived vectors are computed in place instead.
+        set_mask = self._l1s[0]._set_mask
+        n_sets = self._n_sets
+        assoc = self._assoc
+        block_bits = self._block_bits
+        pids_arr = trace.pids
+        addrs_arr = trace.addrs
+        writes_arr = trace.writes
+        pmax = int(pids_arr.max())
+        writes_total = int(np.count_nonzero(writes_arr))
+        c.reads += n - writes_total
+        c.writes += writes_total
+        now0 = self.now
+        # chained-reuse keys: (block, pid) packed into one int64
+        pshift = pmax.bit_length()
+        chunk = self._BATCH
+        bn = min(n, chunk)
+        blkbuf = np.empty(bn, dtype=np.int64)
+        basebuf = np.empty(bn, dtype=np.int64)
+        nowsbuf = np.empty(bn, dtype=np.int64)
+        iota = np.arange(1, bn + 1, dtype=np.int64)
+        pmbuf = np.empty(bn, dtype=np.int64) if pmax else None
+        keybuf = np.empty(bn, dtype=np.int64) if pmax else None
+        wbbuf = np.empty(bn, dtype=bool) if writes_total else None
+        zeros_list = None
+        if not (writes_total and pmax):
+            # shared all-zeros list for wl (read-only trace) / pl (single pid)
+            zeros_list = [0] * bn
+
+        ways = self._ways
+        tags = self._tags_flat
+        stamps = self._stamps_flat
+        tmask = self._tmask
+        slow = self._slow_ref
+        two_way = assoc == 2
+        SHORT = self._SHORT_SPAN
+
+        for s in range(0, n, chunk):
+            e = min(s + chunk, n)
+            m = e - s
+            blk = blkbuf[:m]
+            np.right_shift(addrs_arr[s:e], block_bits, out=blk)
+            base = basebuf[:m]
+            np.bitwise_and(blk, set_mask, out=base)
+            if pmax:
+                pm = pmbuf[:m]
+                np.multiply(pids_arr[s:e], n_sets, out=pm)
+                base += pm
+            base *= assoc
+            nows = nowsbuf[:m]
+            np.add(iota[:m], now0 + s, out=nows)
+            if writes_total:
+                wb = wbbuf[:m]
+                np.not_equal(writes_arr[s:e], 0, out=wb)
+                chunk_writes = int(np.count_nonzero(wb))
+            else:
+                wb = None
+                chunk_writes = 0
+            tmask[:] = False
+
+            # classify: fast == read hit against the mirror as it stands;
+            # writes and misses are per-reference work
+            if two_way:
+                h1 = tags[base + 1] == blk
+                fast = h1 | (tags[base] == blk)
+                flat = base + h1
+            else:
+                hitm = tags[base[:, None] + ways] == blk[:, None]
+                fast = hitm.any(axis=1)
+                flat = base + hitm.argmax(axis=1)
+            if chunk_writes:
+                fast &= ~wb
+
+            if fast.all():
+                # pure fast batch: one fancy store commits every LRU
+                # touch (duplicate frames keep the last — latest — stamp)
+                stamps[flat] = nows
+                c.l1_read_hits += m
+                continue
+            slow_pos = np.flatnonzero(~fast)
+
+            # chained-reuse promotion: a read whose (pid, block) occurred
+            # earlier in the chunk is resident by the time it executes
+            if pmax:
+                key = keybuf[:m]
+                np.left_shift(blk, pshift, out=key)
+                np.bitwise_or(key, pids_arr[s:e], out=key)
+            else:
+                key = blk
+            order = np.argsort(key, kind="stable")
+            sk = key[order]
+            prov = np.empty(m, dtype=bool)
+            prov[order[0]] = False
+            prov[order[1:]] = sk[1:] == sk[:-1]
+            prov &= ~fast
+            if chunk_writes:
+                prov &= ~wb
+            if prov.any():
+                fast |= prov
+                slow_pos = np.flatnonzero(~fast)
+            pcum = np.zeros(m + 1, dtype=np.int64)
+            np.cumsum(prov, out=pcum[1:])
+
+            t = now0 + s
+            pl = pids_arr[s:e].tolist() if pmax else zeros_list
+            bl = blk.tolist()
+            wl = wb.tolist() if writes_total else zeros_list
+            if slow_pos.size * 2 >= m:
+                # mostly-slow batch: the per-reference path wins outright
+                for j in range(m):
+                    slow(t + j + 1, pl[j], bl[j], wl[j])
+                continue
+
+            def commit(fl: np.ndarray, p: int, q: int) -> None:
+                # spans hold reads only — writes never classify fast
+                stamps[fl] = nows[p:q]
+                c.l1_read_hits += q - p
+
+            def run_span(p: int, q: int) -> None:
+                """Commit fast reads [p, q), demoting any a mutation hit."""
+                while p < q:
+                    if q - p < SHORT:
+                        # short span: numpy fixed costs exceed the walk
+                        for j in range(p, q):
+                            slow(t + j + 1, pl[j], bl[j], wl[j])
+                        return
+                    if pcum[q] == pcum[p]:  # no provisional reads inside
+                        if not tmask[flat[p:q]].any():
+                            commit(flat[p:q], p, q)
+                            return
+                    # a frame this span depends on changed under it, or a
+                    # provisional read needs its line looked up: re-classify
+                    # the span against the live mirror
+                    if two_way:
+                        h2 = tags[base[p:q] + 1] == blk[p:q]
+                        fast2 = h2 | (tags[base[p:q]] == blk[p:q])
+                        flat2 = base[p:q] + h2
+                    else:
+                        hitm2 = tags[base[p:q, None] + ways] == blk[p:q, None]
+                        fast2 = hitm2.any(axis=1)
+                        flat2 = base[p:q] + hitm2.argmax(axis=1)
+                    if fast2.all():
+                        commit(flat2, p, q)
+                        return
+                    d = p + int(np.argmin(fast2))
+                    if d > p:
+                        commit(flat2[: d - p], p, d)
+                    slow(t + d + 1, pl[d], bl[d], wl[d])
+                    p = d + 1
+
+            p = 0
+            for q in slow_pos.tolist():
+                if p < q:
+                    run_span(p, q)
+                slow(t + q + 1, pl[q], bl[q], wl[q])
+                p = q + 1
+            if p < m:
+                run_span(p, m)
+
+        self.now = now0 + n
+        self.sync_lru_order()
+        return c
+
+    def sync_lru_order(self) -> None:
+        """Re-sort every L1 set's line list into LRU (stamp) order.
+
+        Stamps within a set are unique (one touch per set per reference),
+        so the sort reproduces the interpreter's list order exactly —
+        required for final-state snapshots (``machine_snapshot``,
+        ``set_contents``) to compare equal.  Called automatically at the
+        end of :meth:`run`; call it manually after a ``step`` stream
+        before snapshotting.
+        """
+        stamps = self._stamps_mv
+        for l1 in self._l1s:
+            for lines in l1._sets:
+                if len(lines) > 1:
+                    lines.sort(key=lambda ln: stamps[ln.flat])

@@ -117,12 +117,17 @@ class SweepJournal:
         scale: float,
         systems: Sequence[str],
         benchmarks: Sequence[str],
+        engine: str = "interp",
     ) -> "SweepJournal":
         """Open (creating if needed) the journal for one sweep's parameters.
 
         A fresh directory gets a ``run.json`` header; an existing one must
         match the requested parameters exactly, else resuming would merge
-        cells from a different sweep.
+        cells from a different sweep.  The execution engine is part of the
+        identity: although engines are bit-identical, a resumed run must
+        report the engine that actually produced its cells.  Headers
+        written before the engine field existed read as ``"interp"`` —
+        the only engine that existed then.
         """
         journal = cls(run_dir)
         params = {
@@ -132,6 +137,7 @@ class SweepJournal:
             "scale": float(scale),
             "systems": list(systems),
             "benchmarks": list(benchmarks),
+            "engine": str(engine),
         }
         header_path = journal.run_dir / HEADER_NAME
         if header_path.exists():
@@ -141,6 +147,7 @@ class SweepJournal:
                 raise CheckpointError(
                     f"unreadable run header {header_path}: {exc}"
                 ) from exc
+            existing.setdefault("engine", "interp")
             mismatched = [
                 key
                 for key, value in params.items()
@@ -150,7 +157,7 @@ class SweepJournal:
                 raise CheckpointError(
                     f"run directory {journal.run_dir} was started with different "
                     f"parameters ({', '.join(mismatched)}); use a fresh directory "
-                    f"or matching --refs/--seed/--scale/systems/benchmarks"
+                    f"or matching --refs/--seed/--scale/--engine/systems/benchmarks"
                 )
         else:
             journal.run_dir.mkdir(parents=True, exist_ok=True)

@@ -36,8 +36,31 @@ class TraceSpec:
             raise TraceError("scale must be in (0, 4]")
 
 
+def _normalise(name: str, arr, dtype) -> np.ndarray:
+    """One C-contiguous, native-order, fixed-width 1-D array.
+
+    :func:`np.ascontiguousarray` converts dtype, byte order, and layout in
+    a single pass and is a no-op view when the input already conforms — so
+    every engine indexes the arrays directly instead of paying a silent
+    copy per run when a cached trace deserialises with a mismatched dtype
+    (or a strided/byte-swapped view sneaks in through a slice).
+    """
+    out = np.ascontiguousarray(arr, dtype=dtype)
+    if out.ndim != 1:
+        raise TraceError(f"{name} must be one-dimensional, got shape {out.shape}")
+    return out
+
+
 class Trace:
-    """An interleaved shared-reference trace for the whole machine."""
+    """An interleaved shared-reference trace for the whole machine.
+
+    The reference arrays are normalised **once at construction**:
+    ``pids`` is C-contiguous native ``int32``, ``addrs`` native ``int64``,
+    ``writes`` native ``uint8``.  Both engines rely on this — the
+    interpreter iterates them as Python scalars, the batch engine slices
+    them directly into vector classification — so no per-run conversion
+    or copying ever happens downstream.
+    """
 
     __slots__ = ("name", "pids", "addrs", "writes", "dataset_bytes", "placement", "meta")
 
@@ -56,9 +79,9 @@ class Trace:
         if dataset_bytes <= 0:
             raise TraceError("dataset_bytes must be positive")
         self.name = name
-        self.pids = np.asarray(pids, dtype=np.int32)
-        self.addrs = np.asarray(addrs, dtype=np.int64)
-        self.writes = np.asarray(writes, dtype=np.uint8)
+        self.pids = _normalise("pids", pids, np.int32)
+        self.addrs = _normalise("addrs", addrs, np.int64)
+        self.writes = _normalise("writes", writes, np.uint8)
         self.dataset_bytes = int(dataset_bytes)
         self.placement = placement
         self.meta = dict(meta) if meta else {}

@@ -73,6 +73,69 @@ class TestTrace:
             t.validate(n_procs=4)
 
 
+class TestDtypeNormalisation:
+    """Reference arrays are normalised once at construction, so both
+    engines index them directly — no silent per-run conversion."""
+
+    def test_canonical_dtypes_and_layout(self):
+        t = small_trace()
+        assert t.pids.dtype == np.int32 and t.pids.flags["C_CONTIGUOUS"]
+        assert t.addrs.dtype == np.int64 and t.addrs.flags["C_CONTIGUOUS"]
+        assert t.writes.dtype == np.uint8 and t.writes.flags["C_CONTIGUOUS"]
+
+    def test_mismatched_dtypes_converted(self):
+        t = small_trace(
+            pids=np.array([0, 1, 2, 3], dtype=np.int64),
+            addrs=np.array([0, 64, 4096, 8192], dtype=np.uint32),
+            writes=np.array([0, 1, 0, 1], dtype=np.bool_),
+        )
+        assert t.pids.dtype == np.int32
+        assert t.addrs.dtype == np.int64
+        assert t.writes.dtype == np.uint8
+        assert list(t) == [(0, 0, 0), (1, 64, 1), (2, 4096, 0), (3, 8192, 1)]
+
+    def test_python_lists_accepted(self):
+        t = small_trace(pids=[0, 1, 2, 3], addrs=[0, 64, 128, 192],
+                        writes=[0, 0, 1, 1])
+        assert t.pids.dtype == np.int32 and len(t) == 4
+
+    def test_strided_view_compacted(self):
+        base = np.arange(8, dtype=np.int32)
+        t = small_trace(
+            pids=base[::2],
+            addrs=np.arange(8, dtype=np.int64)[::2] * 64,
+            writes=np.zeros(8, dtype=np.uint8)[::2],
+        )
+        assert t.pids.flags["C_CONTIGUOUS"]
+        assert t.pids.tolist() == [0, 2, 4, 6]
+
+    def test_byteswapped_input_normalised(self):
+        swapped = np.array([0, 1, 2, 3], dtype=np.dtype(np.int32).newbyteorder())
+        t = small_trace(pids=swapped)
+        assert t.pids.dtype == np.int32
+        assert t.pids.dtype.isnative
+
+    def test_multidimensional_rejected(self):
+        with pytest.raises(TraceError, match="one-dimensional"):
+            small_trace(pids=np.zeros((4, 1), dtype=np.int32))
+
+    def test_conforming_input_not_copied(self):
+        pids = np.array([0, 1, 2, 3], dtype=np.int32)
+        t = small_trace(pids=pids)
+        assert t.pids is pids or np.shares_memory(t.pids, pids)
+
+    def test_loaded_trace_already_canonical(self, tmp_path):
+        # a cached trace that deserialises with a mismatched dtype used to
+        # cost run() a silent copy per run; now load normalises once
+        t = small_trace()
+        path = tmp_path / "t.npz"
+        save_trace(t, path)
+        loaded = load_trace(path)
+        assert loaded.pids.dtype == np.int32
+        assert loaded.addrs.flags["C_CONTIGUOUS"]
+        assert loaded.writes.dtype == np.uint8
+
+
 class TestIO:
     def test_round_trip(self, tmp_path):
         t = small_trace()
