@@ -1,0 +1,377 @@
+#!/usr/bin/env python3
+"""Load-test the sweep service: zipfian traffic, hit rates, tail latency.
+
+Drives a running ``repro serve`` (or spawns one with ``--spawn``) with
+thousands of concurrent job submissions drawn from a **zipfian**
+distribution over a pool of distinct sweep specs — the skewed popularity
+pattern the service's content-addressed result store is built for, and
+the same rank-frequency skew the source paper's network caches exploit.
+Stdlib only: the HTTP client is raw :func:`asyncio.open_connection`,
+matching the server's own framing (one request per connection,
+``Connection: close``).
+
+Two passes by default: the first populates the store (every distinct
+spec simulates once), the second measures the steady state (popular
+specs should be ~all cache hits).  The report asserts what
+``ISSUE.md`` promises:
+
+* cache-hit rate on the second pass (``--min-hit-rate`` gates CI);
+* bit-identity: every response for the same spec must carry identical
+  ``counters_sha`` digests, cached or freshly simulated;
+* submit -> done latency percentiles (p50/p90/p99) and throughput.
+
+Usage::
+
+    python scripts/load_test.py --base-url http://127.0.0.1:8752 \
+        --submissions 1000 --distinct 20
+    python scripts/load_test.py --spawn --submissions 1000 \
+        --min-hit-rate 0.8 --out load-report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import random
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Tuple
+
+#: systems the spec pool draws from (cheap, protocol-diverse)
+SYSTEMS = ["base", "nc", "ncd", "vb", "vp", "vbp5", "vxp5", "p5"]
+BENCHMARKS = ["radix", "fft", "lu", "ocean", "barnes", "cholesky"]
+
+
+# ---------------------------------------------------------------------------
+# minimal async HTTP client (mirrors the server: one request per connection)
+# ---------------------------------------------------------------------------
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[dict] = None,
+    timeout: float = 30.0,
+) -> Tuple[int, dict]:
+    payload = b""
+    if body is not None:
+        payload = json.dumps(body).encode("utf-8")
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: {host}:{port}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode("ascii")
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout
+    )
+    try:
+        writer.write(head + payload)
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    header_blob, _, body_blob = raw.partition(b"\r\n\r\n")
+    status = int(header_blob.split(b" ", 2)[1])
+    try:
+        return status, json.loads(body_blob)
+    except ValueError:
+        return status, {"raw": body_blob.decode("utf-8", "replace")}
+
+
+# ---------------------------------------------------------------------------
+# workload
+# ---------------------------------------------------------------------------
+
+
+def build_spec_pool(distinct: int, refs: int, seed: int) -> List[dict]:
+    """``distinct`` single-cell sweep specs, deterministically varied."""
+    rng = random.Random(seed)
+    pool = []
+    for i in range(distinct):
+        pool.append(
+            {
+                "systems": [SYSTEMS[i % len(SYSTEMS)]],
+                "benchmarks": [BENCHMARKS[(i // len(SYSTEMS)) % len(BENCHMARKS)]],
+                "refs": refs,
+                "seed": 1 + rng.randrange(4),
+            }
+        )
+    return pool
+
+
+def zipf_sequence(
+    pool_size: int, n: int, s: float, seed: int
+) -> List[int]:
+    """``n`` pool indices drawn rank^-s zipfian (rank 0 most popular)."""
+    weights = [1.0 / (rank + 1) ** s for rank in range(pool_size)]
+    rng = random.Random(seed)
+    return rng.choices(range(pool_size), weights=weights, k=n)
+
+
+def percentile(sorted_values: List[float], p: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(p / 100.0 * len(sorted_values)))
+    return sorted_values[idx]
+
+
+# ---------------------------------------------------------------------------
+# the test itself
+# ---------------------------------------------------------------------------
+
+
+class PassStats:
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.latencies: List[float] = []
+        self.submitted = 0
+        self.failed = 0
+        self.cells_total = 0
+        self.cells_hit = 0
+        #: spec index -> sorted (system, benchmark, counters_sha) triples
+        self.digests: Dict[int, Tuple] = {}
+
+    def summary(self, wall_s: float) -> Dict[str, object]:
+        lat = sorted(self.latencies)
+        return {
+            "pass": self.name,
+            "submissions": self.submitted,
+            "failed": self.failed,
+            "wall_s": round(wall_s, 3),
+            "throughput_jobs_per_s": round(self.submitted / wall_s, 2)
+            if wall_s > 0 else 0.0,
+            "cells_total": self.cells_total,
+            "cells_from_cache": self.cells_hit,
+            "cache_hit_rate": round(self.cells_hit / self.cells_total, 4)
+            if self.cells_total else 0.0,
+            "latency_s": {
+                "p50": round(percentile(lat, 50), 4),
+                "p90": round(percentile(lat, 90), 4),
+                "p99": round(percentile(lat, 99), 4),
+                "max": round(lat[-1], 4) if lat else 0.0,
+            },
+        }
+
+
+async def run_one(
+    host: str,
+    port: int,
+    spec_idx: int,
+    spec: dict,
+    stats: PassStats,
+    sem: asyncio.Semaphore,
+    poll_interval: float,
+) -> None:
+    async with sem:
+        t0 = time.perf_counter()
+        try:
+            status, job = await http_request(host, port, "POST", "/jobs", spec)
+            if status != 202:
+                stats.failed += 1
+                return
+            job_id = job["id"]
+            while True:
+                status, j = await http_request(
+                    host, port, "GET", f"/jobs/{job_id}"
+                )
+                if status == 200 and j.get("state") in ("done", "failed"):
+                    break
+                await asyncio.sleep(poll_interval)
+            latency = time.perf_counter() - t0
+            if j.get("state") != "done":
+                stats.failed += 1
+                return
+            _, result = await http_request(
+                host, port, "GET", f"/jobs/{job_id}/result"
+            )
+        except (OSError, asyncio.TimeoutError, KeyError, ValueError):
+            stats.failed += 1
+            return
+    stats.submitted += 1
+    stats.latencies.append(latency)
+    cache = j.get("cache") or {}
+    stats.cells_total += int(cache.get("total_cells", 0))
+    stats.cells_hit += int(cache.get("hits", 0))
+    digest = tuple(sorted(
+        (c["system"], c["benchmark"], c["counters_sha"])
+        for c in result.get("cells", [])
+    ))
+    previous = stats.digests.setdefault(spec_idx, digest)
+    if previous != digest:
+        raise SystemExit(
+            f"BIT-IDENTITY VIOLATION: spec {spec_idx} returned differing "
+            f"counter digests within pass {stats.name}"
+        )
+
+
+async def run_pass(
+    name: str,
+    host: str,
+    port: int,
+    pool: List[dict],
+    sequence: List[int],
+    concurrency: int,
+    poll_interval: float,
+) -> Tuple[PassStats, float]:
+    stats = PassStats(name)
+    sem = asyncio.Semaphore(concurrency)
+    t0 = time.perf_counter()
+    await asyncio.gather(*(
+        run_one(host, port, idx, pool[idx], stats, sem, poll_interval)
+        for idx in sequence
+    ))
+    return stats, time.perf_counter() - t0
+
+
+def spawn_server(data_dir: str) -> Tuple[subprocess.Popen, str, int]:
+    """Start ``repro serve`` on an ephemeral port; returns (proc, host, port)."""
+    env = dict(os.environ, REPRO_SERVICE_DIR=data_dir)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--job-workers", "4"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    deadline = time.time() + 30
+    assert proc.stdout is not None
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if line.startswith("listening on http://"):
+            hostport = line.strip().rsplit("/", 1)[1]
+            host, port = hostport.rsplit(":", 1)
+            return proc, host, int(port)
+    proc.kill()
+    raise SystemExit("server failed to start (no 'listening on' line)")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--base-url", default=None,
+                    help="a running server (http://HOST:PORT); "
+                         "omit with --spawn")
+    ap.add_argument("--spawn", action="store_true",
+                    help="spawn a repro serve on an ephemeral port with a "
+                         "fresh temp data dir, kill it afterwards")
+    ap.add_argument("--submissions", type=int, default=1000,
+                    help="job submissions per pass (default %(default)s)")
+    ap.add_argument("--distinct", type=int, default=20,
+                    help="distinct specs in the zipfian pool "
+                         "(default %(default)s)")
+    ap.add_argument("--zipf-s", type=float, default=1.1,
+                    help="zipf skew exponent (default %(default)s)")
+    ap.add_argument("--refs", type=int, default=2000,
+                    help="references per cell (default %(default)s)")
+    ap.add_argument("--passes", type=int, default=2,
+                    help="identical passes over the same sequence "
+                         "(default %(default)s)")
+    ap.add_argument("--concurrency", type=int, default=64,
+                    help="in-flight submissions (default %(default)s)")
+    ap.add_argument("--poll-interval", type=float, default=0.05,
+                    help="job-status poll interval in seconds")
+    ap.add_argument("--workload-seed", type=int, default=42,
+                    help="seed for the pool and the zipf sequence "
+                         "(both passes replay the identical sequence)")
+    ap.add_argument("--min-hit-rate", type=float, default=None,
+                    help="fail (exit 1) if the final pass's cache-hit rate "
+                         "is below this")
+    ap.add_argument("--out", default=None,
+                    help="write the JSON report here (default: stdout only)")
+    args = ap.parse_args(argv)
+
+    proc = None
+    tmp = None
+    if args.spawn:
+        tmp = tempfile.mkdtemp(prefix="repro-load-")
+        proc, host, port = spawn_server(tmp)
+    elif args.base_url:
+        hostport = args.base_url.rstrip("/").rsplit("/", 1)[1]
+        host, port_s = hostport.rsplit(":", 1)
+        port = int(port_s)
+    else:
+        ap.error("give --base-url or --spawn")
+
+    pool = build_spec_pool(args.distinct, args.refs, args.workload_seed)
+    sequence = zipf_sequence(
+        args.distinct, args.submissions, args.zipf_s, args.workload_seed
+    )
+
+    report: Dict[str, object] = {
+        "workload": {
+            "submissions_per_pass": args.submissions,
+            "distinct_specs": args.distinct,
+            "zipf_s": args.zipf_s,
+            "refs_per_cell": args.refs,
+            "passes": args.passes,
+            "concurrency": args.concurrency,
+            "workload_seed": args.workload_seed,
+        },
+        "passes": [],
+    }
+    cross_pass_digests: Dict[int, Tuple] = {}
+    try:
+        for pass_no in range(1, args.passes + 1):
+            stats, wall = asyncio.run(run_pass(
+                f"pass{pass_no}", host, port, pool, sequence,
+                args.concurrency, args.poll_interval,
+            ))
+            summary = stats.summary(wall)
+            report["passes"].append(summary)
+            print(json.dumps(summary), flush=True)
+            # bit-identity must also hold ACROSS passes (cached vs simulated)
+            for idx, digest in stats.digests.items():
+                prev = cross_pass_digests.setdefault(idx, digest)
+                if prev != digest:
+                    print(f"BIT-IDENTITY VIOLATION across passes: spec {idx}",
+                          file=sys.stderr)
+                    return 1
+        report["bit_identical_across_passes"] = True
+        _, stats_resp = asyncio.run(
+            http_request(host, port, "GET", "/stats"))
+        report["server_stats"] = stats_resp
+    finally:
+        if proc is not None:
+            proc.send_signal(signal.SIGTERM)
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.out}")
+
+    final = report["passes"][-1]
+    if final["failed"]:
+        print(f"FAIL: {final['failed']} submission(s) failed", file=sys.stderr)
+        return 1
+    if args.min_hit_rate is not None:
+        rate = final["cache_hit_rate"]
+        if rate < args.min_hit_rate:
+            print(f"FAIL: final-pass cache-hit rate {rate:.2%} < "
+                  f"required {args.min_hit_rate:.2%}", file=sys.stderr)
+            return 1
+        print(f"PASS: final-pass cache-hit rate {rate:.2%} >= "
+              f"{args.min_hit_rate:.2%}, bit-identical across passes")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -392,6 +392,18 @@ def _cmd_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.app import run_service
+
+    run_service(
+        data_dir=args.data_dir,
+        host=args.host,
+        port=args.port,
+        job_workers=args.job_workers,
+    )
+    return 0
+
+
 def _cmd_perf(args: argparse.Namespace) -> int:
     systems = [s.strip() for s in args.systems.split(",") if s.strip()]
     benches = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
@@ -759,6 +771,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--manifest-dir", default=None,
                    help="write a check manifest here (or $REPRO_MANIFEST_DIR)")
     p.set_defaults(func=_cmd_check)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the sweep job server (async HTTP + result cache)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default %(default)s)")
+    p.add_argument("--port", type=int, default=8752,
+                   help="bind port; 0 picks an ephemeral one "
+                        "(default %(default)s)")
+    p.add_argument("--data-dir", default=None,
+                   help="service state directory: result store + job "
+                        "journals (default $REPRO_SERVICE_DIR, then "
+                        "~/.cache/repro/service)")
+    p.add_argument("--job-workers", type=int, default=2,
+                   help="sweep jobs run concurrently (default %(default)s)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("list", help="show systems/benchmarks/experiments")
     p.set_defaults(func=_cmd_list)

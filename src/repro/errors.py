@@ -171,3 +171,11 @@ class UnknownBenchmarkError(ConfigurationError):
         )
         self.name = name
         self.known = list(known)
+
+
+class JobSpecError(ReproError):
+    """A sweep-job specification submitted to the service is invalid.
+
+    Raised by :meth:`repro.service.jobs.JobSpec.from_dict` with a message
+    naming the offending field; the HTTP layer maps it to a 400 response.
+    """

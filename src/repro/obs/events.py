@@ -96,6 +96,11 @@ SWEEP_EVENT_KINDS = {
     "trace_cache_skipped": "a trace-cache write failed; the run continued uncached",
     "fault_injected": "the fault-injection harness fired (REPRO_FAULTS only)",
     "pool_unavailable": "the worker pool could not run; the sweep degraded to serial",
+    # content-addressed result store (repro.service.store)
+    "cell_cache_hit": "a cell was served from the result store, no simulation",
+    "result_quarantined": "a corrupt result-store entry was quarantined; the "
+    "cell re-simulated",
+    "result_store_skipped": "result-store writes failed; cells ran uncached",
 }
 
 

@@ -41,8 +41,11 @@ MANIFEST_VERSION = 1
 MANIFEST_ENV = "REPRO_MANIFEST_DIR"
 
 #: manifest fields that legitimately differ between identical runs
-#: ("recovery" records faults survived, which vary run to run by design)
-VOLATILE_KEYS = ("created_unix", "timing", "git_sha", "version", "recovery")
+#: ("recovery" records faults survived, which vary run to run by design;
+#: "cache" records the result-store hit/simulated split, which flips from
+#: all-miss to all-hit between two identical runs while the results stay
+#: bit-identical — exactly the property the core must not see)
+VOLATILE_KEYS = ("created_unix", "timing", "git_sha", "version", "recovery", "cache")
 VOLATILE_CELL_KEYS = ("elapsed_s", "refs_per_sec")
 
 
@@ -216,6 +219,7 @@ def maybe_write_sweep_manifest(
     name: str = "sweep",
     recovery=None,
     engine: Optional[str] = None,
+    cache: Optional[Dict[str, object]] = None,
 ) -> Optional[Path]:
     """Write a sweep manifest when a destination is configured.
 
@@ -223,14 +227,20 @@ def maybe_write_sweep_manifest(
     sweep leaves no artifact (the common interactive case).  ``recovery``
     — a :class:`repro.sim.parallel.RecoveryLog` — surfaces every retry,
     redispatch, timeout, and quarantine the sweep survived under the
-    manifest's (volatile) ``recovery`` key.
+    manifest's (volatile) ``recovery`` key.  ``cache`` — a
+    :func:`repro.sim.parallel.cache_summary` dict — records how many
+    cells were served from the content-addressed result store versus
+    simulated, under the (equally volatile) ``cache`` key.
     """
     dest = Path(directory) if directory is not None else manifest_dir_from_env()
     if dest is None:
         return None
-    extra = None
+    extra: Optional[Dict[str, object]] = None
     if recovery is not None and len(recovery):
         extra = {"recovery": recovery.summary()}
+    if cache is not None:
+        extra = dict(extra or {})
+        extra["cache"] = cache
     manifest = build_manifest(
         results,
         kind="sweep",

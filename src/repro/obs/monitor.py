@@ -81,6 +81,18 @@ class SweepProgress:
         return self.total_cells > 0 and self.done_cells >= self.total_cells
 
     @property
+    def cached_cells(self) -> int:
+        """Cells served from the content-addressed result store.
+
+        Journal records carry ``source: cache`` when the sweep restored
+        them from :mod:`repro.service.store` instead of simulating (older
+        journals have no source field and count as simulated).
+        """
+        return sum(
+            1 for rec in self.done.values() if rec.get("source") == "cache"
+        )
+
+    @property
     def simulated_refs(self) -> int:
         return sum(int(rec.get("refs", 0)) for rec in self.done.values())
 
@@ -110,7 +122,10 @@ class SweepProgress:
     # ---- rendering -------------------------------------------------------
 
     def grid(self) -> List[str]:
-        """Per-cell progress grid, one row per benchmark, in plan order."""
+        """Per-cell progress grid, one row per benchmark, in plan order.
+
+        ``.`` planned, ``#`` simulated, ``+`` served from the result store.
+        """
         if not self.systems or not self.benchmarks:
             return []
         width = max(len(b) for b in self.benchmarks)
@@ -120,11 +135,41 @@ class SweepProgress:
         ]
         for bench in self.benchmarks:
             marks = " ".join(
-                f"{'#' if (s, bench) in self.done else '.':<7}"
-                for s in self.systems
+                f"{self._mark(s, bench):<7}" for s in self.systems
             )
             rows.append(f"{bench:<{width}}  {marks}")
         return rows
+
+    def _mark(self, system: str, bench: str) -> str:
+        rec = self.done.get((system, bench))
+        if rec is None:
+            return "."
+        return "+" if rec.get("source") == "cache" else "#"
+
+    def snapshot(self, jobs: int = 1) -> Dict[str, object]:
+        """The board as a plain JSON-serialisable dict.
+
+        The machine-readable twin of :meth:`render`, served by the job
+        server's ``/jobs/<id>`` and ``/top`` endpoints and consumed by
+        ``scripts/load_test.py`` — same numbers, no text parsing.
+        """
+        eta = self.eta_seconds(jobs=jobs)
+        return {
+            "run_dir": str(self.run_dir),
+            "header_present": self.header_present,
+            "systems": list(self.systems),
+            "benchmarks": list(self.benchmarks),
+            "total_cells": self.total_cells,
+            "done_cells": self.done_cells,
+            "cached_cells": self.cached_cells,
+            "simulated_cells": self.done_cells - self.cached_cells,
+            "complete": self.complete,
+            "simulated_refs": self.simulated_refs,
+            "engine_seconds": round(self.engine_seconds, 6),
+            "refs_per_sec": round(self.refs_per_sec, 1),
+            "eta_seconds": round(eta, 3) if eta is not None else None,
+            "recovery_counts": dict(self.recovery_counts),
+        }
 
     def render(self, jobs: int = 1) -> str:
         """The full progress board as printable text."""
@@ -142,6 +187,11 @@ class SweepProgress:
             f"refs     {self.simulated_refs:,} simulated, "
             f"{self.refs_per_sec:,.0f} refs/s engine"
         )
+        if self.cached_cells:
+            lines.append(
+                f"cache    {self.cached_cells} cell(s) from the result "
+                f"store, {self.done_cells - self.cached_cells} simulated"
+            )
         eta = self.eta_seconds(jobs=jobs)
         if self.complete:
             lines.append(f"status   complete ({self.engine_seconds:.1f}s engine time)")

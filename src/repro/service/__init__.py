@@ -1,0 +1,39 @@
+"""Sweep-as-a-service: async job server + content-addressed result cache.
+
+The package composes the ingredients the rest of the tree already
+provides — manifest config digests (:mod:`repro.obs.manifest`), the
+crash-safe sweep journal (:mod:`repro.sim.checkpoint`), the supervised
+worker pool (:mod:`repro.sim.parallel`), and the live monitor
+(:mod:`repro.obs.monitor`) — into a long-running HTTP service:
+
+* :mod:`repro.service.store` — a persistent **content-addressed result
+  store**: every completed ``(config digest, trace key)`` cell is
+  memoised on disk with SHA-256 integrity, so repeated requests for the
+  same configuration (the common case under heavy traffic) are an O(1)
+  lookup instead of a re-simulation;
+* :mod:`repro.service.jobs` — a :class:`~repro.service.jobs.JobManager`
+  holding a persistent, restart-resumable queue of sweep jobs, each run
+  through the fault-tolerant pool with the store consulted per cell;
+* :mod:`repro.service.app` — the asyncio HTTP front end behind
+  ``repro serve`` (submit a sweep spec as JSON, get a job id; status,
+  results, and a ``repro top``-style progress stream are endpoints).
+
+See ``docs/SERVICE.md`` for the architecture, the endpoint reference,
+and the cache-key semantics; ``scripts/load_test.py`` measures the
+scale claim (thousands of zipfian submissions, cache-hit rate, p99).
+"""
+
+from .app import ServiceApp, run_service
+from .jobs import Job, JobManager, JobSpec
+from .store import ResultStore, result_key, service_data_dir
+
+__all__ = [
+    "Job",
+    "JobManager",
+    "JobSpec",
+    "ResultStore",
+    "ServiceApp",
+    "result_key",
+    "run_service",
+    "service_data_dir",
+]

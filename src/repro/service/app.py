@@ -1,0 +1,330 @@
+"""The sweep service's HTTP layer: ``repro serve``.
+
+A deliberately small asyncio server — raw :func:`asyncio.start_server`
+over stream reader/writers, no ``http.server``, no third-party web
+framework — because the protocol surface is tiny: JSON in, JSON out,
+``Connection: close``.  All simulation work happens on the
+:class:`~repro.service.jobs.JobManager`'s worker threads; handlers only
+validate, enqueue, and read state, so the event loop never blocks on a
+sweep.
+
+Endpoints (full reference with examples in ``docs/SERVICE.md``):
+
+====================  ======================================================
+``GET /healthz``      liveness: ``{"ok": true}``
+``GET /stats``        server + result-store aggregate statistics
+``POST /jobs``        submit a sweep spec; ``202`` with the queued job
+``GET /jobs``         recent jobs, newest first (``?limit=N``)
+``GET /jobs/<id>``    one job's state plus a live progress snapshot
+``GET /jobs/<id>/result``  per-cell counters/digests of a finished job
+``GET /jobs/<id>/top``     the ``repro top`` board (text; ``?format=json``)
+``GET /top``          aggregate board over every known job
+====================  ======================================================
+
+Errors are JSON too: ``{"error": "..."}`` with 400 (bad spec or body),
+404 (unknown path or job), 405 (wrong method), 413 (oversized body).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..errors import JobSpecError
+from .jobs import Job, JobManager
+
+#: request bodies larger than this are rejected with 413 (a sweep spec is
+#: a few hundred bytes; anything bigger is a mistake or an attack)
+MAX_BODY_BYTES = 64 * 1024
+MAX_HEADER_BYTES = 16 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """An error response decided mid-handler (status + message)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _job_payload(job: Job) -> Dict[str, object]:
+    return job.to_dict()
+
+
+class ServiceApp:
+    """Routes HTTP requests onto one :class:`JobManager`."""
+
+    def __init__(self, manager: JobManager) -> None:
+        self.manager = manager
+
+    # ---- request plumbing ------------------------------------------------
+
+    async def handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, target, body = await self._read_request(reader)
+            except HttpError as exc:
+                await self._send(writer, exc.status, {"error": exc.message})
+                return
+            except (asyncio.IncompleteReadError, ConnectionError, ValueError):
+                return  # client hung up or spoke garbage; nothing to answer
+            try:
+                status, payload, text = self._route(method, target, body)
+            except HttpError as exc:
+                status, payload, text = exc.status, {"error": exc.message}, None
+            except JobSpecError as exc:
+                status, payload, text = 400, {"error": str(exc)}, None
+            except Exception as exc:  # noqa: BLE001 - last-resort boundary
+                status = 500
+                payload = {"error": f"{type(exc).__name__}: {exc}"}
+                text = None
+            await self._send(writer, status, payload, text=text)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Optional[object]]:
+        request_line = await reader.readline()
+        if not request_line:
+            raise ConnectionError("empty request")
+        try:
+            method, target, _version = request_line.decode("ascii").split()
+        except (UnicodeDecodeError, ValueError):
+            raise HttpError(400, "malformed request line")
+        content_length = 0
+        header_bytes = 0
+        while True:
+            line = await reader.readline()
+            header_bytes += len(line)
+            if header_bytes > MAX_HEADER_BYTES:
+                raise HttpError(413, "headers too large")
+            if line in (b"\r\n", b"\n", b""):
+                break
+            try:
+                name, _, value = line.decode("latin-1").partition(":")
+            except UnicodeDecodeError:
+                raise HttpError(400, "malformed header")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    raise HttpError(400, "bad Content-Length")
+        if content_length > MAX_BODY_BYTES:
+            raise HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        body: Optional[object] = None
+        if content_length > 0:
+            raw = await reader.readexactly(content_length)
+            try:
+                body = json.loads(raw)
+            except ValueError:
+                raise HttpError(400, "body is not valid JSON")
+        return method.upper(), target, body
+
+    async def _send(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, object],
+        text: Optional[str] = None,
+    ) -> None:
+        if text is not None:
+            data = text.encode("utf-8")
+            ctype = "text/plain; charset=utf-8"
+        else:
+            data = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+            ctype = "application/json"
+        reason = _STATUS_TEXT.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(data)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("ascii")
+        writer.write(head + data)
+        await writer.drain()
+
+    # ---- routing ---------------------------------------------------------
+
+    def _route(
+        self, method: str, target: str, body: Optional[object]
+    ) -> Tuple[int, Dict[str, object], Optional[str]]:
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        query = parse_qs(split.query)
+        parts = [p for p in path.split("/") if p]
+
+        if path == "/healthz":
+            self._require(method, "GET")
+            return 200, {"ok": True}, None
+        if path == "/stats":
+            self._require(method, "GET")
+            return 200, self.manager.stats(), None
+        if path == "/top":
+            self._require(method, "GET")
+            return self._aggregate_top(query)
+        if parts and parts[0] == "jobs":
+            if len(parts) == 1:
+                if method == "POST":
+                    job = self.manager.submit(body)
+                    return 202, _job_payload(job), None
+                self._require(method, "GET", "POST")
+                limit = self._int_param(query, "limit", default=50)
+                jobs = [_job_payload(j) for j in self.manager.list_jobs(limit)]
+                return 200, {"jobs": jobs}, None
+            job = self.manager.get(parts[1])
+            if job is None:
+                raise HttpError(404, f"no such job: {parts[1]}")
+            if len(parts) == 2:
+                self._require(method, "GET")
+                payload = _job_payload(job)
+                progress = self.manager.progress(job.id)
+                if progress is not None:
+                    payload["progress"] = progress.snapshot(jobs=job.spec.jobs)
+                return 200, payload, None
+            if len(parts) == 3 and parts[2] == "result":
+                self._require(method, "GET")
+                if job.state != "done":
+                    raise HttpError(
+                        404, f"job {job.id} has no result (state: {job.state})"
+                    )
+                payload = self.manager.result_payload(job.id)
+                if payload is None:
+                    raise HttpError(500, f"result file for {job.id} unreadable")
+                return 200, payload, None
+            if len(parts) == 3 and parts[2] == "top":
+                self._require(method, "GET")
+                progress = self.manager.progress(job.id)
+                if progress is None:
+                    raise HttpError(404, f"no run directory for {job.id}")
+                if query.get("format", [""])[0] == "json":
+                    return 200, progress.snapshot(jobs=job.spec.jobs), None
+                return 200, {}, progress.render(jobs=job.spec.jobs) + "\n"
+        raise HttpError(404, f"no such endpoint: {path}")
+
+    def _aggregate_top(
+        self, query: Dict[str, list]
+    ) -> Tuple[int, Dict[str, object], Optional[str]]:
+        """One board over every job: the service-wide ``repro top``."""
+        jobs = self.manager.list_jobs()
+        boards = []
+        totals = {"total_cells": 0, "done_cells": 0, "cached_cells": 0,
+                  "simulated_refs": 0}
+        for job in jobs:
+            progress = self.manager.progress(job.id)
+            snap = progress.snapshot(jobs=job.spec.jobs) if progress else {}
+            snap["job_id"] = job.id
+            snap["state"] = job.state
+            boards.append(snap)
+            for field in totals:
+                totals[field] += int(snap.get(field, 0) or 0)
+        payload: Dict[str, object] = {
+            "jobs": boards,
+            "totals": totals,
+            "store": self.manager.store.stats(),
+        }
+        if query.get("format", [""])[0] == "json":
+            return 200, payload, None
+        lines = [
+            f"service {self.manager.data_dir}",
+            f"jobs     {len(jobs)} known, "
+            f"{sum(1 for j in jobs if j.state == 'running')} running",
+            f"cells    {totals['done_cells']}/{totals['total_cells']} done, "
+            f"{totals['cached_cells']} from the result store",
+            f"refs     {totals['simulated_refs']:,} simulated",
+            "store    "
+            + ", ".join(
+                f"{k}={v}" for k, v in sorted(self.manager.store.stats().items())
+            ),
+        ]
+        return 200, payload, "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _require(method: str, *allowed: str) -> None:
+        if method not in allowed:
+            raise HttpError(405, f"method {method} not allowed here")
+
+    @staticmethod
+    def _int_param(query: Dict[str, list], name: str, default: int) -> int:
+        raw = query.get(name, [None])[0]
+        if raw is None:
+            return default
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            raise HttpError(400, f"query parameter {name} must be an integer")
+
+
+async def serve(
+    manager: JobManager,
+    host: str = "127.0.0.1",
+    port: int = 8752,
+    ready_event: Optional[asyncio.Event] = None,
+    out=None,
+) -> None:
+    """Run the service until cancelled (or SIGINT/SIGTERM).
+
+    Prints one machine-parseable ``listening on http://HOST:PORT`` line
+    once the socket is bound — ``scripts/load_test.py --spawn`` and the
+    CI service job both key off it.  ``port=0`` binds an ephemeral port
+    (the printed line reports the real one).
+    """
+    stream = out if out is not None else sys.stdout
+    app = ServiceApp(manager)
+    resumed = manager.start()
+    if resumed:
+        stream.write(f"resumed {len(resumed)} unfinished job(s): "
+                     f"{', '.join(resumed)}\n")
+    server = await asyncio.start_server(app.handle, host=host, port=port)
+    actual_port = server.sockets[0].getsockname()[1]
+    stream.write(f"listening on http://{host}:{actual_port}\n")
+    stream.flush()
+    if ready_event is not None:
+        ready_event.set()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+        except (NotImplementedError, RuntimeError):
+            pass  # non-main thread or platform without signal support
+    try:
+        async with server:
+            await stop.wait()
+    finally:
+        manager.close(wait=False)
+
+
+def run_service(
+    data_dir=None,
+    host: str = "127.0.0.1",
+    port: int = 8752,
+    job_workers: int = 2,
+) -> None:
+    """Blocking entry point used by ``repro serve``."""
+    manager = JobManager(data_dir=data_dir, job_workers=job_workers)
+    try:
+        asyncio.run(serve(manager, host=host, port=port))
+    except KeyboardInterrupt:
+        pass

@@ -1,0 +1,446 @@
+"""Job lifecycle for the sweep service: validate, queue, run, persist.
+
+A **job** is one sweep spec (systems x benchmarks matrix plus trace
+shape) submitted over HTTP.  The :class:`JobManager` gives each job a
+directory under ``<data_dir>/jobs/<job_id>/`` holding
+
+* ``job.json`` — the validated spec and the job's state machine
+  (``queued -> running -> done | failed``), rewritten atomically on
+  every transition;
+* ``run/`` — a standard :class:`~repro.sim.checkpoint.SweepJournal` run
+  directory, written by the same fault-tolerant sweep engine every CLI
+  sweep uses, which is what makes jobs **resumable**: a server killed
+  mid-job re-enqueues it on startup, and the journal restores every
+  completed cell bit-identically instead of re-simulating it;
+* ``job-manifest.json`` — the run manifest of the finished sweep, with
+  the cache hit/simulated split under its ``cache`` key;
+* ``result.json`` — the response payload for ``GET /jobs/<id>/result``
+  (per-cell counters, digests, and headline metrics), written once on
+  completion so serving a result is a file read, not a recomputation.
+
+Execution is deliberately synchronous-core: the manager owns a small
+thread pool (``job_workers``), each job runs through
+:func:`repro.sim.parallel.run_parallel_sweep` with the shared
+:class:`~repro.service.store.ResultStore` consulted per cell, and the
+asyncio HTTP layer (:mod:`repro.service.app`) only ever calls fast,
+lock-guarded accessors.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import JobSpecError, ReproError
+from ..obs.manifest import build_manifest, counters_digest, write_manifest
+from ..obs.monitor import SweepProgress
+from ..sim.parallel import RecoveryLog, cache_summary, run_parallel_sweep
+from ..sim.runner import DEFAULT_SCALE, resolve_sweep_configs
+from ..trace.synthetic import BENCHMARK_NAMES
+from .store import ResultStore
+
+#: guard rails on what one HTTP request may ask for
+MAX_CELLS_PER_JOB = 512
+MAX_REFS_PER_CELL = 10_000_000
+
+JOB_STATES = ("queued", "running", "done", "failed")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One validated sweep request.
+
+    The JSON body of ``POST /jobs``: ``systems`` and ``benchmarks`` name
+    the matrix, the rest shapes the traces and the execution.  ``engine``
+    is honoured for cells that must be simulated but is deliberately
+    **not** part of the result-store key — engines are bit-identical, so
+    an interp-simulated cell legitimately serves a batch request.
+    """
+
+    systems: Tuple[str, ...]
+    benchmarks: Tuple[str, ...]
+    refs: int = 10_000
+    seed: int = 1
+    scale: float = DEFAULT_SCALE
+    engine: Optional[str] = None
+    jobs: int = 1  #: worker processes for the sweep's pool
+
+    @classmethod
+    def from_dict(cls, raw: object) -> "JobSpec":
+        """Validate an untrusted JSON object into a spec, eagerly.
+
+        Raises :class:`~repro.errors.JobSpecError` naming the offending
+        field; nothing is simulated (or even queued) on bad input.
+        """
+        if not isinstance(raw, dict):
+            raise JobSpecError("spec must be a JSON object")
+        unknown = set(raw) - {
+            "systems", "benchmarks", "refs", "seed", "scale", "engine", "jobs"
+        }
+        if unknown:
+            raise JobSpecError(f"unknown spec field(s): {', '.join(sorted(unknown))}")
+
+        def _names(key: str) -> Tuple[str, ...]:
+            value = raw.get(key)
+            if isinstance(value, str):
+                value = [v.strip() for v in value.split(",") if v.strip()]
+            if not isinstance(value, (list, tuple)) or not value or not all(
+                isinstance(v, str) and v for v in value
+            ):
+                raise JobSpecError(
+                    f"{key} must be a non-empty list of names "
+                    f"(or a comma-separated string)"
+                )
+            return tuple(value)
+
+        def _int(key: str, default: int, lo: int, hi: int) -> int:
+            value = raw.get(key, default)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise JobSpecError(f"{key} must be an integer")
+            if not lo <= value <= hi:
+                raise JobSpecError(f"{key} must be in [{lo}, {hi}]")
+            return value
+
+        systems = _names("systems")
+        benchmarks = _names("benchmarks")
+        for bench in benchmarks:
+            if bench.lower() not in BENCHMARK_NAMES:
+                raise JobSpecError(
+                    f"unknown benchmark {bench!r}; known: "
+                    f"{', '.join(BENCHMARK_NAMES)}"
+                )
+        if len(systems) * len(benchmarks) > MAX_CELLS_PER_JOB:
+            raise JobSpecError(
+                f"matrix of {len(systems) * len(benchmarks)} cells exceeds "
+                f"the per-job limit of {MAX_CELLS_PER_JOB}"
+            )
+        refs = _int("refs", 10_000, 1, MAX_REFS_PER_CELL)
+        seed = _int("seed", 1, 0, 2**31 - 1)
+        jobs = _int("jobs", 1, 1, 64)
+        scale = raw.get("scale", DEFAULT_SCALE)
+        if isinstance(scale, bool) or not isinstance(scale, (int, float)):
+            raise JobSpecError("scale must be a number")
+        scale = float(scale)
+        if not 0.0 < scale <= 8.0:
+            raise JobSpecError("scale must be in (0, 8]")
+        engine = raw.get("engine")
+        if engine is not None and engine not in ("interp", "batch"):
+            raise JobSpecError("engine must be 'interp' or 'batch'")
+        spec = cls(
+            systems=systems, benchmarks=benchmarks, refs=refs, seed=seed,
+            scale=scale, engine=engine, jobs=jobs,
+        )
+        # resolve every system eagerly: an unknown name or bad override
+        # must 400 at submit time, not fail the job minutes later
+        try:
+            spec.resolve_configs()
+        except ReproError as exc:
+            raise JobSpecError(str(exc)) from exc
+        return spec
+
+    def resolve_configs(self) -> "OrderedDict[str, object]":
+        return resolve_sweep_configs(list(self.systems))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "systems": list(self.systems),
+            "benchmarks": list(self.benchmarks),
+            "refs": self.refs,
+            "seed": self.seed,
+            "scale": self.scale,
+            "engine": self.engine,
+            "jobs": self.jobs,
+        }
+
+
+@dataclass
+class Job:
+    """One job's in-memory record (mirrored to ``job.json`` on disk)."""
+
+    id: str
+    spec: JobSpec
+    state: str = "queued"
+    created_unix: float = field(default_factory=time.time)
+    started_unix: Optional[float] = None
+    finished_unix: Optional[float] = None
+    error: Optional[str] = None
+    cache: Optional[Dict[str, object]] = None
+    resumed: bool = False  #: re-enqueued by startup recovery
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "id": self.id,
+            "spec": self.spec.to_dict(),
+            "state": self.state,
+            "created_unix": self.created_unix,
+            "started_unix": self.started_unix,
+            "finished_unix": self.finished_unix,
+            "error": self.error,
+            "cache": self.cache,
+            "resumed": self.resumed,
+        }
+
+
+def _atomic_write_json(path: Path, payload: Dict[str, object]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.stem + ".", suffix=".tmp.json", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class JobManager:
+    """Persistent queue of sweep jobs over one shared result store.
+
+    ``data_dir`` layout: ``store/`` (the content-addressed result store)
+    and ``jobs/<job_id>/`` (one directory per job, see module docstring).
+    Construct, then call :meth:`start` — which first **recovers**: jobs
+    found on disk in ``queued``/``running`` state (a previous server
+    died) are re-enqueued and resume from their journals.
+    """
+
+    def __init__(
+        self,
+        data_dir: Union[str, Path, None] = None,
+        job_workers: int = 2,
+        store: Optional[ResultStore] = None,
+        tracer=None,
+    ) -> None:
+        from .store import service_data_dir
+
+        self.data_dir = Path(data_dir) if data_dir is not None else service_data_dir()
+        self.jobs_dir = self.data_dir / "jobs"
+        self.store = store if store is not None else ResultStore(self.data_dir / "store")
+        self.tracer = tracer
+        self.started_unix = time.time()
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._job_workers = max(1, int(job_workers))
+
+    # ---- lifecycle -------------------------------------------------------
+
+    def start(self) -> List[str]:
+        """Recover persisted jobs, then start accepting work.
+
+        Returns the ids of the jobs that were re-enqueued (unfinished
+        when the previous server stopped); completed/failed jobs are
+        loaded for status queries but not re-run.
+        """
+        self._executor = ThreadPoolExecutor(
+            max_workers=self._job_workers, thread_name_prefix="repro-job"
+        )
+        resumed: List[str] = []
+        for job in self._load_persisted():
+            with self._lock:
+                self._jobs[job.id] = job
+            if job.state in ("queued", "running"):
+                job.state = "queued"
+                job.resumed = True
+                self._persist(job)
+                self._emit("job_resumed", job)
+                self._executor.submit(self._run, job.id)
+                resumed.append(job.id)
+        return resumed
+
+    def close(self, wait: bool = True) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+            self._executor = None
+
+    def _load_persisted(self) -> List[Job]:
+        jobs: List[Job] = []
+        if not self.jobs_dir.is_dir():
+            return jobs
+        for job_file in sorted(self.jobs_dir.glob("*/job.json")):
+            try:
+                raw = json.loads(job_file.read_text(encoding="utf-8"))
+                spec = JobSpec.from_dict(raw["spec"])
+                job = Job(
+                    id=str(raw["id"]),
+                    spec=spec,
+                    state=str(raw.get("state", "queued")),
+                    created_unix=float(raw.get("created_unix", 0.0)),
+                    started_unix=raw.get("started_unix"),
+                    finished_unix=raw.get("finished_unix"),
+                    error=raw.get("error"),
+                    cache=raw.get("cache"),
+                    resumed=bool(raw.get("resumed", False)),
+                )
+            except (OSError, ValueError, KeyError, TypeError, ReproError):
+                continue  # a torn job.json is abandoned, never fatal
+            if job.state not in JOB_STATES:
+                continue
+            jobs.append(job)
+        jobs.sort(key=lambda j: j.created_unix)
+        return jobs
+
+    # ---- submission ------------------------------------------------------
+
+    def submit(self, raw_spec: object) -> Job:
+        """Validate and enqueue one sweep spec; returns the queued job.
+
+        The job is persisted before this method returns, so a server
+        crash between ``202 Accepted`` and execution loses nothing.
+        """
+        if self._executor is None:
+            raise ReproError("job manager is not started")
+        spec = JobSpec.from_dict(raw_spec)
+        job = Job(id=uuid.uuid4().hex[:12], spec=spec)
+        with self._lock:
+            self._jobs[job.id] = job
+        self._persist(job)
+        self._emit("job_submitted", job)
+        self._executor.submit(self._run, job.id)
+        return job
+
+    # ---- execution -------------------------------------------------------
+
+    def _run(self, job_id: str) -> None:
+        job = self.get(job_id)
+        if job is None or job.state not in ("queued",):
+            return
+        job.state = "running"
+        job.started_unix = time.time()
+        self._persist(job)
+        self._emit("job_started", job)
+        recovery = RecoveryLog(tracer=self.tracer)
+        try:
+            configs = job.spec.resolve_configs()
+            results = run_parallel_sweep(
+                configs,
+                list(job.spec.benchmarks),
+                refs=job.spec.refs,
+                seed=job.spec.seed,
+                scale=job.spec.scale,
+                jobs=job.spec.jobs,
+                run_dir=self.run_dir(job.id),
+                recovery=recovery,
+                engine=job.spec.engine,
+                result_store=self.store,
+            )
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            job.state = "failed"
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.finished_unix = time.time()
+            self._persist(job)
+            self._emit("job_failed", job)
+            return
+        job.cache = cache_summary(results, recovery)
+        self._write_result(job, results)
+        manifest = build_manifest(
+            results,
+            kind="service-job",
+            command=f"POST /jobs {job.id}",
+            refs=job.spec.refs,
+            seed=job.spec.seed,
+            scale=job.spec.scale,
+            jobs=job.spec.jobs,
+            wall_s=time.time() - (job.started_unix or time.time()),
+            engine=job.spec.engine,
+            extra={
+                "cache": job.cache,
+                "recovery": recovery.summary() if len(recovery) else {},
+            },
+        )
+        write_manifest(manifest, self.job_dir(job.id), name="job")
+        job.state = "done"
+        job.finished_unix = time.time()
+        self._persist(job)
+        self._emit("job_completed", job)
+
+    def _write_result(self, job: Job, results) -> None:
+        cells = []
+        for (system, bench), r in results.items():
+            cells.append(
+                {
+                    "system": system,
+                    "benchmark": bench,
+                    "refs": r.refs,
+                    "seed": r.seed,
+                    "counters": r.counters.as_dict(),
+                    "counters_sha": counters_digest(r.counters),
+                    "miss_ratio_pct": round(r.miss_ratio, 6),
+                    "stall_per_ref_cycles": round(r.stall_per_reference, 6),
+                    "traffic_blocks": r.traffic_blocks,
+                }
+            )
+        _atomic_write_json(
+            self.job_dir(job.id) / "result.json",
+            {"job_id": job.id, "cells": cells, "cache": job.cache},
+        )
+
+    # ---- paths & persistence --------------------------------------------
+
+    def job_dir(self, job_id: str) -> Path:
+        return self.jobs_dir / job_id
+
+    def run_dir(self, job_id: str) -> Path:
+        return self.job_dir(job_id) / "run"
+
+    def _persist(self, job: Job) -> None:
+        _atomic_write_json(self.job_dir(job.id) / "job.json", job.to_dict())
+
+    def _emit(self, kind: str, job: Job) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(kind, now=0, detail=f"{job.id}: {job.state}")
+
+    # ---- queries (called from the async HTTP layer; must stay fast) ------
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def list_jobs(self, limit: Optional[int] = None) -> List[Job]:
+        with self._lock:
+            jobs = list(self._jobs.values())
+        jobs.reverse()  # newest first
+        return jobs[:limit] if limit else jobs
+
+    def progress(self, job_id: str) -> Optional[SweepProgress]:
+        """A read-only observation of the job's run directory."""
+        if self.get(job_id) is None:
+            return None
+        return SweepProgress(self.run_dir(job_id))
+
+    def result_payload(self, job_id: str) -> Optional[Dict[str, object]]:
+        """The persisted ``result.json`` of a finished job, or ``None``."""
+        try:
+            raw = (self.job_dir(job_id) / "result.json").read_text(encoding="utf-8")
+            payload = json.loads(raw)
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def stats(self) -> Dict[str, object]:
+        """Aggregate server statistics for ``GET /stats``."""
+        with self._lock:
+            by_state: Dict[str, int] = {}
+            for job in self._jobs.values():
+                by_state[job.state] = by_state.get(job.state, 0) + 1
+            total = len(self._jobs)
+        return {
+            "uptime_s": round(time.time() - self.started_unix, 3),
+            "jobs": {"total": total, "by_state": by_state},
+            "store": dict(self.store.stats(), entries=self.store.entry_count()),
+            "data_dir": str(self.data_dir),
+        }

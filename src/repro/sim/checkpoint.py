@@ -262,14 +262,22 @@ class SweepJournal:
 
     # ---- writing ---------------------------------------------------------
 
-    def append(self, result: SimulationResult, scale: float) -> None:
+    def append(
+        self, result: SimulationResult, scale: float, source: str = "simulated"
+    ) -> None:
         """Atomically append one completed cell.
 
         One JSON line, flushed and fsynced before returning: once this
         method returns, the cell survives any crash of the process.
+        ``source`` records how the cell was obtained — ``"simulated"`` by
+        an engine, or ``"cache"`` from the content-addressed result store
+        (:mod:`repro.service.store`); it is provenance only and plays no
+        part in resume validation, but ``repro top`` and the service's
+        job endpoints surface it so cache hits are visible per cell.
         """
         rec = {
             "journal_version": JOURNAL_VERSION,
+            "source": source,
             "system": result.system,
             "benchmark": result.benchmark,
             "refs": result.refs,

@@ -723,6 +723,7 @@ def run_parallel_sweep(
     cell_timeout: Optional[float] = None,
     recovery: Optional[RecoveryLog] = None,
     engine: Optional[str] = None,
+    result_store=None,
 ) -> Dict[Tuple[str, str], SimulationResult]:
     """Fan a sweep matrix over ``jobs`` worker processes, fault-tolerantly.
 
@@ -732,6 +733,16 @@ def run_parallel_sweep(
     loss, and injected faults.  ``engine`` is resolved once in the parent
     (explicit choice over ``$REPRO_ENGINE`` over the interpreter) and
     rides inside every cell, so workers and resumed runs use it verbatim.
+
+    ``result_store`` — a :class:`repro.service.store.ResultStore` —
+    memoises completed cells by content key: before simulating, each cell
+    is looked up (a hit restores the exact counters/metrics the original
+    run produced, costs zero engine time, and is journalled with
+    ``source="cache"``), and every cell the sweep *did* simulate is
+    stored for the next request.  Cache hits are recorded in the
+    recovery log (``cell_cache_hit``) so manifests and ``repro top`` can
+    report hit rates; a store read that finds corruption quarantines the
+    entry and the cell transparently re-simulates.
     """
     from .batch import resolve_engine
 
@@ -774,7 +785,29 @@ def run_parallel_sweep(
                 ),
             )
 
-    todo = [c for c in cells if (c.system, c.benchmark) not in done]
+    # consult the content-addressed result store before simulating anything:
+    # a hit is bit-identical to simulating the cell (the store verifies the
+    # counter digest on load) and costs no engine time
+    cached_keys = set()
+    todo = []
+    for c in cells:
+        key = (c.system, c.benchmark)
+        if key in done:
+            continue
+        if result_store is not None:
+            hit = result_store.get(
+                c.config, c.benchmark, refs=c.refs, seed=c.seed,
+                scale=c.scale, system=c.system,
+            )
+            if hit is not None:
+                done[key] = hit
+                cached_keys.add(key)
+                recovery.note("cell_cache_hit", c.system, c.benchmark,
+                              "served from the result store")
+                if journal is not None:
+                    journal.append(hit, c.scale, source="cache")
+                continue
+        todo.append(c)
     # surface parent-side trace-cache recovery (quarantines during the
     # pre-seed phase, skipped writes) alongside the workers' notes
     previous_hook = trace_io.set_recovery_hook(
@@ -803,6 +836,26 @@ def run_parallel_sweep(
         if journal is not None:
             journal.close()
             recovery.close()
+
+    if result_store is not None:
+        # memoise everything this sweep actually produced (fresh cells and
+        # journal-restored ones alike) for the next identical request; a
+        # failed write degrades to "not cached", never to a failed sweep
+        stored = 0
+        for cell in cells:
+            key = (cell.system, cell.benchmark)
+            if key in cached_keys:
+                continue
+            if result_store.put(
+                done[key], cell.scale, refs=cell.refs, seed=cell.seed
+            ) is not None:
+                stored += 1
+        if stored < len(cells) - len(cached_keys):
+            recovery.note(
+                "result_store_skipped",
+                detail=f"{len(cells) - len(cached_keys) - stored} "
+                       f"cell(s) could not be written to the result store",
+            )
 
     # deterministic merge: plan order, exactly the serial dict order
     return {(cell.system, cell.benchmark): done[(cell.system, cell.benchmark)]
@@ -949,6 +1002,35 @@ def sweep_metrics(
     return aggregate_metrics(r.metrics for r in results.values())
 
 
+def cache_summary(
+    results: Mapping[Tuple[str, str], SimulationResult],
+    recovery: RecoveryLog,
+) -> Dict[str, object]:
+    """The hit/simulated split of one store-backed sweep.
+
+    ``hits`` counts cells served from the result store this run (the
+    recovery log's ``cell_cache_hit`` tally); ``resumed`` counts cells
+    restored from the sweep's own journal; everything else was simulated.
+    """
+    total = len(results)
+    hits = recovery.counts.get("cell_cache_hit", 0)
+    resumed = 0
+    for action in recovery.actions:
+        if action["kind"] == "cells_resumed":
+            try:  # detail reads "N cell(s) restored from <dir>"
+                resumed += int(str(action["detail"]).split()[0])
+            except (ValueError, IndexError):
+                pass
+    simulated = max(0, total - hits - resumed)
+    return {
+        "total_cells": total,
+        "hits": hits,
+        "resumed": resumed,
+        "simulated": simulated,
+        "hit_rate": round(hits / total, 4) if total else 0.0,
+    }
+
+
 def timed_sweep(
     configs: Mapping[str, SystemConfig],
     benchmarks: Sequence[str],
@@ -964,13 +1046,15 @@ def timed_sweep(
     cell_timeout: Optional[float] = None,
     recovery: Optional[RecoveryLog] = None,
     engine: Optional[str] = None,
+    result_store=None,
 ) -> Tuple[Dict[Tuple[str, str], SimulationResult], float]:
     """Run a sweep (parallel or serial) and return ``(results, wall_s)``.
 
     A run manifest is written to ``manifest_dir`` when given, else to
     ``$REPRO_MANIFEST_DIR`` when set, else not at all; any recovery
     actions the sweep took are surfaced in it — as is the execution
-    engine the sweep ran on.
+    engine the sweep ran on, and (with a ``result_store``) the cache
+    hit/simulated split under the manifest's ``cache`` key.
     """
     from .batch import resolve_engine
 
@@ -981,7 +1065,7 @@ def timed_sweep(
     results = run_parallel_sweep(
         configs, benchmarks, refs=refs, seed=seed, scale=scale, jobs=jobs,
         run_dir=run_dir, max_retries=max_retries, cell_timeout=cell_timeout,
-        recovery=recovery, engine=engine,
+        recovery=recovery, engine=engine, result_store=result_store,
     )
     wall_s = time.perf_counter() - start
     from ..obs.manifest import maybe_write_sweep_manifest
@@ -998,6 +1082,7 @@ def timed_sweep(
         name=manifest_name,
         recovery=recovery,
         engine=engine,
+        cache=cache_summary(results, recovery) if result_store is not None else None,
     )
     return results, wall_s
 

@@ -237,6 +237,7 @@ def sweep(
     cell_timeout: Optional[float] = None,
     recovery=None,
     engine: Optional[str] = None,
+    result_store=None,
     **shared_overrides: object,
 ) -> Dict[Tuple[str, str], SimulationResult]:
     """Run a systems x benchmarks matrix; keys are ``(system, benchmark)``.
@@ -254,7 +255,10 @@ def sweep(
     ``recovery`` — a :class:`repro.sim.parallel.RecoveryLog` — collects
     every recovery action the sweep took.  ``engine`` selects the
     execution backend for every cell (``None`` defers to
-    ``$REPRO_ENGINE``, then the interpreter).
+    ``$REPRO_ENGINE``, then the interpreter).  ``result_store`` — a
+    :class:`repro.service.store.ResultStore` — memoises completed cells
+    by content key, so repeating a sweep serves them without simulating
+    (see ``docs/SERVICE.md``).
     """
     systems = list(systems)
     benchmarks = list(benchmarks)
@@ -266,5 +270,5 @@ def sweep(
     return run_parallel_sweep(
         configs, benchmarks, refs=refs, seed=seed, scale=scale, jobs=jobs,
         run_dir=run_dir, max_retries=max_retries, cell_timeout=cell_timeout,
-        recovery=recovery, engine=engine,
+        recovery=recovery, engine=engine, result_store=result_store,
     )

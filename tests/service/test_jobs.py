@@ -1,0 +1,234 @@
+"""Tests for the job manager: spec validation, lifecycle, persistence,
+restart recovery, and the shared result store."""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.errors import JobSpecError
+from repro.service.jobs import Job, JobManager, JobSpec
+from repro.sim.runner import clear_trace_cache
+
+REFS = 2_000
+SPEC = {"systems": ["vb"], "benchmarks": ["fft"], "refs": REFS, "seed": 5,
+        "scale": 0.02}
+
+
+@pytest.fixture(autouse=True)
+def _isolated(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "cache"))
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+
+
+@pytest.fixture()
+def manager(tmp_path):
+    mgr = JobManager(data_dir=tmp_path / "svc", job_workers=2)
+    mgr.start()
+    yield mgr
+    mgr.close()
+
+
+def _wait(mgr, job_id, timeout=60.0):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        job = mgr.get(job_id)
+        if job.state in ("done", "failed"):
+            return job
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} did not finish")
+
+
+class TestJobSpec:
+    def test_round_trip(self):
+        spec = JobSpec.from_dict(SPEC)
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_comma_separated_names(self):
+        spec = JobSpec.from_dict(
+            dict(SPEC, systems="vb, base", benchmarks="fft,lu"))
+        assert spec.systems == ("vb", "base")
+        assert spec.benchmarks == ("fft", "lu")
+
+    @pytest.mark.parametrize("broken, needle", [
+        ("not a dict", "JSON object"),
+        ({}, "systems"),
+        (dict(SPEC, systems=[]), "systems"),
+        (dict(SPEC, benchmarks=["nope"]), "unknown benchmark"),
+        (dict(SPEC, systems=["nosuch"]), "nosuch"),
+        (dict(SPEC, refs="many"), "refs"),
+        (dict(SPEC, refs=0), "refs"),
+        (dict(SPEC, seed=-1), "seed"),
+        (dict(SPEC, scale=0), "scale"),
+        (dict(SPEC, engine="turbo"), "engine"),
+        (dict(SPEC, jobs=0), "jobs"),
+        (dict(SPEC, surprise=1), "unknown spec field"),
+        (dict(SPEC, systems=["vb"] * 60, benchmarks=["fft"] * 10), "limit"),
+    ])
+    def test_rejects_bad_specs(self, broken, needle):
+        with pytest.raises(JobSpecError, match=needle):
+            JobSpec.from_dict(broken)
+
+
+class TestLifecycle:
+    def test_submit_runs_to_done(self, manager):
+        job = manager.submit(SPEC)
+        assert job.state in ("queued", "running", "done")  # live object
+        finished = _wait(manager, job.id)
+        assert finished.state == "done"
+        assert finished.error is None
+        assert finished.cache["total_cells"] == 1
+        payload = manager.result_payload(job.id)
+        assert payload["job_id"] == job.id
+        assert len(payload["cells"]) == 1
+        cell = payload["cells"][0]
+        assert cell["system"] == "vb" and cell["benchmark"] == "fft"
+        assert cell["counters_sha"]
+
+    def test_job_json_persisted_atomically(self, manager):
+        job = manager.submit(SPEC)
+        _wait(manager, job.id)
+        on_disk = json.loads(
+            (manager.job_dir(job.id) / "job.json").read_text())
+        assert on_disk["state"] == "done"
+        assert on_disk["spec"]["systems"] == ["vb"]
+
+    def test_manifest_written_with_cache_key(self, manager):
+        job = manager.submit(SPEC)
+        _wait(manager, job.id)
+        manifest = json.loads(
+            (manager.job_dir(job.id) / "job-manifest.json").read_text())
+        assert manifest["kind"] == "service-job"
+        assert manifest["cache"]["simulated"] == 1
+
+    def test_second_job_all_cache_hits(self, manager):
+        first = _wait(manager, manager.submit(SPEC).id)
+        second = _wait(manager, manager.submit(SPEC).id)
+        assert second.cache["hits"] == 1
+        assert second.cache["hit_rate"] == 1.0
+        p1 = manager.result_payload(first.id)
+        p2 = manager.result_payload(second.id)
+        assert p1["cells"][0]["counters_sha"] == p2["cells"][0]["counters_sha"]
+        assert p1["cells"][0]["counters"] == p2["cells"][0]["counters"]
+
+    def test_stats(self, manager):
+        _wait(manager, manager.submit(SPEC).id)
+        stats = manager.stats()
+        assert stats["jobs"]["total"] == 1
+        assert stats["jobs"]["by_state"]["done"] == 1
+        assert stats["store"]["entries"] == 1
+
+    def test_list_jobs_newest_first(self, manager):
+        a = manager.submit(SPEC)
+        b = manager.submit(dict(SPEC, seed=6))
+        _wait(manager, a.id)
+        _wait(manager, b.id)
+        listed = manager.list_jobs()
+        assert [j.id for j in listed] == [b.id, a.id]
+
+
+class TestRestartRecovery:
+    def test_unfinished_job_resumes(self, tmp_path):
+        # first server dies before the job runs: persist a queued job by
+        # hand, exactly what submit() leaves on disk pre-crash
+        data_dir = tmp_path / "svc"
+        mgr1 = JobManager(data_dir=data_dir)
+        spec = JobSpec.from_dict(SPEC)
+        job = Job(id="deadbeef0001", spec=spec, state="queued")
+        mgr1._persist(job)
+
+        mgr2 = JobManager(data_dir=data_dir, job_workers=1)
+        resumed = mgr2.start()
+        try:
+            assert resumed == ["deadbeef0001"]
+            finished = _wait(mgr2, "deadbeef0001")
+            assert finished.state == "done"
+            assert finished.resumed
+        finally:
+            mgr2.close()
+
+    def test_running_job_resumes_from_journal(self, tmp_path):
+        # a job that died mid-run keeps its journal: the restarted run
+        # restores completed cells instead of re-simulating them
+        data_dir = tmp_path / "svc"
+        mgr1 = JobManager(data_dir=data_dir, job_workers=1)
+        mgr1.start()
+        try:
+            big = dict(SPEC, systems=["vb", "base"], benchmarks=["fft", "lu"])
+            done = _wait(mgr1, mgr1.submit(big).id)
+        finally:
+            mgr1.close()
+        # forge the crash: flip the finished job back to "running" and
+        # clear the store so only the journal can satisfy the cells
+        job_file = data_dir / "jobs" / done.id / "job.json"
+        raw = json.loads(job_file.read_text())
+        raw["state"] = "running"
+        job_file.write_text(json.dumps(raw))
+        sha_before = {
+            (c["system"], c["benchmark"]): c["counters_sha"]
+            for c in json.loads(
+                (data_dir / "jobs" / done.id / "result.json").read_text()
+            )["cells"]
+        }
+        mgr2 = JobManager(data_dir=data_dir, job_workers=1)
+        mgr2.store.clear()
+        resumed = mgr2.start()
+        try:
+            assert resumed == [done.id]
+            finished = _wait(mgr2, done.id)
+            assert finished.state == "done"
+            # every cell came back from the journal, none re-simulated
+            assert finished.cache["resumed"] == 4
+            assert finished.cache["simulated"] == 0
+            sha_after = {
+                (c["system"], c["benchmark"]): c["counters_sha"]
+                for c in mgr2.result_payload(done.id)["cells"]
+            }
+            assert sha_after == sha_before
+        finally:
+            mgr2.close()
+
+    def test_finished_jobs_not_rerun(self, tmp_path):
+        data_dir = tmp_path / "svc"
+        mgr1 = JobManager(data_dir=data_dir, job_workers=1)
+        mgr1.start()
+        try:
+            done = _wait(mgr1, mgr1.submit(SPEC).id)
+        finally:
+            mgr1.close()
+        mgr2 = JobManager(data_dir=data_dir, job_workers=1)
+        try:
+            assert mgr2.start() == []
+            assert mgr2.get(done.id).state == "done"
+        finally:
+            mgr2.close()
+
+    def test_torn_job_json_skipped(self, tmp_path):
+        data_dir = tmp_path / "svc"
+        bad = data_dir / "jobs" / "torn0000",
+        bad[0].mkdir(parents=True)
+        (bad[0] / "job.json").write_text('{"id": "torn')
+        mgr = JobManager(data_dir=data_dir)
+        try:
+            assert mgr.start() == []
+            assert mgr.list_jobs() == []
+        finally:
+            mgr.close()
+
+
+class TestFailureIsolation:
+    def test_submit_before_start_raises(self, tmp_path):
+        from repro.errors import ReproError
+
+        mgr = JobManager(data_dir=tmp_path / "svc")
+        with pytest.raises(ReproError, match="not started"):
+            mgr.submit(SPEC)
+
+    def test_bad_spec_never_enqueued(self, manager):
+        with pytest.raises(JobSpecError):
+            manager.submit({"systems": ["vb"]})
+        assert manager.list_jobs() == []

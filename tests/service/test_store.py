@@ -1,0 +1,248 @@
+"""Tests for the content-addressed result store: digest round-trip,
+quarantine-and-resimulate, concurrent writers, engine transparency."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.service.store import ResultStore, result_key, service_data_dir
+from repro.sim.runner import clear_trace_cache, simulate, sweep
+from repro.system.builder import system_config
+
+REFS = 2_000
+SCALE = 0.02
+SEED = 5
+
+
+@pytest.fixture(autouse=True)
+def _isolated(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "cache"))
+    clear_trace_cache()
+    yield
+    clear_trace_cache()
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+def _simulate(system="vb", benchmark="fft", **kw):
+    return simulate(system, benchmark, refs=REFS, seed=SEED, scale=SCALE, **kw)
+
+
+class TestResultKey:
+    def test_deterministic(self):
+        cfg = system_config("vb")
+        k1 = result_key(cfg, "fft", REFS, SEED, SCALE)
+        k2 = result_key(cfg, "fft", REFS, SEED, SCALE)
+        assert k1 == k2
+
+    def test_covers_every_identity_field(self):
+        cfg = system_config("vb")
+        base = result_key(cfg, "fft", REFS, SEED, SCALE)
+        assert result_key(system_config("base"), "fft", REFS, SEED, SCALE) != base
+        assert result_key(cfg, "lu", REFS, SEED, SCALE) != base
+        assert result_key(cfg, "fft", REFS + 1, SEED, SCALE) != base
+        assert result_key(cfg, "fft", REFS, SEED + 1, SCALE) != base
+        assert result_key(cfg, "fft", REFS, SEED, SCALE * 2) != base
+
+    def test_config_override_changes_key(self):
+        plain = result_key(system_config("vb"), "fft", REFS, SEED, SCALE)
+        tuned = result_key(
+            system_config("vb", cache_assoc=4), "fft", REFS, SEED, SCALE
+        )
+        assert plain != tuned
+
+
+class TestRoundTrip:
+    def test_hit_is_bit_identical(self, store):
+        fresh = _simulate()
+        store.put(fresh, SCALE, refs=REFS, seed=SEED)
+        hit = store.get(
+            fresh.config, "fft", refs=REFS, seed=SEED, scale=SCALE, system="vb"
+        )
+        assert hit is not None
+        assert hit.counters == fresh.counters
+        assert hit.refs == fresh.refs
+        assert hit.seed == fresh.seed
+        assert hit.metrics == fresh.metrics
+        assert hit.elapsed_s == 0.0  # a hit costs no engine time
+        assert store.stats()["hits"] == 1
+
+    def test_requested_vs_actual_refs(self, store):
+        # the generator rounds refs up; the key must use the REQUEST
+        fresh = _simulate()
+        assert fresh.refs != REFS  # the premise of the whole test
+        store.put(fresh, SCALE, refs=REFS, seed=SEED)
+        hit = store.get(fresh.config, "fft", refs=REFS, seed=SEED, scale=SCALE)
+        assert hit is not None and hit.refs == fresh.refs
+
+    def test_miss_on_absent_entry(self, store):
+        cfg = system_config("vb")
+        assert store.get(cfg, "fft", refs=REFS, seed=SEED, scale=SCALE) is None
+        assert store.stats()["misses"] == 1
+
+    def test_engine_transparent(self, store):
+        # a cell simulated on the interpreter must serve a batch request:
+        # the key carries no engine at all
+        fresh = _simulate(engine="interp")
+        store.put(fresh, SCALE, refs=REFS, seed=SEED)
+        batch = _simulate(engine="batch")
+        assert batch.counters == fresh.counters  # engines bit-identical
+        hit = store.get(batch.config, "fft", refs=REFS, seed=SEED, scale=SCALE)
+        assert hit is not None and hit.counters == batch.counters
+
+
+class TestQuarantine:
+    def _entry_path(self, store, fresh):
+        return store.path_for(result_key(fresh.config, "fft", REFS, SEED, SCALE))
+
+    def test_torn_entry_quarantined(self, store):
+        fresh = _simulate()
+        store.put(fresh, SCALE, refs=REFS, seed=SEED)
+        path = self._entry_path(store, fresh)
+        path.write_text(path.read_text()[: 40], encoding="utf-8")  # truncate
+        assert store.get(fresh.config, "fft", refs=REFS, seed=SEED,
+                         scale=SCALE) is None
+        assert not path.exists()
+        assert path.with_name(path.name + ".corrupt").exists()
+        assert store.stats()["quarantined"] == 1
+
+    def test_tampered_counters_quarantined(self, store):
+        fresh = _simulate()
+        store.put(fresh, SCALE, refs=REFS, seed=SEED)
+        path = self._entry_path(store, fresh)
+        body = json.loads(path.read_text(encoding="utf-8"))
+        body["counters"]["reads"] += 1  # flip one counter
+        path.write_text(json.dumps(body), encoding="utf-8")
+        assert store.get(fresh.config, "fft", refs=REFS, seed=SEED,
+                         scale=SCALE) is None
+        assert path.with_name(path.name + ".corrupt").exists()
+
+    def test_version_skew_quarantined(self, store):
+        fresh = _simulate()
+        store.put(fresh, SCALE, refs=REFS, seed=SEED)
+        path = self._entry_path(store, fresh)
+        body = json.loads(path.read_text(encoding="utf-8"))
+        body["store_version"] = 999
+        path.write_text(json.dumps(body), encoding="utf-8")
+        assert store.get(fresh.config, "fft", refs=REFS, seed=SEED,
+                         scale=SCALE) is None
+
+    def test_resimulation_after_quarantine_is_identical(self, store, tmp_path):
+        # a sweep whose store entry rots re-simulates transparently and
+        # produces the same counters it would have served
+        results = sweep(["vb"], ["fft"], refs=REFS, seed=SEED, scale=SCALE,
+                        result_store=store)
+        entry = next(store.root.glob("*/*.json"))
+        entry.write_text("{not json", encoding="utf-8")
+        again = sweep(["vb"], ["fft"], refs=REFS, seed=SEED, scale=SCALE,
+                      result_store=store)
+        assert again[("vb", "fft")].counters == results[("vb", "fft")].counters
+        assert store.stats()["quarantined"] == 1
+        # the re-simulation re-populated the store
+        assert store.entry_count() == 1
+
+
+class TestConcurrency:
+    def test_concurrent_writers_single_entry(self, store):
+        # many threads racing the same key: atomic rename means readers
+        # never see a torn entry and exactly one file remains
+        fresh = _simulate()
+        errors = []
+
+        def writer():
+            try:
+                for _ in range(20):
+                    assert store.put(fresh, SCALE, refs=REFS, seed=SEED)
+                    got = store.get(fresh.config, "fft", refs=REFS,
+                                    seed=SEED, scale=SCALE)
+                    assert got is not None
+                    assert got.counters == fresh.counters
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert store.entry_count() == 1
+        assert store.stats()["quarantined"] == 0
+
+
+class TestHousekeeping:
+    def test_clear(self, store):
+        store.put(_simulate(), SCALE, refs=REFS, seed=SEED)
+        assert store.entry_count() == 1
+        assert store.clear() == 1
+        assert store.entry_count() == 0
+
+    def test_service_dir_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SERVICE_DIR", str(tmp_path / "svc"))
+        assert service_data_dir() == tmp_path / "svc"
+
+    def test_put_failure_returns_none(self, store, monkeypatch):
+        import repro.service.store as store_mod
+
+        def boom(*a, **k):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(store_mod.tempfile, "mkstemp", boom)
+        assert store.put(_simulate(), SCALE, refs=REFS, seed=SEED) is None
+
+
+class TestSweepIntegration:
+    def test_second_sweep_all_hits(self, store, tmp_path):
+        first = sweep(["vb", "base"], ["fft", "lu"], refs=REFS, seed=SEED,
+                      scale=SCALE, result_store=store)
+        assert store.stats()["puts"] == 4
+        from repro.sim.parallel import RecoveryLog
+
+        recovery = RecoveryLog()
+        second = sweep(["vb", "base"], ["fft", "lu"], refs=REFS, seed=SEED,
+                       scale=SCALE, result_store=store, recovery=recovery)
+        assert recovery.counts.get("cell_cache_hit") == 4
+        for key, r in first.items():
+            assert second[key].counters == r.counters
+            assert second[key].metrics == r.metrics
+
+    def test_journal_marks_cached_cells(self, store, tmp_path):
+        sweep(["vb"], ["fft"], refs=REFS, seed=SEED, scale=SCALE,
+              result_store=store)
+        run_dir = tmp_path / "run"
+        sweep(["vb"], ["fft"], refs=REFS, seed=SEED, scale=SCALE,
+              result_store=store, run_dir=str(run_dir))
+        from repro.obs.monitor import SweepProgress
+
+        progress = SweepProgress(run_dir)
+        assert progress.done_cells == 1
+        assert progress.cached_cells == 1
+        assert "+" in "\n".join(progress.grid())
+        snap = progress.snapshot()
+        assert snap["cached_cells"] == 1 and snap["simulated_cells"] == 0
+
+    def test_manifest_core_unchanged_by_cache(self, store, monkeypatch,
+                                              tmp_path):
+        # all-miss and all-hit runs must agree on the core manifest
+        from repro.obs.manifest import manifest_core
+        from repro.sim.parallel import timed_sweep
+        from repro.sim.runner import resolve_sweep_configs
+
+        monkeypatch.setenv("REPRO_MANIFEST_DIR", str(tmp_path / "m1"))
+        configs = resolve_sweep_configs(["vb"])
+        timed_sweep(configs, ["fft"], refs=REFS, seed=SEED, scale=SCALE,
+                    result_store=store)
+        monkeypatch.setenv("REPRO_MANIFEST_DIR", str(tmp_path / "m2"))
+        timed_sweep(configs, ["fft"], refs=REFS, seed=SEED, scale=SCALE,
+                    result_store=store)
+        m1 = json.loads((tmp_path / "m1" / "sweep-manifest.json").read_text())
+        m2 = json.loads((tmp_path / "m2" / "sweep-manifest.json").read_text())
+        assert m1["cache"]["hits"] == 0 and m2["cache"]["hits"] == 1
+        assert json.dumps(manifest_core(m1), sort_keys=True) == \
+            json.dumps(manifest_core(m2), sort_keys=True)
