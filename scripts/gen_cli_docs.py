@@ -50,6 +50,20 @@ def _env_rows():
          "directory where every sweep drops its run manifest"),
         (SERVICE_DIR_ENV, "`repro serve`",
          "service state directory: result store + job journals"),
+        ("REPRO_STORE_MAX_BYTES", "`repro serve`",
+         "result-store size budget; LRU-evicts above it (0 = unbounded)"),
+        ("REPRO_MAX_QUEUED_JOBS", "`repro serve`",
+         "admission control: queued-job bound before 503s (0 = off)"),
+        ("REPRO_MAX_INFLIGHT_CELLS", "`repro serve`",
+         "admission control: queued+running cell bound (0 = off)"),
+        ("REPRO_JOB_TTL", "`repro serve`",
+         "seconds before terminal jobs are garbage-collected"),
+        ("REPRO_GC_INTERVAL", "`repro serve`",
+         "seconds between terminal-job GC sweeps"),
+        ("REPRO_DRAIN_TIMEOUT", "`repro serve`",
+         "graceful-drain budget in seconds on SIGTERM/SIGINT"),
+        ("REPRO_REQUEST_TIMEOUT", "`repro serve`",
+         "per-request read/write timeout in seconds"),
         ("REPRO_MAX_RETRIES", "`repro.sim.parallel`",
          "per-cell retry budget for fault-tolerant sweeps"),
         ("REPRO_CELL_TIMEOUT", "`repro.sim.parallel`",

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Load-test the sweep service: zipfian traffic, hit rates, tail latency.
+"""Load-test the sweep service: zipfian traffic, hit rates, chaos, 503s.
 
 Drives a running ``repro serve`` (or spawns one with ``--spawn``) with
 thousands of concurrent job submissions drawn from a **zipfian**
@@ -20,12 +20,31 @@ specs should be ~all cache hits).  The report asserts what
   ``counters_sha`` digests, cached or freshly simulated;
 * submit -> done latency percentiles (p50/p90/p99) and throughput.
 
+Every request has a hard timeout and a bounded retry/backoff budget, so
+a hung or draining server fails the run with a clear error instead of
+hanging CI; ``503`` responses honour the server's ``Retry-After`` hint.
+
+Resilience modes (both imply ``--spawn``):
+
+* ``--chaos``: ``kill -9`` the server mid-pass, restart it on the same
+  port and data dir, and assert **zero lost jobs** — every submission
+  still completes (resumed from the journal) with bit-identical
+  ``counters_sha`` digests, and the follow-up pass still meets the
+  cache-hit gate.
+* ``--saturate``: spawn the server with a tiny admission budget, verify
+  overload answers are ``503`` + ``Retry-After`` (never hangs, never
+  dropped connections), that retrying clients all eventually succeed,
+  and that ``/healthz`` reports ``ok`` once the backlog drains.
+
 Usage::
 
     python scripts/load_test.py --base-url http://127.0.0.1:8752 \
         --submissions 1000 --distinct 20
     python scripts/load_test.py --spawn --submissions 1000 \
         --min-hit-rate 0.8 --out load-report.json
+    python scripts/load_test.py --chaos --submissions 120 \
+        --min-hit-rate 0.8 --out chaos-report.json
+    python scripts/load_test.py --saturate --submissions 60
 """
 
 from __future__ import annotations
@@ -46,6 +65,13 @@ from typing import Dict, List, Optional, Tuple
 SYSTEMS = ["base", "nc", "ncd", "vb", "vp", "vbp5", "vxp5", "p5"]
 BENCHMARKS = ["radix", "fft", "lu", "ocean", "barnes", "cholesky"]
 
+#: cap on any single retry sleep (Retry-After hints are clamped to this)
+MAX_BACKOFF_S = 5.0
+
+
+class RequestFailed(Exception):
+    """A request kept failing after its whole retry budget."""
+
 
 # ---------------------------------------------------------------------------
 # minimal async HTTP client (mirrors the server: one request per connection)
@@ -58,8 +84,8 @@ async def http_request(
     method: str,
     path: str,
     body: Optional[dict] = None,
-    timeout: float = 30.0,
-) -> Tuple[int, dict]:
+    timeout: float = 10.0,
+) -> Tuple[int, dict, Dict[str, str]]:
     payload = b""
     if body is not None:
         payload = json.dumps(body).encode("utf-8")
@@ -83,11 +109,69 @@ async def http_request(
         except (ConnectionError, OSError):
             pass
     header_blob, _, body_blob = raw.partition(b"\r\n\r\n")
-    status = int(header_blob.split(b" ", 2)[1])
+    lines = header_blob.split(b"\r\n")
     try:
-        return status, json.loads(body_blob)
+        status = int(lines[0].split(b" ", 2)[1])
+    except (IndexError, ValueError):
+        # empty or torn response: the server died mid-reply; retryable
+        raise ConnectionError("malformed/empty response (server gone?)")
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        return status, json.loads(body_blob), headers
     except ValueError:
-        return status, {"raw": body_blob.decode("utf-8", "replace")}
+        return status, {"raw": body_blob.decode("utf-8", "replace")}, headers
+
+
+async def request_with_retry(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: Optional[dict] = None,
+    *,
+    timeout: float = 10.0,
+    attempts: int = 10,
+    backoff: float = 0.25,
+    stats: Optional["PassStats"] = None,
+) -> Tuple[int, dict]:
+    """One request with bounded retries: connection faults and 503s.
+
+    A dead/restarting server (connection refused/reset, timeout) and an
+    explicit ``503`` are both retried with exponential backoff — the
+    latter honouring the server's ``Retry-After`` hint.  Anything else
+    (including 4xx/5xx) is returned to the caller verbatim.  Exhausting
+    the budget raises :class:`RequestFailed`, so a wedged server fails
+    the run loudly instead of hanging it.
+    """
+    last: object = None
+    for attempt in range(attempts):
+        try:
+            status, payload, headers = await http_request(
+                host, port, method, path, body, timeout
+            )
+        except (OSError, asyncio.TimeoutError) as exc:
+            last = f"{type(exc).__name__}: {exc}"
+            if stats is not None:
+                stats.conn_retries += 1
+            await asyncio.sleep(min(backoff * (2 ** attempt), MAX_BACKOFF_S))
+            continue
+        if status == 503:
+            last = f"503: {payload.get('error', '?')}"
+            if stats is not None:
+                stats.rejected += 1
+            try:
+                delay = float(headers.get("retry-after", ""))
+            except ValueError:
+                delay = backoff * (2 ** attempt)
+            await asyncio.sleep(min(max(delay, backoff), MAX_BACKOFF_S))
+            continue
+        return status, payload
+    raise RequestFailed(
+        f"{method} {path} failed after {attempts} attempt(s); last: {last}"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -138,6 +222,8 @@ class PassStats:
         self.latencies: List[float] = []
         self.submitted = 0
         self.failed = 0
+        self.rejected = 0  #: 503 answers absorbed by retry/backoff
+        self.conn_retries = 0  #: connection-level faults absorbed
         self.cells_total = 0
         self.cells_hit = 0
         #: spec index -> sorted (system, benchmark, counters_sha) triples
@@ -149,6 +235,8 @@ class PassStats:
             "pass": self.name,
             "submissions": self.submitted,
             "failed": self.failed,
+            "rejected_503": self.rejected,
+            "connection_retries": self.conn_retries,
             "wall_s": round(wall_s, 3),
             "throughput_jobs_per_s": round(self.submitted / wall_s, 2)
             if wall_s > 0 else 0.0,
@@ -166,37 +254,50 @@ class PassStats:
 
 
 async def run_one(
-    host: str,
-    port: int,
+    server: Dict[str, object],
     spec_idx: int,
     spec: dict,
     stats: PassStats,
     sem: asyncio.Semaphore,
     poll_interval: float,
+    request_timeout: float,
+    job_timeout: float,
 ) -> None:
     async with sem:
         t0 = time.perf_counter()
         try:
-            status, job = await http_request(host, port, "POST", "/jobs", spec)
+            status, job = await request_with_retry(
+                server["host"], server["port"], "POST", "/jobs", spec,
+                timeout=request_timeout, stats=stats,
+            )
             if status != 202:
                 stats.failed += 1
                 return
             job_id = job["id"]
+            deadline = time.perf_counter() + job_timeout
             while True:
-                status, j = await http_request(
-                    host, port, "GET", f"/jobs/{job_id}"
+                status, j = await request_with_retry(
+                    server["host"], server["port"], "GET", f"/jobs/{job_id}",
+                    timeout=request_timeout, stats=stats,
                 )
-                if status == 200 and j.get("state") in ("done", "failed"):
+                if status == 200 and j.get("state") in (
+                    "done", "failed", "cancelled"
+                ):
                     break
+                if time.perf_counter() > deadline:
+                    stats.failed += 1
+                    return
                 await asyncio.sleep(poll_interval)
             latency = time.perf_counter() - t0
             if j.get("state") != "done":
                 stats.failed += 1
                 return
-            _, result = await http_request(
-                host, port, "GET", f"/jobs/{job_id}/result"
+            _, result = await request_with_retry(
+                server["host"], server["port"], "GET", f"/jobs/{job_id}/result",
+                timeout=request_timeout, stats=stats,
             )
-        except (OSError, asyncio.TimeoutError, KeyError, ValueError):
+        except (RequestFailed, OSError, asyncio.TimeoutError,
+                KeyError, ValueError):
             stats.failed += 1
             return
     stats.submitted += 1
@@ -218,35 +319,98 @@ async def run_one(
 
 async def run_pass(
     name: str,
-    host: str,
-    port: int,
+    server: Dict[str, object],
     pool: List[dict],
     sequence: List[int],
     concurrency: int,
     poll_interval: float,
+    request_timeout: float,
+    job_timeout: float,
+    chaos: Optional[Dict[str, object]] = None,
 ) -> Tuple[PassStats, float]:
     stats = PassStats(name)
     sem = asyncio.Semaphore(concurrency)
     t0 = time.perf_counter()
-    await asyncio.gather(*(
-        run_one(host, port, idx, pool[idx], stats, sem, poll_interval)
+    tasks = [
+        asyncio.ensure_future(run_one(
+            server, idx, pool[idx], stats, sem, poll_interval,
+            request_timeout, job_timeout,
+        ))
         for idx in sequence
-    ))
+    ]
+    killer = None
+    if chaos is not None:
+        killer = asyncio.ensure_future(
+            chaos_killer(server, stats, len(sequence), chaos)
+        )
+    await asyncio.gather(*tasks)
+    if killer is not None:
+        await killer
     return stats, time.perf_counter() - t0
 
 
-def spawn_server(data_dir: str) -> Tuple[subprocess.Popen, str, int]:
-    """Start ``repro serve`` on an ephemeral port; returns (proc, host, port)."""
+async def chaos_killer(
+    server: Dict[str, object],
+    stats: PassStats,
+    total: int,
+    out: Dict[str, object],
+) -> None:
+    """SIGKILL the server once real work is in flight, then respawn it.
+
+    Waits until some submissions have completed (so the result store and
+    journals hold state worth losing) while others are still running,
+    then ``kill -9``s the process and restarts it on the same port and
+    data dir.  The restarted server re-enqueues unfinished jobs from
+    their journals; clients ride the outage on retry/backoff.
+    """
+    trigger = max(1, total // 10)
+    deadline = time.monotonic() + 60.0
+    while stats.submitted < trigger and time.monotonic() < deadline:
+        await asyncio.sleep(0.05)
+    proc = server["proc"]
+    assert proc is not None, "--chaos requires a spawned server"
+    t_kill = time.perf_counter()
+    proc.kill()  # SIGKILL: no drain, no warning — the crash we promise to survive
+    proc.wait()
+    out["killed_after_jobs_done"] = stats.submitted
+    loop = asyncio.get_running_loop()
+    new_proc, _host, _port, banner = await loop.run_in_executor(
+        None,
+        lambda: spawn_server(
+            str(server["data_dir"]), port=int(server["port"]),
+            job_workers=int(server["job_workers"]),
+        ),
+    )
+    server["proc"] = new_proc
+    out["restart_s"] = round(time.perf_counter() - t_kill, 3)
+    out["restart_banner"] = banner
+
+
+def spawn_server(
+    data_dir: str,
+    port: Optional[int] = None,
+    job_workers: int = 4,
+    env_extra: Optional[Dict[str, str]] = None,
+) -> Tuple[subprocess.Popen, str, int, List[str]]:
+    """Start ``repro serve``; returns (proc, host, port, banner lines).
+
+    ``port=None`` binds an ephemeral port; pass the previous port to
+    restart a killed server in place.  ``banner`` is every stdout line
+    printed before ``listening on`` (e.g. the job-resume notice).
+    """
     env = dict(os.environ, REPRO_SERVICE_DIR=data_dir)
+    env.update(env_extra or {})
     src = os.path.join(os.path.dirname(os.path.dirname(
         os.path.abspath(__file__))), "src")
     env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
-         "--job-workers", "4"],
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--port", str(port if port is not None else 0),
+         "--job-workers", str(job_workers)],
         env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
     )
     deadline = time.time() + 30
+    banner: List[str] = []
     assert proc.stdout is not None
     while time.time() < deadline:
         line = proc.stdout.readline()
@@ -254,8 +418,9 @@ def spawn_server(data_dir: str) -> Tuple[subprocess.Popen, str, int]:
             break
         if line.startswith("listening on http://"):
             hostport = line.strip().rsplit("/", 1)[1]
-            host, port = hostport.rsplit(":", 1)
-            return proc, host, int(port)
+            host, bound = hostport.rsplit(":", 1)
+            return proc, host, int(bound), banner
+        banner.append(line.strip())
     proc.kill()
     raise SystemExit("server failed to start (no 'listening on' line)")
 
@@ -268,6 +433,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     ap.add_argument("--spawn", action="store_true",
                     help="spawn a repro serve on an ephemeral port with a "
                          "fresh temp data dir, kill it afterwards")
+    ap.add_argument("--chaos", action="store_true",
+                    help="kill -9 the spawned server mid-pass, restart it, "
+                         "and assert zero lost jobs + bit-identity "
+                         "(implies --spawn)")
+    ap.add_argument("--saturate", action="store_true",
+                    help="spawn the server with a tiny admission budget and "
+                         "assert overload answers are 503 + Retry-After "
+                         "that retrying clients absorb (implies --spawn)")
     ap.add_argument("--submissions", type=int, default=1000,
                     help="job submissions per pass (default %(default)s)")
     ap.add_argument("--distinct", type=int, default=20,
@@ -284,6 +457,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                     help="in-flight submissions (default %(default)s)")
     ap.add_argument("--poll-interval", type=float, default=0.05,
                     help="job-status poll interval in seconds")
+    ap.add_argument("--request-timeout", type=float, default=10.0,
+                    help="per-request timeout in seconds (default "
+                         "%(default)s); retried with backoff")
+    ap.add_argument("--job-timeout", type=float, default=180.0,
+                    help="submit -> done deadline per job in seconds "
+                         "(default %(default)s); a job still pending after "
+                         "this counts as failed")
     ap.add_argument("--workload-seed", type=int, default=42,
                     help="seed for the pool and the zipf sequence "
                          "(both passes replay the identical sequence)")
@@ -293,18 +473,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     ap.add_argument("--out", default=None,
                     help="write the JSON report here (default: stdout only)")
     args = ap.parse_args(argv)
+    if args.chaos or args.saturate:
+        args.spawn = True
 
-    proc = None
+    server: Dict[str, object] = {
+        "proc": None, "data_dir": None, "job_workers": 4,
+    }
     tmp = None
     if args.spawn:
         tmp = tempfile.mkdtemp(prefix="repro-load-")
-        proc, host, port = spawn_server(tmp)
+        env_extra: Dict[str, str] = {}
+        if args.saturate:
+            # a deliberately tiny admission budget: most of the burst
+            # must be shed with 503s and absorbed by client backoff
+            env_extra = {
+                "REPRO_MAX_QUEUED_JOBS": "2",
+                "REPRO_MAX_INFLIGHT_CELLS": "8",
+            }
+            server["job_workers"] = 1
+        proc, host, port, _banner = spawn_server(
+            tmp, job_workers=int(server["job_workers"]), env_extra=env_extra,
+        )
+        server.update(proc=proc, data_dir=tmp)
     elif args.base_url:
         hostport = args.base_url.rstrip("/").rsplit("/", 1)[1]
         host, port_s = hostport.rsplit(":", 1)
         port = int(port_s)
     else:
-        ap.error("give --base-url or --spawn")
+        ap.error("give --base-url, --spawn, --chaos, or --saturate")
+    server.update(host=host, port=port)
 
     pool = build_spec_pool(args.distinct, args.refs, args.workload_seed)
     sequence = zipf_sequence(
@@ -320,17 +517,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             "passes": args.passes,
             "concurrency": args.concurrency,
             "workload_seed": args.workload_seed,
+            "mode": ("chaos" if args.chaos
+                     else "saturate" if args.saturate else "steady"),
         },
         "passes": [],
     }
     cross_pass_digests: Dict[int, Tuple] = {}
     try:
         for pass_no in range(1, args.passes + 1):
+            chaos_info: Optional[Dict[str, object]] = None
+            if args.chaos and pass_no == 1:
+                chaos_info = {}
             stats, wall = asyncio.run(run_pass(
-                f"pass{pass_no}", host, port, pool, sequence,
+                f"pass{pass_no}", server, pool, sequence,
                 args.concurrency, args.poll_interval,
+                args.request_timeout, args.job_timeout,
+                chaos=chaos_info,
             ))
             summary = stats.summary(wall)
+            if chaos_info is not None:
+                summary["chaos"] = chaos_info
+                report["chaos"] = chaos_info
             report["passes"].append(summary)
             print(json.dumps(summary), flush=True)
             # bit-identity must also hold ACROSS passes (cached vs simulated)
@@ -341,35 +548,71 @@ def main(argv: Optional[List[str]] = None) -> int:
                           file=sys.stderr)
                     return 1
         report["bit_identical_across_passes"] = True
-        _, stats_resp = asyncio.run(
-            http_request(host, port, "GET", "/stats"))
+        _, stats_resp, _ = asyncio.run(http_request(
+            host, port, "GET", "/stats", timeout=args.request_timeout))
         report["server_stats"] = stats_resp
+        _, health, _ = asyncio.run(http_request(
+            host, port, "GET", "/healthz", timeout=args.request_timeout))
+        report["final_health"] = health
     finally:
+        proc = server.get("proc")
         if proc is not None:
             proc.send_signal(signal.SIGTERM)
             try:
-                proc.wait(timeout=10)
+                proc.wait(timeout=30)
             except subprocess.TimeoutExpired:
                 proc.kill()
 
     if args.out:
+        out_dir = os.path.dirname(args.out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"report written to {args.out}")
 
+    failures: List[str] = []
     final = report["passes"][-1]
-    if final["failed"]:
-        print(f"FAIL: {final['failed']} submission(s) failed", file=sys.stderr)
-        return 1
+    total_failed = sum(p["failed"] for p in report["passes"])
+    if total_failed:
+        failures.append(f"{total_failed} submission(s) failed or were lost")
     if args.min_hit_rate is not None:
         rate = final["cache_hit_rate"]
         if rate < args.min_hit_rate:
-            print(f"FAIL: final-pass cache-hit rate {rate:.2%} < "
-                  f"required {args.min_hit_rate:.2%}", file=sys.stderr)
-            return 1
-        print(f"PASS: final-pass cache-hit rate {rate:.2%} >= "
-              f"{args.min_hit_rate:.2%}, bit-identical across passes")
+            failures.append(
+                f"final-pass cache-hit rate {rate:.2%} < "
+                f"required {args.min_hit_rate:.2%}"
+            )
+    if args.saturate:
+        total_rejected = sum(p["rejected_503"] for p in report["passes"])
+        if not total_rejected:
+            failures.append(
+                "saturation mode saw zero 503s — the admission budget "
+                "never engaged"
+            )
+    if args.chaos and "restart_s" not in report.get("chaos", {}):
+        failures.append("chaos mode never killed/restarted the server")
+    if (args.chaos or args.saturate) and (
+        report.get("final_health", {}).get("status") != "ok"
+    ):
+        failures.append(
+            f"server health did not recover to ok: {report.get('final_health')}"
+        )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    if args.min_hit_rate is not None:
+        print(f"PASS: final-pass cache-hit rate "
+              f"{final['cache_hit_rate']:.2%} >= {args.min_hit_rate:.2%}, "
+              f"bit-identical across passes")
+    if args.chaos:
+        print(f"PASS: survived kill -9 (restart in "
+              f"{report['chaos']['restart_s']}s), zero lost jobs")
+    if args.saturate:
+        print(f"PASS: {sum(p['rejected_503'] for p in report['passes'])} "
+              f"503(s) shed and absorbed by retry/backoff; health ok")
     return 0
 
 

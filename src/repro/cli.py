@@ -400,6 +400,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         job_workers=args.job_workers,
+        max_queued_jobs=args.max_queued_jobs,
+        max_inflight_cells=args.max_inflight_cells,
+        job_ttl_s=args.job_ttl,
+        drain_timeout=args.drain_timeout,
     )
     return 0
 
@@ -787,6 +791,22 @@ def build_parser() -> argparse.ArgumentParser:
                         "~/.cache/repro/service)")
     p.add_argument("--job-workers", type=int, default=2,
                    help="sweep jobs run concurrently (default %(default)s)")
+    p.add_argument("--max-queued-jobs", type=int, default=None,
+                   help="admission control: queued jobs before submissions "
+                        "are 503'd; 0 disables the bound (default "
+                        "$REPRO_MAX_QUEUED_JOBS, then 64)")
+    p.add_argument("--max-inflight-cells", type=int, default=None,
+                   help="admission control: queued+running sweep cells "
+                        "before submissions are 503'd; 0 disables "
+                        "(default $REPRO_MAX_INFLIGHT_CELLS, then 4096)")
+    p.add_argument("--job-ttl", type=float, default=None,
+                   help="seconds a finished job is kept before TTL garbage "
+                        "collection removes it (default $REPRO_JOB_TTL, "
+                        "then keep forever)")
+    p.add_argument("--drain-timeout", type=float, default=None,
+                   help="graceful-shutdown seconds to let running jobs "
+                        "finish before parking them at a cell boundary "
+                        "(default $REPRO_DRAIN_TIMEOUT, then 30)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("list", help="show systems/benchmarks/experiments")

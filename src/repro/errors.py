@@ -179,3 +179,30 @@ class JobSpecError(ReproError):
     Raised by :meth:`repro.service.jobs.JobSpec.from_dict` with a message
     naming the offending field; the HTTP layer maps it to a 400 response.
     """
+
+
+class ServiceUnavailableError(ReproError):
+    """The job server refused new work (saturated queue or draining).
+
+    Raised by :meth:`repro.service.jobs.JobManager.submit` when admission
+    control rejects a spec; carries the backoff hint the HTTP layer turns
+    into a ``503`` with a ``Retry-After`` header.  The rejection is load
+    shedding, not failure — the client's request was never enqueued and
+    can safely be retried.
+    """
+
+    def __init__(self, reason: str, retry_after_s: float = 2.0) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.retry_after_s = float(retry_after_s)
+
+
+class JobCancelledError(ReproError):
+    """A running sweep was aborted between cells (cancel or drain).
+
+    Raised out of :func:`repro.sim.parallel.run_parallel_sweep` when its
+    ``should_abort`` callback turns true.  Every cell completed before
+    the abort is already journalled, so a cancelled-then-resubmitted (or
+    drained-then-restarted) job restores them bit-identically instead of
+    re-simulating.
+    """

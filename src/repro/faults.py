@@ -27,6 +27,18 @@ where ``kind`` is one of
 * ``slow``    — sleep ``seconds`` (default 0.2) before running the cell
   (exercises per-cell wall-clock timeouts).
 
+Service-layer kinds (injected by :mod:`repro.service`, same hash-based
+process-independent decisions):
+
+* ``reject``  — the job server 503s a submission as if admission control
+  were saturated (exercises client retry/backoff on ``Retry-After``);
+* ``hang``    — the server sleeps ``seconds`` (default 1.0) before
+  answering a request (exercises client-side request timeouts);
+* ``disk-full``     — raise ``ENOSPC`` when writing a result-store entry
+  (exercises degrade-to-uncached operation);
+* ``store-corrupt`` — bit-flip and truncate a just-written result-store
+  entry (exercises digest verification + quarantine + re-simulation).
+
 ``rate`` in [0, 1] selects which contexts fault: the decision for a
 context is ``sha256(seed|kind|context) < rate`` — deterministic, order-
 and process-independent, so the same cells fault in serial and parallel
@@ -58,7 +70,15 @@ FAULTS_ENV = "REPRO_FAULTS"
 #: exit code used by injected worker kills (distinctive in ps/CI logs)
 KILL_EXIT_CODE = 86
 
-KINDS = ("cell", "io", "corrupt", "kill", "slow")
+KINDS = (
+    "cell", "io", "corrupt", "kill", "slow",
+    # service-layer kinds (repro.service)
+    "reject", "hang", "disk-full", "store-corrupt",
+)
+
+#: kinds that take a ``:seconds`` duration suffix, with the FaultPlan
+#: attribute holding it
+_TIMED = {"slow": "slow_s", "hang": "hang_s"}
 
 #: kinds decided per (context, attempt) — the attempt number travels with
 #: the dispatched cell, so a respawned worker sees the same decision
@@ -82,7 +102,7 @@ def in_worker_process() -> bool:
 class FaultPlan:
     """A parsed, seeded fault schedule (see module docstring for grammar)."""
 
-    __slots__ = ("seed", "rates", "attempts", "slow_s", "_fired")
+    __slots__ = ("seed", "rates", "attempts", "slow_s", "hang_s", "_fired")
 
     def __init__(
         self,
@@ -90,11 +110,13 @@ class FaultPlan:
         rates: Optional[Dict[str, float]] = None,
         attempts: Optional[Dict[str, int]] = None,
         slow_s: float = 0.2,
+        hang_s: float = 1.0,
     ) -> None:
         self.seed = int(seed)
         self.rates = {k: float(v) for k, v in (rates or {}).items()}
         self.attempts = {k: int(v) for k, v in (attempts or {}).items()}
         self.slow_s = float(slow_s)
+        self.hang_s = float(hang_s)
         for kind, rate in self.rates.items():
             if kind not in KINDS:
                 raise ConfigurationError(
@@ -107,6 +129,8 @@ class FaultPlan:
                 raise ConfigurationError(f"fault attempts for {kind!r} must be >= 1")
         if self.slow_s <= 0:
             raise ConfigurationError("slow fault duration must be positive")
+        if self.hang_s <= 0:
+            raise ConfigurationError("hang fault duration must be positive")
         # per-process fire tally for the trace-layer kinds (io/corrupt),
         # which have no attempt number travelling with them
         self._fired: Dict[Tuple[str, str], int] = {}
@@ -118,7 +142,7 @@ class FaultPlan:
         seed = 0
         rates: Dict[str, float] = {}
         attempts: Dict[str, int] = {}
-        slow_s = 0.2
+        timed = {"slow_s": 0.2, "hang_s": 1.0}
         for raw in text.replace(",", ";").split(";"):
             entry = raw.strip()
             if not entry:
@@ -134,11 +158,12 @@ class FaultPlan:
                     continue
                 if ":" in value:
                     value, secs = value.split(":", 1)
-                    if key != "slow":
+                    if key not in _TIMED:
                         raise ConfigurationError(
-                            f"only 'slow' takes a :seconds suffix, not {key!r}"
+                            f"only {'/'.join(sorted(_TIMED))} take a "
+                            f":seconds suffix, not {key!r}"
                         )
-                    slow_s = float(secs)
+                    timed[_TIMED[key]] = float(secs)
                 if "@" in value:
                     value, n = value.split("@", 1)
                     attempts[key] = int(n)
@@ -147,7 +172,7 @@ class FaultPlan:
                 raise ConfigurationError(
                     f"bad fault entry {entry!r}: {exc}"
                 ) from exc
-        return cls(seed=seed, rates=rates, attempts=attempts, slow_s=slow_s)
+        return cls(seed=seed, rates=rates, attempts=attempts, **timed)
 
     def spec(self) -> str:
         """A canonical spec string that re-parses to this plan."""
@@ -155,8 +180,8 @@ class FaultPlan:
         for kind in KINDS:
             if kind in self.rates:
                 entry = f"{kind}={self.rates[kind]:g}@{self.attempts.get(kind, 1)}"
-                if kind == "slow":
-                    entry += f":{self.slow_s:g}"
+                if kind in _TIMED:
+                    entry += f":{getattr(self, _TIMED[kind]):g}"
                 parts.append(entry)
         return ";".join(parts)
 
@@ -212,9 +237,39 @@ class FaultPlan:
         if self.should("io", context):
             raise OSError(f"injected transient I/O fault ({context})")
 
+    # ---- service-layer injection sites -----------------------------------
+
+    def should_reject(self, context: str) -> bool:
+        """Admission-control rejection: 503 this submission on purpose."""
+        return self.should("reject", context)
+
+    def hang_delay(self, context: str) -> Optional[float]:
+        """Seconds the server should stall this request, or ``None``.
+
+        The sleep itself happens in the (async) caller — this module
+        stays event-loop-free.
+        """
+        return self.hang_s if self.should("hang", context) else None
+
+    def maybe_disk_full(self, context: str) -> None:
+        """Raise ``ENOSPC`` as if the result store's disk just filled."""
+        if self.should("disk-full", context):
+            import errno
+
+            raise OSError(
+                errno.ENOSPC, f"injected disk-full fault ({context})"
+            )
+
+    def maybe_corrupt_store(self, path: object, context: str) -> bool:
+        """Mangle a just-written result-store entry; True when it fired."""
+        return self._corrupt("store-corrupt", path, context)
+
     def maybe_corrupt_file(self, path: object, context: str) -> bool:
         """Bit-flip and truncate ``path`` in place; True when it fired."""
-        if not self.should("corrupt", context):
+        return self._corrupt("corrupt", path, context)
+
+    def _corrupt(self, kind: str, path: object, context: str) -> bool:
+        if not self.should(kind, context):
             return False
         try:
             with open(path, "r+b") as fh:

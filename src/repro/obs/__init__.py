@@ -46,6 +46,7 @@ catalog, the profiler key layout, and the manifest format.
 from .events import (
     CHECK_EVENT_KINDS,
     EVENT_KINDS,
+    SERVICE_EVENT_KINDS,
     SWEEP_EVENT_KINDS,
     EventTracer,
     TraceEvent,
@@ -86,6 +87,7 @@ from .timeline import (
 __all__ = [
     "CHECK_EVENT_KINDS",
     "EVENT_KINDS",
+    "SERVICE_EVENT_KINDS",
     "SWEEP_EVENT_KINDS",
     "EventTracer",
     "TraceEvent",

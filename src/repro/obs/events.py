@@ -101,6 +101,32 @@ SWEEP_EVENT_KINDS = {
     "result_quarantined": "a corrupt result-store entry was quarantined; the "
     "cell re-simulated",
     "result_store_skipped": "result-store writes failed; cells ran uncached",
+    "result_store_evicted": "LRU eviction removed entries to honour "
+    "$REPRO_STORE_MAX_BYTES",
+    "result_quarantine_failed": "a corrupt entry could not be moved aside "
+    "or removed; reads keep re-simulating around it",
+    "store_degraded": "result-store writes started failing (disk full or "
+    "read-only root); serving uncached until they recover",
+    "store_recovered": "result-store writes succeeded again after a "
+    "degraded spell",
+}
+
+
+#: job-lifecycle events emitted by the sweep service's JobManager (same
+#: sweep-level conventions as SWEEP_EVENT_KINDS; ``detail`` is
+#: ``<job_id>: <state>``)
+SERVICE_EVENT_KINDS = {
+    "job_submitted": "a sweep spec was validated, persisted, and queued",
+    "job_started": "a job worker began executing the sweep",
+    "job_completed": "the sweep finished; result.json and manifest written",
+    "job_failed": "the sweep raised; the error is recorded on the job",
+    "job_resumed": "an unfinished job from a previous server was re-enqueued",
+    "job_cancelled": "a job was cancelled (POST /jobs/<id>/cancel)",
+    "job_draining": "graceful shutdown began while this job was running",
+    "job_drained": "a running job was parked back to queued at a cell "
+    "boundary during drain; a restarted server resumes it",
+    "job_expired": "TTL garbage collection reaped a terminal job",
+    "service_rejected": "admission control load-shed a submission (503)",
 }
 
 

@@ -169,6 +169,7 @@ class SweepProgress:
             "refs_per_sec": round(self.refs_per_sec, 1),
             "eta_seconds": round(eta, 3) if eta is not None else None,
             "recovery_counts": dict(self.recovery_counts),
+            "recovery_last": dict(self.recovery_last) if self.recovery_last else None,
         }
 
     def render(self, jobs: int = 1) -> str:

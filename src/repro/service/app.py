@@ -10,37 +10,60 @@ sweep.
 
 Endpoints (full reference with examples in ``docs/SERVICE.md``):
 
-====================  ======================================================
-``GET /healthz``      liveness: ``{"ok": true}``
-``GET /stats``        server + result-store aggregate statistics
-``POST /jobs``        submit a sweep spec; ``202`` with the queued job
-``GET /jobs``         recent jobs, newest first (``?limit=N``)
-``GET /jobs/<id>``    one job's state plus a live progress snapshot
-``GET /jobs/<id>/result``  per-cell counters/digests of a finished job
-``GET /jobs/<id>/top``     the ``repro top`` board (text; ``?format=json``)
-``GET /top``          aggregate board over every known job
-====================  ======================================================
+==========================  ================================================
+``GET /healthz``            health: ``{"ok": ..., "status": "ok" |
+                            "degraded" | "draining"}``
+``GET /stats``              server + result-store aggregate statistics
+``POST /jobs``              submit a sweep spec; ``202`` with the queued
+                            job, or ``503`` + ``Retry-After`` when
+                            admission control sheds it
+``GET /jobs``               recent jobs, newest first (``?limit=N``)
+``GET /jobs/<id>``          one job's state plus a live progress snapshot
+``POST /jobs/<id>/cancel``  cancel a queued/running job (idempotent)
+``GET /jobs/<id>/result``   per-cell counters/digests of a finished job
+``GET /jobs/<id>/top``      the ``repro top`` board (text; ``?format=json``)
+``GET /top``                aggregate board over every known job
+==========================  ================================================
 
 Errors are JSON too: ``{"error": "..."}`` with 400 (bad spec or body),
-404 (unknown path or job), 405 (wrong method), 413 (oversized body).
+404 (unknown path or job), 405 (wrong method), 408 (request took longer
+than ``$REPRO_REQUEST_TIMEOUT`` to arrive), 413 (oversized body), 503
+(saturated or draining; carries a ``Retry-After`` header).
+
+Resilience behaviours live at this layer too: slow-client read timeouts
+(a stalled ``POST`` cannot pin the event loop's welcome mat), and the
+deterministic ``reject``/``hang`` fault kinds from :mod:`repro.faults`,
+which stress a client's retry/backoff and timeout handling without any
+real saturation.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import math
 import signal
 import sys
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
-from ..errors import JobSpecError
-from .jobs import Job, JobManager
+from ..errors import JobSpecError, ServiceUnavailableError
+from ..faults import active_plan
+from .jobs import Job, JobManager, _env_float
 
 #: request bodies larger than this are rejected with 413 (a sweep spec is
 #: a few hundred bytes; anything bigger is a mistake or an attack)
 MAX_BODY_BYTES = 64 * 1024
 MAX_HEADER_BYTES = 16 * 1024
+
+#: seconds a client gets to deliver its full request (env-overridable);
+#: slow/stalled clients are answered 408 and disconnected
+REQUEST_TIMEOUT_ENV = "REPRO_REQUEST_TIMEOUT"
+DEFAULT_REQUEST_TIMEOUT = 10.0
+
+#: seconds between terminal-job TTL garbage-collection sweeps
+GC_INTERVAL_ENV = "REPRO_GC_INTERVAL"
+DEFAULT_GC_INTERVAL = 30.0
 
 _STATUS_TEXT = {
     200: "OK",
@@ -48,8 +71,10 @@ _STATUS_TEXT = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    408: "Request Timeout",
     413: "Payload Too Large",
     500: "Internal Server Error",
+    503: "Service Unavailable",
 }
 
 
@@ -69,8 +94,14 @@ def _job_payload(job: Job) -> Dict[str, object]:
 class ServiceApp:
     """Routes HTTP requests onto one :class:`JobManager`."""
 
-    def __init__(self, manager: JobManager) -> None:
+    def __init__(
+        self, manager: JobManager, request_timeout: Optional[float] = None
+    ) -> None:
         self.manager = manager
+        self.request_timeout = (
+            request_timeout if request_timeout is not None
+            else _env_float(REQUEST_TIMEOUT_ENV, DEFAULT_REQUEST_TIMEOUT)
+        )
 
     # ---- request plumbing ------------------------------------------------
 
@@ -79,14 +110,38 @@ class ServiceApp:
     ) -> None:
         try:
             try:
-                method, target, body = await self._read_request(reader)
+                read = self._read_request(reader)
+                if self.request_timeout and self.request_timeout > 0:
+                    method, target, body = await asyncio.wait_for(
+                        read, timeout=self.request_timeout
+                    )
+                else:
+                    method, target, body = await read
+            except asyncio.TimeoutError:
+                await self._send(
+                    writer, 408,
+                    {"error": "request not received in time (slow client?)"},
+                )
+                return
             except HttpError as exc:
                 await self._send(writer, exc.status, {"error": exc.message})
                 return
             except (asyncio.IncompleteReadError, ConnectionError, ValueError):
                 return  # client hung up or spoke garbage; nothing to answer
+            await self._maybe_hang(method, target, body)
+            headers: Optional[Dict[str, str]] = None
             try:
+                self._maybe_reject(method, target, body)
                 status, payload, text = self._route(method, target, body)
+            except ServiceUnavailableError as exc:
+                status, text = 503, None
+                payload = {
+                    "error": exc.reason,
+                    "retry_after_s": exc.retry_after_s,
+                }
+                headers = {
+                    "Retry-After": str(max(1, math.ceil(exc.retry_after_s)))
+                }
             except HttpError as exc:
                 status, payload, text = exc.status, {"error": exc.message}, None
             except JobSpecError as exc:
@@ -95,13 +150,47 @@ class ServiceApp:
                 status = 500
                 payload = {"error": f"{type(exc).__name__}: {exc}"}
                 text = None
-            await self._send(writer, status, payload, text=text)
+            await self._send(writer, status, payload, text=text,
+                             extra_headers=headers)
         finally:
             try:
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    # ---- deterministic service-layer fault injection ---------------------
+
+    @staticmethod
+    def _fault_context(method: str, target: str, body: Optional[object]) -> str:
+        """A canonical, process-independent context for one request."""
+        spec = json.dumps(body, sort_keys=True) if body is not None else ""
+        return f"{method} {target}|{spec}"
+
+    async def _maybe_hang(
+        self, method: str, target: str, body: Optional[object]
+    ) -> None:
+        plan = active_plan()
+        if plan is None:
+            return
+        delay = plan.hang_delay(self._fault_context(method, target, body))
+        if delay:
+            await asyncio.sleep(delay)
+
+    def _maybe_reject(
+        self, method: str, target: str, body: Optional[object]
+    ) -> None:
+        """An injected 503, indistinguishable from real saturation."""
+        if method != "POST":
+            return
+        plan = active_plan()
+        if plan is None:
+            return
+        if plan.should_reject(self._fault_context(method, target, body)):
+            raise ServiceUnavailableError(
+                "injected admission-control rejection",
+                retry_after_s=self.manager.retry_after_s,
+            )
 
     async def _read_request(
         self, reader: asyncio.StreamReader
@@ -148,6 +237,7 @@ class ServiceApp:
         status: int,
         payload: Dict[str, object],
         text: Optional[str] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         if text is not None:
             data = text.encode("utf-8")
@@ -156,14 +246,28 @@ class ServiceApp:
             data = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
             ctype = "application/json"
         reason = _STATUS_TEXT.get(status, "Unknown")
+        extra = "".join(
+            f"{name}: {value}\r\n"
+            for name, value in (extra_headers or {}).items()
+        )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {ctype}\r\n"
             f"Content-Length: {len(data)}\r\n"
+            f"{extra}"
             f"Connection: close\r\n\r\n"
         ).encode("ascii")
         writer.write(head + data)
-        await writer.drain()
+        # a write timeout so a stalled reader cannot wedge the handler;
+        # the kernel buffers our small responses, so this rarely fires
+        drain = writer.drain()
+        if self.request_timeout and self.request_timeout > 0:
+            try:
+                await asyncio.wait_for(drain, timeout=self.request_timeout)
+            except asyncio.TimeoutError:
+                writer.close()  # abandon the stalled client
+        else:
+            await drain
 
     # ---- routing ---------------------------------------------------------
 
@@ -177,7 +281,8 @@ class ServiceApp:
 
         if path == "/healthz":
             self._require(method, "GET")
-            return 200, {"ok": True}, None
+            health = self.manager.health()
+            return 200, {"ok": health == "ok", "status": health}, None
         if path == "/stats":
             self._require(method, "GET")
             return 200, self.manager.stats(), None
@@ -203,6 +308,12 @@ class ServiceApp:
                 if progress is not None:
                     payload["progress"] = progress.snapshot(jobs=job.spec.jobs)
                 return 200, payload, None
+            if len(parts) == 3 and parts[2] == "cancel":
+                self._require(method, "POST")
+                cancelled = self.manager.cancel(job.id)
+                if cancelled is None:  # raced with TTL garbage collection
+                    raise HttpError(404, f"no such job: {parts[1]}")
+                return 200, _job_payload(cancelled), None
             if len(parts) == 3 and parts[2] == "result":
                 self._require(method, "GET")
                 if job.state != "done":
@@ -271,9 +382,22 @@ class ServiceApp:
         if raw is None:
             return default
         try:
-            return max(1, int(raw))
+            value = int(raw)
         except ValueError:
             raise HttpError(400, f"query parameter {name} must be an integer")
+        if value < 0:
+            raise HttpError(400, f"query parameter {name} must be >= 0")
+        return value
+
+
+async def _gc_loop(manager: JobManager, interval_s: float) -> None:
+    """Periodic TTL reaping of terminal jobs (a no-op without a TTL)."""
+    while True:
+        await asyncio.sleep(interval_s)
+        try:
+            manager.gc_terminal_jobs()
+        except Exception:  # noqa: BLE001 - GC must never kill the server
+            pass
 
 
 async def serve(
@@ -282,6 +406,7 @@ async def serve(
     port: int = 8752,
     ready_event: Optional[asyncio.Event] = None,
     out=None,
+    drain_timeout: Optional[float] = None,
 ) -> None:
     """Run the service until cancelled (or SIGINT/SIGTERM).
 
@@ -289,6 +414,14 @@ async def serve(
     once the socket is bound — ``scripts/load_test.py --spawn`` and the
     CI service job both key off it.  ``port=0`` binds an ephemeral port
     (the printed line reports the real one).
+
+    The first SIGINT/SIGTERM starts a **graceful drain**: submissions are
+    503'd, status endpoints keep answering (``/healthz`` reports
+    ``draining``), queued jobs keep their persisted queue order, and
+    running jobs get :func:`JobManager.drain`'s timeout to finish before
+    being parked back to ``queued`` at a cell boundary.  A second signal
+    abandons the wait and exits immediately — the journal makes even
+    that safe.
     """
     stream = out if out is not None else sys.stdout
     app = ServiceApp(manager)
@@ -303,16 +436,56 @@ async def serve(
     if ready_event is not None:
         ready_event.set()
     stop = asyncio.Event()
+    force = asyncio.Event()
+
+    def _on_signal() -> None:
+        if stop.is_set():
+            force.set()
+        else:
+            stop.set()
+
     loop = asyncio.get_running_loop()
     for sig in (signal.SIGINT, signal.SIGTERM):
         try:
-            loop.add_signal_handler(sig, stop.set)
+            loop.add_signal_handler(sig, _on_signal)
         except (NotImplementedError, RuntimeError):
             pass  # non-main thread or platform without signal support
+    gc_interval = _env_float(GC_INTERVAL_ENV, DEFAULT_GC_INTERVAL)
+    gc_task = asyncio.ensure_future(
+        _gc_loop(manager, gc_interval or DEFAULT_GC_INTERVAL)
+    )
     try:
         async with server:
             await stop.wait()
+            manager.begin_drain()
+            stream.write("draining: refusing new jobs, waiting for "
+                         "running sweeps to checkpoint\n")
+            stream.flush()
+            drain_call = loop.run_in_executor(
+                None, lambda: manager.drain(timeout=drain_timeout)
+            )
+            force_wait = asyncio.ensure_future(force.wait())
+            done, _pending = await asyncio.wait(
+                {drain_call, force_wait},
+                return_when=asyncio.FIRST_COMPLETED,
+            )
+            force_wait.cancel()
+            if drain_call in done:
+                summary = drain_call.result()
+                stream.write(
+                    "drained: {queued} job(s) left queued, {aborted} "
+                    "parked at a cell boundary\n".format(**summary)
+                )
+                stream.flush()
+            else:
+                # second signal: abort every running sweep at its next
+                # cell boundary so the pending drain unblocks fast
+                manager.abort_running()
+                stream.write("drain interrupted: exiting immediately "
+                             "(journals preserve all completed cells)\n")
+                stream.flush()
     finally:
+        gc_task.cancel()
         manager.close(wait=False)
 
 
@@ -321,10 +494,21 @@ def run_service(
     host: str = "127.0.0.1",
     port: int = 8752,
     job_workers: int = 2,
+    max_queued_jobs: Optional[int] = None,
+    max_inflight_cells: Optional[int] = None,
+    job_ttl_s: Optional[float] = None,
+    drain_timeout: Optional[float] = None,
 ) -> None:
     """Blocking entry point used by ``repro serve``."""
-    manager = JobManager(data_dir=data_dir, job_workers=job_workers)
+    manager = JobManager(
+        data_dir=data_dir,
+        job_workers=job_workers,
+        max_queued_jobs=max_queued_jobs,
+        max_inflight_cells=max_inflight_cells,
+        job_ttl_s=job_ttl_s,
+    )
     try:
-        asyncio.run(serve(manager, host=host, port=port))
+        asyncio.run(serve(manager, host=host, port=port,
+                          drain_timeout=drain_timeout))
     except KeyboardInterrupt:
         pass

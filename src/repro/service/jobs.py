@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
 import tempfile
 import threading
 import time
@@ -40,7 +41,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
-from ..errors import JobSpecError, ReproError
+from ..errors import (
+    JobCancelledError,
+    JobSpecError,
+    ReproError,
+    ServiceUnavailableError,
+)
 from ..obs.manifest import build_manifest, counters_digest, write_manifest
 from ..obs.monitor import SweepProgress
 from ..sim.parallel import RecoveryLog, cache_summary, run_parallel_sweep
@@ -52,7 +58,36 @@ from .store import ResultStore
 MAX_CELLS_PER_JOB = 512
 MAX_REFS_PER_CELL = 10_000_000
 
-JOB_STATES = ("queued", "running", "done", "failed")
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+#: states a job never leaves (and TTL garbage collection may reap)
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+#: admission-control defaults (env-overridable; 0 disables the bound)
+MAX_QUEUED_JOBS_ENV = "REPRO_MAX_QUEUED_JOBS"
+MAX_INFLIGHT_CELLS_ENV = "REPRO_MAX_INFLIGHT_CELLS"
+JOB_TTL_ENV = "REPRO_JOB_TTL"
+DEFAULT_MAX_QUEUED_JOBS = 64
+DEFAULT_MAX_INFLIGHT_CELLS = 4096
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        return default
+
+
+def _env_float(name: str, default: Optional[float]) -> Optional[float]:
+    raw = os.environ.get(name)
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        return default
 
 
 @dataclass(frozen=True)
@@ -147,6 +182,11 @@ class JobSpec:
             raise JobSpecError(str(exc)) from exc
         return spec
 
+    @property
+    def n_cells(self) -> int:
+        """Matrix size — the unit admission control budgets in."""
+        return len(self.systems) * len(self.benchmarks)
+
     def resolve_configs(self) -> "OrderedDict[str, object]":
         return resolve_sweep_configs(list(self.systems))
 
@@ -224,6 +264,10 @@ class JobManager:
         job_workers: int = 2,
         store: Optional[ResultStore] = None,
         tracer=None,
+        max_queued_jobs: Optional[int] = None,
+        max_inflight_cells: Optional[int] = None,
+        job_ttl_s: Optional[float] = None,
+        retry_after_s: float = 2.0,
     ) -> None:
         from .store import service_data_dir
 
@@ -236,6 +280,29 @@ class JobManager:
         self._lock = threading.Lock()
         self._executor: Optional[ThreadPoolExecutor] = None
         self._job_workers = max(1, int(job_workers))
+        # admission control: 0 disables a bound; env fills in None
+        self.max_queued_jobs = (
+            max_queued_jobs if max_queued_jobs is not None
+            else _env_int(MAX_QUEUED_JOBS_ENV, DEFAULT_MAX_QUEUED_JOBS)
+        )
+        self.max_inflight_cells = (
+            max_inflight_cells if max_inflight_cells is not None
+            else _env_int(MAX_INFLIGHT_CELLS_ENV, DEFAULT_MAX_INFLIGHT_CELLS)
+        )
+        #: seconds a terminal job (and its directory) outlives completion;
+        #: ``None``/0 keeps them forever
+        self.job_ttl_s = (
+            job_ttl_s if job_ttl_s is not None
+            else _env_float(JOB_TTL_ENV, None)
+        )
+        self.retry_after_s = float(retry_after_s)
+        self.rejected = 0  #: submissions refused by admission control
+        self.expired = 0  #: terminal jobs reaped by TTL garbage collection
+        self._draining = threading.Event()
+        #: per-job abort signals consulted between sweep cells
+        self._aborts: Dict[str, threading.Event] = {}
+        #: jobs whose abort came from an explicit cancel (vs a drain)
+        self._cancel_requested: set = set()
 
     # ---- lifecycle -------------------------------------------------------
 
@@ -267,6 +334,98 @@ class JobManager:
             self._executor.shutdown(wait=wait)
             self._executor = None
 
+    # ---- graceful drain --------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def begin_drain(self) -> None:
+        """Stop admitting work; running jobs keep checkpointing."""
+        if not self._draining.is_set():
+            self._draining.set()
+            for job in self.list_jobs():
+                if job.state == "running":
+                    self._emit("job_draining", job)
+
+    def drain(self, timeout: Optional[float] = None) -> Dict[str, object]:
+        """Blocking graceful shutdown; returns a summary of what happened.
+
+        Steps: stop admitting (`503` from now on), cancel *queued* jobs'
+        executor futures — they stay ``queued`` on disk, which IS the
+        persisted queue order (:meth:`start` re-enqueues them in
+        ``created_unix`` order) — then give running jobs ``timeout``
+        seconds to finish naturally.  Jobs still running after that are
+        aborted at their next cell boundary (every completed cell is
+        already in the journal) and parked back to ``queued``, so a
+        restarted server resumes them bit-identically.
+        """
+        self.begin_drain()
+        if timeout is None:
+            timeout = _env_float("REPRO_DRAIN_TIMEOUT", 30.0) or 30.0
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            # cancel pending futures: queued jobs are not started, their
+            # job.json rows survive, and the next start() resumes them
+            executor.shutdown(wait=False, cancel_futures=True)
+        deadline = time.time() + max(0.0, timeout)
+        while time.time() < deadline and self._count_state("running"):
+            time.sleep(0.02)
+        aborted = []
+        with self._lock:
+            for job_id, event in self._aborts.items():
+                job = self._jobs.get(job_id)
+                if job is not None and job.state == "running":
+                    aborted.append(job_id)
+                    event.set()
+        if executor is not None:
+            # join worker threads: aborted jobs park at the next cell
+            # boundary, so this wait is bounded by one cell's runtime
+            executor.shutdown(wait=True)
+        summary = {
+            "queued": self._count_state("queued"),
+            "finished": self._count_state("done") + self._count_state("failed"),
+            "aborted": len(aborted),
+        }
+        return summary
+
+    def abort_running(self) -> int:
+        """Set every job's abort signal (forced exit); returns the count.
+
+        Running sweeps park at their next cell boundary; the journal
+        already holds every completed cell, so nothing is lost.
+        """
+        with self._lock:
+            events = list(self._aborts.values())
+        for event in events:
+            event.set()
+        return len(events)
+
+    def _count_state(self, state: str) -> int:
+        with self._lock:
+            return sum(1 for j in self._jobs.values() if j.state == state)
+
+    # ---- admission accounting --------------------------------------------
+
+    def queued_jobs(self) -> int:
+        return self._count_state("queued")
+
+    def inflight_cells(self) -> int:
+        """Cells across every queued or running job — the load budget."""
+        with self._lock:
+            return sum(
+                j.spec.n_cells for j in self._jobs.values()
+                if j.state in ("queued", "running")
+            )
+
+    def health(self) -> str:
+        """``ok`` | ``degraded`` (store writes failing) | ``draining``."""
+        if self._draining.is_set():
+            return "draining"
+        if self.store.degraded:
+            return "degraded"
+        return "ok"
+
     def _load_persisted(self) -> List[Job]:
         jobs: List[Job] = []
         if not self.jobs_dir.is_dir():
@@ -297,29 +456,131 @@ class JobManager:
     # ---- submission ------------------------------------------------------
 
     def submit(self, raw_spec: object) -> Job:
-        """Validate and enqueue one sweep spec; returns the queued job.
+        """Validate, admit, and enqueue one sweep spec; returns the job.
 
         The job is persisted before this method returns, so a server
         crash between ``202 Accepted`` and execution loses nothing.
+        Raises :class:`~repro.errors.ServiceUnavailableError` when the
+        server is draining or admission control finds the queue or the
+        in-flight cell budget saturated — the submission is load-shed
+        (nothing enqueued, nothing persisted) and safely retryable.
         """
+        if self._draining.is_set():
+            raise ServiceUnavailableError(
+                "server is draining and not accepting new jobs",
+                retry_after_s=self.retry_after_s,
+            )
         if self._executor is None:
             raise ReproError("job manager is not started")
+        self.gc_terminal_jobs()
         spec = JobSpec.from_dict(raw_spec)
+        self._admit(spec)
         job = Job(id=uuid.uuid4().hex[:12], spec=spec)
         with self._lock:
             self._jobs[job.id] = job
+            self._aborts[job.id] = threading.Event()
         self._persist(job)
         self._emit("job_submitted", job)
         self._executor.submit(self._run, job.id)
         return job
 
+    def _admit(self, spec: JobSpec) -> None:
+        """Reject (503) rather than queue unbounded work."""
+        queued = self.queued_jobs()
+        if self.max_queued_jobs and queued >= self.max_queued_jobs:
+            self._note_rejection(
+                f"job queue full ({queued} queued >= "
+                f"{self.max_queued_jobs} limit)"
+            )
+        inflight = self.inflight_cells()
+        if (
+            self.max_inflight_cells
+            and inflight + spec.n_cells > self.max_inflight_cells
+        ):
+            self._note_rejection(
+                f"in-flight cell budget exhausted ({inflight} in flight "
+                f"+ {spec.n_cells} requested > {self.max_inflight_cells} limit)"
+            )
+
+    def _note_rejection(self, reason: str) -> None:
+        with self._lock:
+            self.rejected += 1
+        if self.tracer is not None:
+            self.tracer.emit("service_rejected", now=0, detail=reason)
+        raise ServiceUnavailableError(reason, retry_after_s=self.retry_after_s)
+
+    # ---- cancellation & garbage collection -------------------------------
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Request cancellation; returns the job or ``None`` if unknown.
+
+        Queued jobs flip straight to ``cancelled``.  Running jobs get
+        their abort event set and stop at the next cell boundary (the
+        state transition happens in the worker thread); terminal jobs
+        are returned unchanged, making cancellation idempotent.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                return None
+            if job.state in TERMINAL_STATES:
+                return job
+            self._cancel_requested.add(job_id)
+            self._aborts.setdefault(job_id, threading.Event()).set()
+            flipped = job.state == "queued"
+            if flipped:
+                job.state = "cancelled"
+                job.finished_unix = time.time()
+        if flipped:
+            self._persist(job)
+            self._emit("job_cancelled", job)
+        return job
+
+    def gc_terminal_jobs(self, now: Optional[float] = None) -> int:
+        """Reap terminal jobs older than ``job_ttl_s``; returns the count.
+
+        A no-op when no TTL is configured.  Reaped jobs disappear from
+        the index *and* from disk (their whole directory, journal and
+        result included) — the content-addressed result store is what
+        keeps their cells reusable.
+        """
+        ttl = self.job_ttl_s
+        if not ttl or ttl <= 0:
+            return 0
+        cutoff = (time.time() if now is None else now) - ttl
+        reaped: List[Job] = []
+        with self._lock:
+            for job_id, job in list(self._jobs.items()):
+                if (
+                    job.state in TERMINAL_STATES
+                    and job.finished_unix is not None
+                    and job.finished_unix <= cutoff
+                ):
+                    del self._jobs[job_id]
+                    reaped.append(job)
+            self.expired += len(reaped)
+        for job in reaped:
+            shutil.rmtree(self.job_dir(job.id), ignore_errors=True)
+            self._emit("job_expired", job)
+        return len(reaped)
+
     # ---- execution -------------------------------------------------------
 
     def _run(self, job_id: str) -> None:
-        job = self.get(job_id)
-        if job is None or job.state not in ("queued",):
-            return
-        job.state = "running"
+        try:
+            self._run_locked_job(job_id)
+        finally:
+            with self._lock:
+                self._aborts.pop(job_id, None)
+                self._cancel_requested.discard(job_id)
+
+    def _run_locked_job(self, job_id: str) -> None:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state != "queued":
+                return
+            job.state = "running"
+            abort = self._aborts.setdefault(job_id, threading.Event())
         job.started_unix = time.time()
         self._persist(job)
         self._emit("job_started", job)
@@ -337,7 +598,24 @@ class JobManager:
                 recovery=recovery,
                 engine=job.spec.engine,
                 result_store=self.store,
+                should_abort=abort.is_set,
             )
+        except JobCancelledError:
+            job.finished_unix = time.time()
+            if job_id in self._cancel_requested:
+                job.state = "cancelled"
+                self._persist(job)
+                self._emit("job_cancelled", job)
+            else:
+                # drain abort: park back to queued so a restarted server
+                # resumes from the journal (completed cells restore
+                # bit-identically, nothing is lost)
+                job.state = "queued"
+                job.started_unix = None
+                job.finished_unix = None
+                self._persist(job)
+                self._emit("job_drained", job)
+            return
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
             job.state = "failed"
             job.error = f"{type(exc).__name__}: {exc}"
@@ -414,7 +692,7 @@ class JobManager:
         with self._lock:
             jobs = list(self._jobs.values())
         jobs.reverse()  # newest first
-        return jobs[:limit] if limit else jobs
+        return jobs[:limit] if limit is not None else jobs
 
     def progress(self, job_id: str) -> Optional[SweepProgress]:
         """A read-only observation of the job's run directory."""
@@ -440,7 +718,20 @@ class JobManager:
             total = len(self._jobs)
         return {
             "uptime_s": round(time.time() - self.started_unix, 3),
+            "health": self.health(),
             "jobs": {"total": total, "by_state": by_state},
+            "admission": {
+                "queued": by_state.get("queued", 0),
+                "inflight_cells": self.inflight_cells(),
+                "max_queued_jobs": self.max_queued_jobs,
+                "max_inflight_cells": self.max_inflight_cells,
+                "rejected": self.rejected,
+            },
+            "lifecycle": {
+                "draining": self.draining,
+                "job_ttl_s": self.job_ttl_s,
+                "expired": self.expired,
+            },
             "store": dict(self.store.stats(), entries=self.store.entry_count()),
             "data_dir": str(self.data_dir),
         }

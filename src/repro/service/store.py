@@ -36,6 +36,7 @@ import time
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from ..faults import active_plan
 from ..params import SystemConfig
 from ..stats import Counters
 from ..trace.io import trace_cache_key
@@ -46,6 +47,20 @@ STORE_VERSION = 1
 
 #: environment variable: the service's data directory (store + job state)
 SERVICE_DIR_ENV = "REPRO_SERVICE_DIR"
+
+#: environment variable: size budget (bytes) for the store; 0/unset = unbounded
+STORE_MAX_BYTES_ENV = "REPRO_STORE_MAX_BYTES"
+
+
+def _env_max_bytes() -> Optional[int]:
+    raw = os.environ.get(STORE_MAX_BYTES_ENV)
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 def service_data_dir() -> Path:
@@ -112,13 +127,34 @@ class ResultStore:
     lock.  Process-safe: writes are atomic renames, reads verify digests.
     """
 
-    def __init__(self, root: Union[str, Path, None] = None) -> None:
+    #: stats() tally fields (all guarded by the lock)
+    _TALLY_FIELDS = (
+        "hits", "misses", "puts", "quarantined",
+        "evicted", "put_failures", "quarantine_failed",
+    )
+
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        max_bytes: Optional[int] = None,
+    ) -> None:
         self.root = Path(root) if root is not None else service_data_dir() / "store"
+        #: size budget for eviction; ``None`` = unbounded.  Explicit
+        #: argument wins over ``$REPRO_STORE_MAX_BYTES``.
+        self.max_bytes = max_bytes if max_bytes is not None else _env_max_bytes()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.puts = 0
         self.quarantined = 0
+        self.evicted = 0
+        self.put_failures = 0
+        self.quarantine_failed = 0
+        #: True after a failed write until the next successful one: the
+        #: store is running degraded (full disk, read-only root) and
+        #: every cell simulates uncached.  Surfaced in ``/healthz``.
+        self.degraded = False
+        self.degraded_reason: Optional[str] = None
 
     # ---- paths -----------------------------------------------------------
 
@@ -179,6 +215,11 @@ class ResultStore:
             self._note("misses")
             return None
         self._note("hits")
+        try:
+            # refresh recency so size-bounded eviction is LRU, not FIFO
+            os.utime(path, None)
+        except OSError:
+            pass  # read-only root: recency update is best-effort
         return SimulationResult(
             system=system or str(body.get("system", "")),
             benchmark=benchmark,
@@ -239,7 +280,10 @@ class ResultStore:
         }
         body["payload_sha"] = _payload_sha(body)
         path = self.path_for(key)
+        plan = active_plan()
         try:
+            if plan is not None:
+                plan.maybe_disk_full(f"store-put/{key}")
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(
                 prefix=key[:8] + ".", suffix=".tmp.json", dir=path.parent
@@ -255,10 +299,104 @@ class ResultStore:
                 except OSError:
                     pass
                 raise
-        except OSError:
+        except OSError as exc:
+            self._enter_degraded(exc)
             return None
+        if plan is not None and plan.maybe_corrupt_store(
+            path, f"store-entry/{key}"
+        ):
+            from ..trace.io import note_recovery
+
+            note_recovery("fault_injected", f"corrupted store entry {key[:12]}")
         self._note("puts")
+        self._leave_degraded()
+        self._maybe_evict(keep=path)
         return path
+
+    # ---- degradation (full disk, read-only root) -------------------------
+
+    def _enter_degraded(self, exc: BaseException) -> None:
+        from ..trace.io import note_recovery
+
+        self._note("put_failures")
+        with self._lock:
+            first = not self.degraded
+            self.degraded = True
+            self.degraded_reason = str(exc)
+        if first:
+            note_recovery("store_degraded", f"writes failing: {exc}")
+
+    def _leave_degraded(self) -> None:
+        from ..trace.io import note_recovery
+
+        with self._lock:
+            recovered = self.degraded
+            self.degraded = False
+            self.degraded_reason = None
+        if recovered:
+            note_recovery("store_recovered", "result-store writes succeeding again")
+
+    # ---- size-bounded LRU eviction ---------------------------------------
+
+    def size_bytes(self) -> int:
+        """Total bytes of live entries (quarantined files excluded)."""
+        total = 0
+        if not self.root.is_dir():
+            return 0
+        for entry in self.root.glob("*/*.json"):
+            try:
+                total += entry.stat().st_size
+            except OSError:
+                pass  # lost a race with an evicting/quarantining peer
+        return total
+
+    def _maybe_evict(self, keep: Optional[Path] = None) -> int:
+        """Evict least-recently-used entries until under ``max_bytes``.
+
+        Concurrent-writer-safe: eviction is plain ``unlink`` of whole
+        atomic entries, so a reader racing an eviction sees either a
+        valid entry or a miss, never torn bytes; two servers evicting
+        the same file tolerate each other's ``FileNotFoundError``.  The
+        just-written entry (``keep``) is never evicted — the budget must
+        not thrash the newest result.
+        """
+        from ..trace.io import note_recovery
+
+        if self.max_bytes is None or not self.root.is_dir():
+            return 0
+        entries = []
+        total = 0
+        for entry in self.root.glob("*/*.json"):
+            try:
+                st = entry.stat()
+            except OSError:
+                continue
+            total += st.st_size
+            entries.append((st.st_mtime, st.st_size, entry))
+        if total <= self.max_bytes:
+            return 0
+        entries.sort()  # oldest mtime (least recently touched) first
+        removed = 0
+        for _mtime, size, entry in entries:
+            if total <= self.max_bytes:
+                break
+            if keep is not None and entry == keep:
+                continue
+            try:
+                entry.unlink()
+            except OSError:
+                continue  # a peer evicted or quarantined it first
+            total -= size
+            removed += 1
+        if removed:
+            with self._lock:
+                self.evicted += removed
+            note_recovery(
+                "result_store_evicted",
+                f"{removed} LRU entr{'y' if removed == 1 else 'ies'} evicted "
+                f"to stay under {self.max_bytes} bytes",
+            )
+        return removed
 
     # ---- maintenance -----------------------------------------------------
 
@@ -270,10 +408,20 @@ class ResultStore:
             self._note("quarantined")
             note_recovery("result_quarantined", f"{path.name}: {exc}")
         except OSError:
+            # read-only root, or a directory squatting on the .corrupt
+            # name: fall back to deleting the bad entry; if even that
+            # fails the entry stays (and keeps reporting misses) — a
+            # broken store degrades to re-simulation, never to a crash
             try:
                 path.unlink()
+                self._note("quarantined")
+                note_recovery("result_quarantined", f"{path.name}: {exc}")
             except OSError:
-                pass
+                self._note("quarantine_failed")
+                note_recovery(
+                    "result_quarantine_failed",
+                    f"{path.name}: could not quarantine or delete",
+                )
 
     def _note(self, field: str) -> None:
         with self._lock:
@@ -299,12 +447,17 @@ class ResultStore:
                     pass
         return removed
 
-    def stats(self) -> Dict[str, int]:
-        """The in-process tally: hits, misses, puts, quarantined."""
+    def stats(self) -> Dict[str, object]:
+        """The in-process tally, plus the degradation flag.
+
+        ``hits``/``misses``/``puts``/``quarantined`` as before, joined by
+        ``evicted`` (LRU size-budget evictions), ``put_failures`` /
+        ``quarantine_failed`` (I/O degradations survived), and
+        ``degraded`` (True while writes are failing).
+        """
         with self._lock:
-            return {
-                "hits": self.hits,
-                "misses": self.misses,
-                "puts": self.puts,
-                "quarantined": self.quarantined,
+            out: Dict[str, object] = {
+                field: getattr(self, field) for field in self._TALLY_FIELDS
             }
+            out["degraded"] = self.degraded
+        return out

@@ -52,6 +52,7 @@ import time
 import traceback
 from collections import OrderedDict, deque
 from typing import (
+    Callable,
     Deque,
     Dict,
     Iterable,
@@ -69,6 +70,7 @@ from ..errors import (
     CellTimeoutError,
     CheckpointError,
     ConfigurationError,
+    JobCancelledError,
     RetryExhaustedError,
 )
 from ..params import SystemConfig
@@ -363,6 +365,7 @@ def _run_cells_serial(
     recovery: RecoveryLog,
     journal: Optional[SweepJournal],
     disk_cache: bool,
+    should_abort: Optional[Callable[[], bool]] = None,
 ) -> Dict[Tuple[str, str], SimulationResult]:
     out: Dict[Tuple[str, str], SimulationResult] = {}
     previous_hook = trace_io.set_recovery_hook(
@@ -370,6 +373,10 @@ def _run_cells_serial(
     )
     try:
         for cell in cells:
+            if should_abort is not None and should_abort():
+                raise JobCancelledError(
+                    f"sweep aborted before cell {cell.system}/{cell.benchmark}"
+                )
             result = _run_cell_resilient(cell, policy, recovery, disk_cache)
             out[(cell.system, cell.benchmark)] = result
             if journal is not None:
@@ -456,6 +463,7 @@ def _execute_cells(
     policy: SweepPolicy,
     recovery: RecoveryLog,
     journal: Optional[SweepJournal],
+    should_abort: Optional[Callable[[], bool]] = None,
 ) -> Dict[Tuple[str, str], SimulationResult]:
     """Fan ``cells`` over supervised workers with full fault handling."""
     import queue as queue_mod
@@ -472,7 +480,10 @@ def _execute_cells(
         # sandboxed interpreter / no working multiprocessing: run the whole
         # sweep serially rather than failing it
         recovery.note("pool_unavailable", detail=repr(exc))
-        return _run_cells_serial(cells, policy, recovery, journal, disk_cache=True)
+        return _run_cells_serial(
+            cells, policy, recovery, journal, disk_cache=True,
+            should_abort=should_abort,
+        )
 
     n = len(cells)
     results: Dict[int, SimulationResult] = {}
@@ -564,6 +575,12 @@ def _execute_cells(
 
     try:
         while len(results) < n and not fatal:
+            if should_abort is not None and should_abort():
+                # every journalled cell survives; the finally block below
+                # shuts the pool down, and the caller parks/cancels the job
+                raise JobCancelledError(
+                    f"sweep aborted with {len(results)}/{n} cell(s) complete"
+                )
             dispatch()
             if not workers:
                 # every worker slot died unrecoverably: finish serially
@@ -575,7 +592,8 @@ def _execute_cells(
                     {
                         _index_by_key(cells)[key]: res
                         for key, res in _run_cells_serial(
-                            remaining, policy, recovery, journal, disk_cache=True
+                            remaining, policy, recovery, journal, disk_cache=True,
+                            should_abort=should_abort,
                         ).items()
                     }
                 )
@@ -724,6 +742,7 @@ def run_parallel_sweep(
     recovery: Optional[RecoveryLog] = None,
     engine: Optional[str] = None,
     result_store=None,
+    should_abort: Optional[Callable[[], bool]] = None,
 ) -> Dict[Tuple[str, str], SimulationResult]:
     """Fan a sweep matrix over ``jobs`` worker processes, fault-tolerantly.
 
@@ -743,6 +762,13 @@ def run_parallel_sweep(
     recovery log (``cell_cache_hit``) so manifests and ``repro top`` can
     report hit rates; a store read that finds corruption quarantines the
     entry and the cell transparently re-simulates.
+
+    ``should_abort`` — an optional zero-argument callable polled between
+    cells (and each supervisor tick).  When it turns true the sweep
+    raises :class:`~repro.errors.JobCancelledError` at the next cell
+    boundary: every completed cell is already journalled, so a resumed
+    run restores them bit-identically.  This is how the job service
+    implements ``POST /jobs/<id>/cancel`` and graceful drain.
     """
     from .batch import resolve_engine
 
@@ -791,6 +817,11 @@ def run_parallel_sweep(
     cached_keys = set()
     todo = []
     for c in cells:
+        if should_abort is not None and should_abort():
+            if journal is not None:
+                journal.close()
+                recovery.close()
+            raise JobCancelledError("sweep aborted during result-store lookup")
         key = (c.system, c.benchmark)
         if key in done:
             continue
@@ -817,7 +848,8 @@ def run_parallel_sweep(
         if todo:
             if jobs <= 1 or len(todo) <= 1:
                 fresh = _run_cells_serial(
-                    todo, policy, recovery, journal, disk_cache=False
+                    todo, policy, recovery, journal, disk_cache=False,
+                    should_abort=should_abort,
                 )
             else:
                 # Pre-seed the disk cache so no worker regenerates a trace.
@@ -829,7 +861,10 @@ def run_parallel_sweep(
                                   disk_cache=True)
                     except OSError:
                         pass  # workers fall back to generating it themselves
-                fresh = _execute_cells(todo, jobs, policy, recovery, journal)
+                fresh = _execute_cells(
+                    todo, jobs, policy, recovery, journal,
+                    should_abort=should_abort,
+                )
             done.update(fresh)
     finally:
         trace_io.set_recovery_hook(previous_hook)
@@ -840,16 +875,24 @@ def run_parallel_sweep(
     if result_store is not None:
         # memoise everything this sweep actually produced (fresh cells and
         # journal-restored ones alike) for the next identical request; a
-        # failed write degrades to "not cached", never to a failed sweep
+        # failed write degrades to "not cached", never to a failed sweep.
+        # The recovery hook is re-attached so store degradation events
+        # (store_degraded / store_recovered / evictions) are logged too.
         stored = 0
-        for cell in cells:
-            key = (cell.system, cell.benchmark)
-            if key in cached_keys:
-                continue
-            if result_store.put(
-                done[key], cell.scale, refs=cell.refs, seed=cell.seed
-            ) is not None:
-                stored += 1
+        previous_hook = trace_io.set_recovery_hook(
+            lambda kind, detail: recovery.note(kind, detail=detail)
+        )
+        try:
+            for cell in cells:
+                key = (cell.system, cell.benchmark)
+                if key in cached_keys:
+                    continue
+                if result_store.put(
+                    done[key], cell.scale, refs=cell.refs, seed=cell.seed
+                ) is not None:
+                    stored += 1
+        finally:
+            trace_io.set_recovery_hook(previous_hook)
         if stored < len(cells) - len(cached_keys):
             recovery.note(
                 "result_store_skipped",

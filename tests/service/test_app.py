@@ -30,8 +30,9 @@ def _isolated(monkeypatch, tmp_path):
 class LiveServer:
     """`repro serve` on an ephemeral port, on a background thread."""
 
-    def __init__(self, data_dir) -> None:
-        self.manager = JobManager(data_dir=data_dir, job_workers=2)
+    def __init__(self, data_dir, **manager_kwargs) -> None:
+        manager_kwargs.setdefault("job_workers", 2)
+        self.manager = JobManager(data_dir=data_dir, **manager_kwargs)
         self.port = None
         self._loop = None
         self._thread = None
@@ -87,6 +88,11 @@ class LiveServer:
     # -- client (sync wrapper around one-shot asyncio connections) --------
 
     def request(self, method, path, body=None, raw_body=None):
+        status, payload, _headers = asyncio.run(
+            self._request(method, path, body, raw_body))
+        return status, payload
+
+    def request_with_headers(self, method, path, body=None, raw_body=None):
         return asyncio.run(self._request(method, path, body, raw_body))
 
     async def _request(self, method, path, body, raw_body):
@@ -106,12 +112,14 @@ class LiveServer:
         header_blob, _, body_blob = raw.partition(b"\r\n\r\n")
         status = int(header_blob.split(b" ", 2)[1])
         ctype = ""
-        for line in header_blob.decode().splitlines():
-            if line.lower().startswith("content-type:"):
-                ctype = line.split(":", 1)[1].strip()
+        headers = {}
+        for line in header_blob.decode().splitlines()[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        ctype = headers.get("content-type", "")
         if ctype.startswith("application/json"):
-            return status, json.loads(body_blob)
-        return status, body_blob.decode()
+            return status, json.loads(body_blob), headers
+        return status, body_blob.decode(), headers
 
     def wait_done(self, job_id, timeout=60.0):
         deadline = time.time() + timeout
@@ -131,7 +139,9 @@ def server(tmp_path):
 
 class TestEndpoints:
     def test_healthz(self, server):
-        assert server.request("GET", "/healthz") == (200, {"ok": True})
+        assert server.request("GET", "/healthz") == (
+            200, {"ok": True, "status": "ok"}
+        )
 
     def test_submit_poll_result(self, server):
         status, job = server.request("POST", "/jobs", SPEC)
@@ -232,6 +242,128 @@ class TestErrorPaths:
         assert server.request("GET", "/jobs?limit=soon")[0] == 400
 
 
+class _StalledExecutor:
+    """Swallows submissions so jobs stay deterministically queued."""
+
+    def submit(self, fn, *args):  # noqa: ARG002 - signature match
+        return None
+
+    def shutdown(self, wait=True, cancel_futures=False):  # noqa: ARG002
+        return None
+
+
+def _stall(server: LiveServer) -> None:
+    server.manager._executor.shutdown(wait=True)
+    server.manager._executor = _StalledExecutor()
+
+
+class TestListLimit:
+    def test_limit_zero_returns_empty_list(self, server):
+        _, job = server.request("POST", "/jobs", SPEC)
+        server.wait_done(job["id"])
+        status, listing = server.request("GET", "/jobs?limit=0")
+        assert status == 200
+        assert listing["jobs"] == []
+
+    def test_negative_limit_400(self, server):
+        status, body = server.request("GET", "/jobs?limit=-1")
+        assert status == 400 and "limit" in body["error"]
+
+
+class TestCancelEndpoint:
+    def test_cancel_queued_job(self, server):
+        _stall(server)
+        _, job = server.request("POST", "/jobs", SPEC)
+        status, cancelled = server.request(
+            "POST", f"/jobs/{job['id']}/cancel")
+        assert status == 200 and cancelled["state"] == "cancelled"
+        status, again = server.request("GET", f"/jobs/{job['id']}")
+        assert status == 200 and again["state"] == "cancelled"
+
+    def test_cancel_is_idempotent(self, server):
+        _stall(server)
+        _, job = server.request("POST", "/jobs", SPEC)
+        server.request("POST", f"/jobs/{job['id']}/cancel")
+        status, body = server.request("POST", f"/jobs/{job['id']}/cancel")
+        assert status == 200 and body["state"] == "cancelled"
+
+    def test_cancel_done_job_left_done(self, server):
+        _, job = server.request("POST", "/jobs", SPEC)
+        server.wait_done(job["id"])
+        status, body = server.request("POST", f"/jobs/{job['id']}/cancel")
+        assert status == 200 and body["state"] == "done"
+
+    def test_cancel_unknown_404(self, server):
+        assert server.request("POST", "/jobs/nope/cancel")[0] == 404
+
+    def test_cancel_wrong_method_405(self, server):
+        _stall(server)
+        _, job = server.request("POST", "/jobs", SPEC)
+        assert server.request("GET", f"/jobs/{job['id']}/cancel")[0] == 405
+
+
+class TestOverload:
+    def test_queue_full_503_with_retry_after(self, tmp_path):
+        with LiveServer(tmp_path / "svc", max_queued_jobs=1,
+                        max_inflight_cells=0) as server:
+            _stall(server)
+            status, _ = server.request("POST", "/jobs", SPEC)
+            assert status == 202
+            status, body, headers = server.request_with_headers(
+                "POST", "/jobs", SPEC)
+            assert status == 503
+            assert "queue full" in body["error"]
+            assert int(headers["retry-after"]) >= 1
+            # shedding is visible in /stats, and reads still work
+            status, stats = server.request("GET", "/stats")
+            assert status == 200
+            assert stats["admission"]["rejected"] == 1
+
+    def test_cell_budget_503(self, tmp_path):
+        wide = dict(SPEC, systems=["vb", "vp"])  # 2 cells > budget 1
+        with LiveServer(tmp_path / "svc",
+                        max_inflight_cells=1) as server:
+            status, body = server.request("POST", "/jobs", wide)
+            assert status == 503
+            assert "cell budget" in body["error"]
+
+
+class TestDraining:
+    def test_draining_health_and_503(self, server):
+        server.manager.begin_drain()
+        status, health = server.request("GET", "/healthz")
+        assert status == 200
+        assert health == {"ok": False, "status": "draining"}
+        status, body, headers = server.request_with_headers(
+            "POST", "/jobs", SPEC)
+        assert status == 503
+        assert "draining" in body["error"]
+        assert "retry-after" in headers
+        # read-only endpoints stay live during drain
+        assert server.request("GET", "/jobs")[0] == 200
+        assert server.request("GET", "/stats")[0] == 200
+
+
+class TestServiceFaultInjection:
+    def test_injected_reject_503(self, server, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "seed=1; reject=1.0")
+        status, body = server.request("POST", "/jobs", SPEC)
+        assert status == 503 and "injected" in body["error"]
+        # reads are never shed by the reject fault
+        assert server.request("GET", "/healthz")[0] == 200
+        monkeypatch.delenv("REPRO_FAULTS")
+        status, _ = server.request("POST", "/jobs", SPEC)
+        assert status == 202
+
+    def test_injected_hang_delays_response(self, server, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "seed=1; hang=1.0:0.3")
+        t0 = time.monotonic()
+        status, _ = server.request("GET", "/healthz")
+        elapsed = time.monotonic() - t0
+        assert status == 200
+        assert elapsed >= 0.25
+
+
 class TestRouteUnit:
     """_route() details not worth a socket."""
 
@@ -242,7 +374,7 @@ class TestRouteUnit:
     def test_trailing_slash_normalised(self, tmp_path):
         app = self._app(tmp_path)
         status, payload, _ = app._route("GET", "/healthz/", None)
-        assert status == 200 and payload == {"ok": True}
+        assert status == 200 and payload == {"ok": True, "status": "ok"}
 
     def test_internal_error_becomes_500(self, tmp_path):
         app = self._app(tmp_path)

@@ -8,7 +8,7 @@ import time
 
 import pytest
 
-from repro.errors import JobSpecError
+from repro.errors import JobSpecError, ServiceUnavailableError
 from repro.service.jobs import Job, JobManager, JobSpec
 from repro.sim.runner import clear_trace_cache
 
@@ -232,3 +232,228 @@ class TestFailureIsolation:
         with pytest.raises(JobSpecError):
             manager.submit({"systems": ["vb"]})
         assert manager.list_jobs() == []
+
+
+class _StalledExecutor:
+    """Swallows submissions so jobs stay deterministically queued."""
+
+    def submit(self, fn, *args):  # noqa: ARG002 - signature match
+        return None
+
+    def shutdown(self, wait=True, cancel_futures=False):  # noqa: ARG002
+        return None
+
+
+def _stalled_manager(tmp_path, **kwargs):
+    mgr = JobManager(data_dir=tmp_path / "svc", **kwargs)
+    mgr.start()
+    mgr._executor.shutdown(wait=True)
+    mgr._executor = _StalledExecutor()
+    return mgr
+
+
+class TestAdmissionControl:
+    def test_queue_bound_rejects_with_503(self, tmp_path):
+        mgr = _stalled_manager(tmp_path, max_queued_jobs=2,
+                               max_inflight_cells=0)
+        mgr.submit(SPEC)
+        mgr.submit(dict(SPEC, seed=6))
+        with pytest.raises(ServiceUnavailableError, match="queue full"):
+            mgr.submit(dict(SPEC, seed=7))
+        assert mgr.rejected == 1
+        assert mgr.queued_jobs() == 2  # the rejected spec was never queued
+
+    def test_cell_budget_counts_matrix_size(self, tmp_path):
+        mgr = _stalled_manager(tmp_path, max_queued_jobs=0,
+                               max_inflight_cells=3)
+        big = dict(SPEC, systems=["vb", "base"], benchmarks=["fft", "lu"])
+        with pytest.raises(ServiceUnavailableError, match="cell budget"):
+            mgr.submit(big)  # 4 cells > 3 budget, even with nothing queued
+        mgr.submit(SPEC)  # 1 cell fits
+        with pytest.raises(ServiceUnavailableError):
+            mgr.submit(dict(SPEC, systems=["vb", "base", "nc"]))  # 1+3 > 3
+
+    def test_zero_disables_bounds(self, tmp_path):
+        mgr = _stalled_manager(tmp_path, max_queued_jobs=0,
+                               max_inflight_cells=0)
+        for seed in range(5):
+            mgr.submit(dict(SPEC, seed=seed))
+        assert mgr.queued_jobs() == 5 and mgr.rejected == 0
+
+    def test_rejection_carries_retry_hint(self, tmp_path):
+        mgr = _stalled_manager(tmp_path, max_queued_jobs=1,
+                               max_inflight_cells=0, retry_after_s=7.5)
+        mgr.submit(SPEC)
+        with pytest.raises(ServiceUnavailableError) as err:
+            mgr.submit(dict(SPEC, seed=6))
+        assert err.value.retry_after_s == 7.5
+
+    def test_env_defaults(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MAX_QUEUED_JOBS", "11")
+        monkeypatch.setenv("REPRO_MAX_INFLIGHT_CELLS", "222")
+        mgr = JobManager(data_dir=tmp_path / "svc")
+        assert mgr.max_queued_jobs == 11
+        assert mgr.max_inflight_cells == 222
+
+
+class TestCancel:
+    def test_cancel_queued_job(self, tmp_path):
+        mgr = _stalled_manager(tmp_path)
+        job = mgr.submit(SPEC)
+        cancelled = mgr.cancel(job.id)
+        assert cancelled.state == "cancelled"
+        assert cancelled.finished_unix is not None
+        on_disk = json.loads((mgr.job_dir(job.id) / "job.json").read_text())
+        assert on_disk["state"] == "cancelled"
+
+    def test_cancel_is_idempotent(self, tmp_path):
+        mgr = _stalled_manager(tmp_path)
+        job = mgr.submit(SPEC)
+        mgr.cancel(job.id)
+        again = mgr.cancel(job.id)
+        assert again.state == "cancelled"
+
+    def test_cancel_unknown_returns_none(self, tmp_path):
+        mgr = _stalled_manager(tmp_path)
+        assert mgr.cancel("nosuchjob0000") is None
+
+    def test_cancel_terminal_job_untouched(self, manager):
+        job = _wait(manager, manager.submit(SPEC).id)
+        assert manager.cancel(job.id).state == "done"
+
+    def test_cancel_running_job_stops_at_cell_boundary(self, tmp_path):
+        # a real running sweep: many cells, tiny refs, 1 worker thread
+        mgr = JobManager(data_dir=tmp_path / "svc", job_workers=1)
+        mgr.start()
+        try:
+            big = dict(SPEC, systems=["vb", "base", "nc", "ncd"],
+                       benchmarks=["fft", "lu", "radix"], refs=5000)
+            job = mgr.submit(big)
+            deadline = time.time() + 30
+            while mgr.get(job.id).state == "queued" and time.time() < deadline:
+                time.sleep(0.005)
+            mgr.cancel(job.id)
+            deadline = time.time() + 30
+            while (mgr.get(job.id).state not in ("cancelled", "done")
+                   and time.time() < deadline):
+                time.sleep(0.01)
+            # "done" is legal if the sweep beat the abort; either way the
+            # job is terminal and persisted
+            final = mgr.get(job.id)
+            assert final.state in ("cancelled", "done")
+            on_disk = json.loads(
+                (mgr.job_dir(job.id) / "job.json").read_text())
+            assert on_disk["state"] == final.state
+        finally:
+            mgr.close()
+
+
+class TestDrain:
+    def test_draining_rejects_submissions(self, tmp_path):
+        mgr = _stalled_manager(tmp_path)
+        mgr.begin_drain()
+        with pytest.raises(ServiceUnavailableError, match="draining"):
+            mgr.submit(SPEC)
+        assert mgr.health() == "draining"
+
+    def test_drain_preserves_queued_jobs(self, tmp_path):
+        mgr = _stalled_manager(tmp_path)
+        a = mgr.submit(SPEC)
+        b = mgr.submit(dict(SPEC, seed=6))
+        summary = mgr.drain(timeout=0.1)
+        assert summary["queued"] == 2 and summary["aborted"] == 0
+        # the persisted queue order survives: a restart resumes both,
+        # oldest first
+        mgr2 = JobManager(data_dir=tmp_path / "svc", job_workers=1)
+        resumed = mgr2.start()
+        try:
+            assert resumed == [a.id, b.id]
+            assert _wait(mgr2, a.id).state == "done"
+            assert _wait(mgr2, b.id).state == "done"
+        finally:
+            mgr2.close()
+
+    def test_drain_parks_running_job_for_resume(self, tmp_path):
+        mgr = JobManager(data_dir=tmp_path / "svc", job_workers=1)
+        mgr.start()
+        big = dict(SPEC, systems=["vb", "base", "nc", "ncd"],
+                   benchmarks=["fft", "lu", "radix"], refs=5000)
+        job = mgr.submit(big)
+        deadline = time.time() + 30
+        while mgr.get(job.id).state == "queued" and time.time() < deadline:
+            time.sleep(0.005)
+        mgr.drain(timeout=0.0)  # no grace: abort at the next cell boundary
+        parked = mgr.get(job.id)
+        assert parked.state in ("queued", "done")  # done if it won the race
+        mgr2 = JobManager(data_dir=tmp_path / "svc", job_workers=1)
+        mgr2.start()
+        try:
+            finished = _wait(mgr2, job.id)
+            assert finished.state == "done"
+            assert finished.cache["total_cells"] == 12
+        finally:
+            mgr2.close()
+
+
+class TestGarbageCollection:
+    def test_ttl_reaps_terminal_jobs(self, manager):
+        job = _wait(manager, manager.submit(SPEC).id)
+        manager.job_ttl_s = 10.0
+        assert manager.gc_terminal_jobs(now=time.time() + 5) == 0
+        assert manager.gc_terminal_jobs(now=time.time() + 11) == 1
+        assert manager.get(job.id) is None
+        assert not manager.job_dir(job.id).exists()
+        assert manager.expired == 1
+
+    def test_no_ttl_keeps_everything(self, manager):
+        job = _wait(manager, manager.submit(SPEC).id)
+        assert manager.job_ttl_s is None
+        assert manager.gc_terminal_jobs(now=time.time() + 1e9) == 0
+        assert manager.get(job.id) is not None
+
+    def test_gc_spares_active_jobs(self, tmp_path):
+        mgr = _stalled_manager(tmp_path, job_ttl_s=0.001)
+        job = mgr.submit(SPEC)  # stays queued forever
+        assert mgr.gc_terminal_jobs(now=time.time() + 1e6) == 0
+        assert mgr.get(job.id).state == "queued"
+
+
+class TestHealth:
+    def test_ok_by_default(self, tmp_path):
+        mgr = _stalled_manager(tmp_path)
+        assert mgr.health() == "ok"
+
+    def test_degraded_follows_store(self, tmp_path):
+        mgr = _stalled_manager(tmp_path)
+        mgr.store.degraded = True
+        assert mgr.health() == "degraded"
+        mgr.store.degraded = False
+        assert mgr.health() == "ok"
+
+    def test_draining_wins_over_degraded(self, tmp_path):
+        mgr = _stalled_manager(tmp_path)
+        mgr.store.degraded = True
+        mgr.begin_drain()
+        assert mgr.health() == "draining"
+
+    def test_stats_exposes_admission_and_lifecycle(self, tmp_path):
+        mgr = _stalled_manager(tmp_path, max_queued_jobs=9,
+                               max_inflight_cells=99)
+        mgr.submit(SPEC)
+        stats = mgr.stats()
+        assert stats["health"] == "ok"
+        assert stats["admission"]["queued"] == 1
+        assert stats["admission"]["inflight_cells"] == 1
+        assert stats["admission"]["max_queued_jobs"] == 9
+        assert stats["admission"]["max_inflight_cells"] == 99
+        assert stats["admission"]["rejected"] == 0
+        assert stats["lifecycle"]["draining"] is False
+
+
+class TestListLimit:
+    def test_limit_zero_returns_empty(self, tmp_path):
+        mgr = _stalled_manager(tmp_path)
+        mgr.submit(SPEC)
+        assert mgr.list_jobs(limit=0) == []
+        assert len(mgr.list_jobs(limit=1)) == 1
+        assert len(mgr.list_jobs()) == 1

@@ -3,8 +3,11 @@ quarantine-and-resimulate, concurrent writers, engine transparency."""
 
 from __future__ import annotations
 
+import errno
 import json
+import os
 import threading
+import time
 
 import pytest
 
@@ -195,6 +198,148 @@ class TestHousekeeping:
 
         monkeypatch.setattr(store_mod.tempfile, "mkstemp", boom)
         assert store.put(_simulate(), SCALE, refs=REFS, seed=SEED) is None
+
+
+class TestEviction:
+    def _fill(self, store, seeds):
+        for seed in seeds:
+            r = simulate("vb", "fft", refs=REFS, seed=seed, scale=SCALE)
+            assert store.put(r, SCALE, refs=REFS, seed=seed) is not None
+            time.sleep(0.01)  # distinct mtimes for a deterministic LRU order
+
+    def test_unbounded_by_default(self, store):
+        self._fill(store, [1, 2, 3])
+        assert store.max_bytes is None
+        assert store.entry_count() == 3
+        assert store.stats()["evicted"] == 0
+
+    def test_evicts_down_to_budget(self, tmp_path):
+        probe = ResultStore(tmp_path / "probe")
+        self._fill(probe, [1])
+        entry_size = probe.size_bytes()
+        store = ResultStore(tmp_path / "store",
+                            max_bytes=int(entry_size * 2.5))
+        self._fill(store, [1, 2, 3, 4])
+        assert store.size_bytes() <= store.max_bytes
+        assert store.entry_count() == 2
+        assert store.stats()["evicted"] == 2
+
+    def test_eviction_is_lru_and_spares_fresh_write(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        self._fill(store, [1, 2])
+        # touch seed=1 so seed=2 becomes the least recently used
+        cfg = system_config("vb")
+        assert store.get(cfg, "fft", refs=REFS, seed=1, scale=SCALE) is not None
+        time.sleep(0.01)
+        store.max_bytes = int(store.size_bytes() * 1.2)  # room for ~1 entry
+        self._fill(store, [3])
+        assert store.get(cfg, "fft", refs=REFS, seed=3, scale=SCALE) is not None
+        hit1 = store.get(cfg, "fft", refs=REFS, seed=1, scale=SCALE)
+        hit2 = store.get(cfg, "fft", refs=REFS, seed=2, scale=SCALE)
+        assert hit2 is None  # the LRU entry went first
+        assert hit1 is not None or store.entry_count() == 1
+
+    def test_env_budget(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_STORE_MAX_BYTES", "12345")
+        assert ResultStore(tmp_path / "s").max_bytes == 12345
+        monkeypatch.setenv("REPRO_STORE_MAX_BYTES", "0")
+        assert ResultStore(tmp_path / "s").max_bytes is None
+        monkeypatch.setenv("REPRO_STORE_MAX_BYTES", "junk")
+        assert ResultStore(tmp_path / "s").max_bytes is None
+
+
+class TestDegradation:
+    """Full-disk / read-only roots degrade to re-simulation, never crash."""
+
+    def _broken_writes(self, monkeypatch, errno_code):
+        import repro.service.store as store_mod
+
+        state = {"broken": True}
+        real = store_mod.tempfile.mkstemp
+
+        def flaky(*a, **k):
+            if state["broken"]:
+                raise OSError(errno_code, os.strerror(errno_code))
+            return real(*a, **k)
+
+        monkeypatch.setattr(store_mod.tempfile, "mkstemp", flaky)
+        return state
+
+    def test_enospc_enters_degraded_then_recovers(self, store, monkeypatch):
+        state = self._broken_writes(monkeypatch, errno.ENOSPC)
+        fresh = _simulate()
+        assert store.put(fresh, SCALE, refs=REFS, seed=SEED) is None
+        assert store.degraded
+        assert store.stats()["degraded"] is True
+        assert store.stats()["put_failures"] == 1
+        state["broken"] = False  # the disk got space back
+        assert store.put(fresh, SCALE, refs=REFS, seed=SEED) is not None
+        assert not store.degraded
+        assert store.stats()["degraded"] is False
+
+    def test_read_only_root_get_put_never_crash(self, tmp_path, monkeypatch):
+        # the container runs as root, so a chmodded directory would not
+        # actually refuse writes; EROFS via monkeypatch is the honest way
+        store = ResultStore(tmp_path / "ro-store")
+        state = self._broken_writes(monkeypatch, errno.EROFS)
+        assert state["broken"]
+        fresh = _simulate()
+        assert store.put(fresh, SCALE, refs=REFS, seed=SEED) is None
+        assert store.get(fresh.config, "fft", refs=REFS, seed=SEED,
+                         scale=SCALE) is None  # miss, not a crash
+        assert store.stats()["misses"] == 1
+
+    def test_sweep_degrades_to_uncached(self, tmp_path, monkeypatch):
+        # a sweep over a store that cannot write still completes, and the
+        # skip is visible in the recovery log
+        from repro.sim.parallel import RecoveryLog
+
+        store = ResultStore(tmp_path / "store")
+        self._broken_writes(monkeypatch, errno.ENOSPC)
+        recovery = RecoveryLog()
+        results = sweep(["vb"], ["fft"], refs=REFS, seed=SEED, scale=SCALE,
+                        result_store=store, recovery=recovery)
+        assert results[("vb", "fft")].counters.reads > 0
+        assert recovery.counts.get("result_store_skipped") == 1
+        assert recovery.counts.get("store_degraded") == 1
+        assert store.entry_count() == 0
+
+    def test_prefilled_quarantine_name_falls_back_to_unlink(self, store):
+        # a DIRECTORY squatting on the .corrupt name makes os.replace
+        # fail; quarantine falls back to deleting the bad entry
+        fresh = _simulate()
+        store.put(fresh, SCALE, refs=REFS, seed=SEED)
+        path = store.path_for(
+            result_key(fresh.config, "fft", REFS, SEED, SCALE))
+        path.write_text("{rotten", encoding="utf-8")
+        (path.parent / (path.name + ".corrupt")).mkdir()
+        assert store.get(fresh.config, "fft", refs=REFS, seed=SEED,
+                         scale=SCALE) is None
+        assert not path.exists()  # deleted despite the blocked rename
+        assert store.stats()["quarantined"] == 1
+        # and the cell can be re-stored afterwards
+        assert store.put(fresh, SCALE, refs=REFS, seed=SEED) is not None
+
+    def test_unremovable_corrupt_entry_counts_skip(self, store, monkeypatch):
+        # replace AND unlink both fail: the entry stays, every read is a
+        # miss, and the failure is tallied — but nothing raises
+        fresh = _simulate()
+        store.put(fresh, SCALE, refs=REFS, seed=SEED)
+        path = store.path_for(
+            result_key(fresh.config, "fft", REFS, SEED, SCALE))
+        path.write_text("{rotten", encoding="utf-8")
+        import repro.service.store as store_mod
+
+        def refuse(*a, **k):
+            raise OSError(errno.EROFS, "read-only file system")
+
+        monkeypatch.setattr(store_mod.os, "replace", refuse)
+        monkeypatch.setattr(store_mod.Path, "unlink", refuse)
+        for _ in range(2):
+            assert store.get(fresh.config, "fft", refs=REFS, seed=SEED,
+                             scale=SCALE) is None
+        assert store.stats()["quarantine_failed"] == 2
+        assert store.stats()["quarantined"] == 0
 
 
 class TestSweepIntegration:

@@ -5,6 +5,7 @@ timeouts."""
 
 from __future__ import annotations
 
+import errno
 
 import pytest
 
@@ -119,6 +120,61 @@ class TestFaultPlanGrammar:
         assert plan is not None and plan.seed == 5
         monkeypatch.delenv("REPRO_FAULTS")
         assert faults.active_plan() is None
+
+
+class TestServiceFaultKinds:
+    """The four service-layer kinds: reject, hang, disk-full, store-corrupt."""
+
+    def test_parse_service_kinds(self):
+        plan = FaultPlan.parse(
+            "seed=4;reject=0.5;hang=0.25:2.5;disk-full=1;store-corrupt=0.1")
+        assert plan.rates == {"reject": 0.5, "hang": 0.25,
+                              "disk-full": 1.0, "store-corrupt": 0.1}
+        assert plan.hang_s == 2.5
+
+    def test_spec_round_trips_hang_seconds(self):
+        plan = FaultPlan.parse("seed=4;hang=0.5:0.75;reject=1")
+        assert FaultPlan.parse(plan.spec()).spec() == plan.spec()
+
+    def test_seconds_suffix_only_for_timed_kinds(self):
+        with pytest.raises(ConfigurationError):
+            FaultPlan.parse("reject=0.5:2.0")
+
+    def test_reject_fires_per_tally_bound(self):
+        plan = FaultPlan(seed=1, rates={"reject": 1.0},
+                         attempts={"reject": 2})
+        ctx = "POST /jobs|{}"
+        assert plan.should_reject(ctx)
+        assert plan.should_reject(ctx)
+        assert not plan.should_reject(ctx)  # tally exhausted
+
+    def test_hang_delay_returns_seconds_then_none(self):
+        plan = FaultPlan(seed=1, rates={"hang": 1.0}, hang_s=0.25)
+        assert plan.hang_delay("GET /healthz|") == 0.25
+        assert plan.hang_delay("GET /healthz|") is None  # once per context
+        assert plan.hang_delay("GET /stats|") == 0.25
+
+    def test_hang_delay_none_when_unconfigured(self):
+        plan = FaultPlan(seed=1, rates={"reject": 1.0})
+        assert plan.hang_delay("GET /healthz|") is None
+
+    def test_disk_full_raises_enospc_once(self):
+        plan = FaultPlan(seed=1, rates={"disk-full": 1.0})
+        with pytest.raises(OSError) as excinfo:
+            plan.maybe_disk_full("store-put/abc")
+        assert excinfo.value.errno == errno.ENOSPC
+        plan.maybe_disk_full("store-put/abc")  # tally exhausted: no raise
+
+    def test_store_corrupt_mangles_entry_once(self, tmp_path):
+        payload = b"x" * 4096
+        path = tmp_path / "entry.json"
+        path.write_bytes(payload)
+        plan = FaultPlan(seed=1, rates={"store-corrupt": 1.0})
+        assert plan.maybe_corrupt_store(path, "store-entry/abc")
+        mangled = path.read_bytes()
+        assert mangled != payload
+        assert not plan.maybe_corrupt_store(path, "store-entry/abc")
+        assert path.read_bytes() == mangled
 
 
 # ---------------------------------------------------------------------------
