@@ -1,0 +1,51 @@
+"""Benchmarks of the surrogate pipeline: fit cost and ranking throughput.
+
+The `repro explore` contract is that ranking a 100k+ candidate design
+space takes seconds, not sweeps — these benches track the two numbers
+that promise rests on: the ridge least-squares fit and the vectorised
+candidates-per-second ranking rate.
+"""
+
+import pytest
+
+from repro.sim.parallel import run_parallel_sweep
+from repro.surrogate import DesignSpace, fit_surrogate, rank_candidates
+from repro.surrogate.fit import build_dataset, trace_features_for, training_configs
+from repro.surrogate.model import SurrogateModel
+
+REFS = 6000
+BENCHES = ["barnes", "radix"]
+
+WIDE_SPACE = DesignSpace(
+    nc_sizes=tuple(k * 1024 for k in (2, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128)),
+    pc_denoms=(2, 3, 4, 5, 6, 7, 8, 9),
+    thresholds=(1, 2, 4, 8, 16, 32),
+    remote_latencies=(15, 30, 60),
+)
+
+
+@pytest.fixture(scope="module")
+def calibration():
+    configs = training_configs(nc_sizes=(4096, 65536), thresholds=(2, 16))
+    results = run_parallel_sweep(configs, BENCHES, refs=REFS, seed=1)
+    tfs = trace_features_for(BENCHES, refs=REFS, seed=1)
+    return results, tfs
+
+
+def test_fit_surrogate(benchmark, calibration):
+    results, tfs = calibration
+    x, y, _keys = build_dataset(results, tfs)
+    model = benchmark(lambda: SurrogateModel.fit(x, y))
+    assert model.meta["n_cells"] == x.shape[0]
+
+
+def test_rank_throughput(benchmark, calibration):
+    results, tfs = calibration
+    model = fit_surrogate(results, tfs)
+    cands = WIDE_SPACE.candidates()
+
+    stall, cost = benchmark(lambda: rank_candidates(model, cands, tfs))
+    assert stall.shape == cost.shape == (len(cands),)
+    rate = len(cands) / benchmark.stats.stats.min
+    benchmark.extra_info["candidates_per_sec"] = rate
+    benchmark.extra_info["n_candidates"] = len(cands)

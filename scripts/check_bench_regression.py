@@ -28,17 +28,58 @@ import sys
 from typing import Dict
 
 
+class BenchFileError(Exception):
+    """A benchmark or baseline file that cannot be gated against."""
+
+
 def extract_refs_per_sec(bench_json_path: str) -> Dict[str, float]:
     """Pull ``extra_info.refs_per_sec`` per benchmark from pytest-benchmark
     JSON; benchmarks without one (pure-latency micro-benches) are skipped."""
-    with open(bench_json_path, "r", encoding="utf-8") as fh:
-        data = json.load(fh)
+    try:
+        with open(bench_json_path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise BenchFileError(f"cannot read {bench_json_path}: {exc}") from None
+    if not isinstance(data, dict):
+        raise BenchFileError(
+            f"{bench_json_path} is not a pytest-benchmark JSON document"
+        )
     out: Dict[str, float] = {}
     for bench in data.get("benchmarks", []):
         rate = bench.get("extra_info", {}).get("refs_per_sec")
         if rate is not None:
             out[bench["name"]] = float(rate)
     return out
+
+
+def load_floors(baseline_path: str) -> Dict[str, float]:
+    """The committed ``refs_per_sec`` floor table, validated.
+
+    Raises :class:`BenchFileError` — with the fix spelled out — instead of
+    surfacing a ``KeyError``/``TypeError`` when the file is unreadable,
+    has no ``refs_per_sec`` table, or holds non-numeric floors.
+    """
+    try:
+        with open(baseline_path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise BenchFileError(f"cannot read baseline {baseline_path}: {exc}") from None
+    floors = doc.get("refs_per_sec") if isinstance(doc, dict) else None
+    if not isinstance(floors, dict) or not floors:
+        raise BenchFileError(
+            f"{baseline_path} has no 'refs_per_sec' floor table; "
+            "regenerate it with --update"
+        )
+    bad = [
+        name for name, floor in floors.items()
+        if isinstance(floor, bool) or not isinstance(floor, (int, float))
+    ]
+    if bad:
+        raise BenchFileError(
+            f"{baseline_path} has non-numeric floors for: {', '.join(sorted(bad))}; "
+            "regenerate it with --update"
+        )
+    return {name: float(floor) for name, floor in floors.items()}
 
 
 def main(argv=None) -> int:
@@ -61,7 +102,11 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    current = extract_refs_per_sec(args.current)
+    try:
+        current = extract_refs_per_sec(args.current)
+    except BenchFileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if not current:
         print(f"error: no refs_per_sec entries in {args.current}",
               file=sys.stderr)
@@ -89,15 +134,22 @@ def main(argv=None) -> int:
             print(f"  {name:40s} floor {floor:>12,}")
         return 0
 
-    with open(args.baseline, "r", encoding="utf-8") as fh:
-        floors = json.load(fh)["refs_per_sec"]
+    try:
+        floors = load_floors(args.baseline)
+    except BenchFileError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     failures = []
     for name, floor in sorted(floors.items()):
         rate = current.get(name)
         if rate is None:
-            failures.append(f"{name}: missing from {args.current}")
-            print(f"MISSING {name:40s} floor {floor:>12,.0f}")
+            failures.append(
+                f"{name}: committed floor has no measurement in "
+                f"{args.current} (benchmark renamed or removed? refresh "
+                "the baseline with --update)"
+            )
+            print(f"MISSING    {name:40s} floor {floor:>12,.0f}")
             continue
         limit = floor * args.tolerance
         status = "ok" if rate >= limit else "REGRESSION"
@@ -109,10 +161,12 @@ def main(argv=None) -> int:
                 f"({args.tolerance:.0%} of the {floor:,.0f} floor)"
             )
 
-    extra = sorted(set(current) - set(floors))
-    if extra:
-        print("note: benchmarks not in the baseline (add with --update): "
-              + ", ".join(extra))
+    for name in sorted(set(current) - set(floors)):
+        failures.append(
+            f"{name}: measured but has no committed floor in "
+            f"{args.baseline} (add one with --update)"
+        )
+        print(f"NO-FLOOR   {name:40s} {current[name]:>12,.0f} refs/s")
 
     if failures:
         print("\nthroughput regression gate FAILED:", file=sys.stderr)

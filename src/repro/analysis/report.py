@@ -92,6 +92,38 @@ def format_stacked_bars(
     return "\n".join(lines)
 
 
+def format_prediction_grid(
+    title: str,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    predicted: Mapping[Tuple[str, str], float],
+    actual: Mapping[Tuple[str, str], float],
+    fmt: str = "{:.3f}",
+    col_width: int = 22,
+) -> str:
+    """Predicted-vs-measured cells: ``pred/meas (signed err%)``.
+
+    The surrogate error report renders through this: each cell shows the
+    model's prediction, the simulated truth, and the signed relative
+    error — ``(err%)`` is omitted when the truth is zero.  ``None``/
+    missing cells render ``-``.
+    """
+
+    def cell(r: str, c: str) -> Optional[str]:
+        p = predicted.get((r, c))
+        a = actual.get((r, c))
+        if p is None or a is None:
+            return None
+        txt = f"{fmt.format(p)}/{fmt.format(a)}"
+        if a != 0.0:
+            txt += f" ({(p - a) / a * 100.0:+.1f}%)"
+        return txt
+
+    grid = format_comparison_grid(title, row_labels, col_labels, cell,
+                                  col_width=col_width)
+    return grid + "\n(predicted/simulated stall cycles per reference, signed error in parens)"
+
+
 #: Eq. 1 component order and display labels for the stall breakdown table
 _STALL_COLUMNS = (
     ("cluster_hit", "c2c"),

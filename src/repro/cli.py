@@ -18,6 +18,12 @@ trace
 perf
     Measure engine throughput (refs/sec) and print a report; ``--json``
     also writes the machine-readable form the bench-regression gate reads.
+explore
+    Calibrate the analytic surrogate on a real sweep, rank a large
+    NC/PC/threshold/latency design space in seconds, simulate only the
+    predicted Pareto frontier, and report predicted-vs-simulated error
+    per Eq. 1 component; ``--check`` is the CI accuracy gate against
+    ``benchmarks/baseline_surrogate.json``.
 top
     Live monitor for a running (or finished) checkpointed sweep.
 list
@@ -37,6 +43,8 @@ Examples
     python -m repro report --figures fig03,fig09 --refs 40000
     python -m repro report --check --refs 2000 --figures fig04
     python -m repro perf --refs 40000 --out throughput.txt --json perf.json
+    python -m repro explore --benchmarks barnes,radix --jobs 4 --json out.json
+    python -m repro explore --check --refs 30000 --jobs 4 --json gate.json
     python -m repro trace radix --refs 100000 --out radix.npz --stats
     python -m repro trace export vpp5 radix --refs 50000 --out trace.json
     python -m repro top runs/night1 --follow --jobs 4
@@ -453,6 +461,115 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_sizes(text: str) -> tuple:
+    """'4k,64k,1m' -> (4096, 65536, 1048576); bare numbers are bytes."""
+    out = []
+    for part in text.split(","):
+        part = part.strip().lower()
+        if not part:
+            continue
+        mult = 1
+        if part.endswith("k"):
+            mult, part = 1024, part[:-1]
+        elif part.endswith("m"):
+            mult, part = 1024 * 1024, part[:-1]
+        try:
+            out.append(int(part) * mult)
+        except ValueError:
+            raise ReproError(f"bad size {part!r} (use e.g. 4k, 64k, 1m)") from None
+    return tuple(out)
+
+
+def _parse_ints(text: str) -> tuple:
+    try:
+        return tuple(int(p) for p in text.split(",") if p.strip())
+    except ValueError:
+        raise ReproError(f"bad integer list {text!r}") from None
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .surrogate import DesignSpace, SurrogateModel, check_surrogate, explore
+    from .surrogate.explore import explore_json, explore_report, validation_report
+
+    space = DesignSpace(
+        families=tuple(f.strip() for f in args.families.split(",") if f.strip()),
+        nc_sizes=_parse_sizes(args.nc_sizes),
+        dram_nc_sizes=_parse_sizes(args.dram_nc_sizes),
+        pc_denoms=_parse_ints(args.pc_denoms),
+        thresholds=_parse_ints(args.thresholds),
+        remote_latencies=_parse_ints(args.remote_latencies),
+    )
+    benches = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+    store = None
+    if args.store:
+        from .service.store import ResultStore
+
+        store = ResultStore(root=args.store)
+
+    if args.check:
+        try:
+            with open(args.baseline, "r", encoding="utf-8") as fh:
+                baseline = _json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise ReproError(
+                f"cannot read surrogate baseline {args.baseline}: {exc}"
+            ) from None
+        doc, cells, failures = check_surrogate(
+            baseline, space, benches, refs=args.refs, seed=args.seed,
+            scale=args.scale, jobs=args.jobs, engine=args.engine,
+            sample=args.sample, result_store=store,
+        )
+        report = validation_report(cells)
+        report += (
+            f"\n\nranked {doc['n_candidates_ranked']:,} candidates in "
+            f"{doc['rank_seconds']:.3f}s ({doc['candidates_per_sec']:,.0f}/s)"
+        )
+        print(report)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(report + "\n")
+            print(f"report written to {args.out}")
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                _json.dump(doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"machine-readable report written to {args.json}")
+        if failures:
+            print("surrogate check: FAILED")
+            for f in failures:
+                print(f"  {f}")
+            return 1
+        print("surrogate check: within baseline "
+              f"({doc['validation']['cells']} held-out cells)")
+        return 0
+
+    model = SurrogateModel.load(args.model) if args.model else None
+    outcome = explore(
+        space, benches, refs=args.refs, seed=args.seed, scale=args.scale,
+        jobs=args.jobs, engine=args.engine, sample=args.sample,
+        frontier_max=args.frontier_max,
+        simulate_frontier=not args.no_simulate,
+        result_store=store, model=model,
+    )
+    report = explore_report(outcome)
+    print(report)
+    if args.save_model:
+        outcome.model.save(args.save_model)
+        print(f"surrogate model written to {args.save_model}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report + "\n")
+        print(f"report written to {args.out}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            _json.dump(explore_json(outcome), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"machine-readable report written to {args.json}")
+    return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     import os
     import time
@@ -694,6 +811,75 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write a machine-readable report here (the "
                         "shape scripts/check_bench_regression.py consumes)")
     p.set_defaults(func=_cmd_perf)
+
+    p = sub.add_parser(
+        "explore",
+        help="rank an NC/PC design space with the analytic surrogate and "
+             "simulate only the predicted Pareto frontier",
+    )
+    p.add_argument("--benchmarks", default="barnes,ocean,radix,raytrace",
+                   help="benchmarks to calibrate on and optimise for "
+                        "(default %(default)s)")
+    p.add_argument("--refs", type=int, default=40_000,
+                   help="references per trace for calibration/frontier "
+                        "sweeps (default %(default)s)")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--scale", type=float, default=DEFAULT_SCALE,
+                   help="dataset scale vs. Table 3 (default %(default)s)")
+    p.add_argument("--jobs", type=int, default=default_jobs(),
+                   help="worker processes for the real sweeps "
+                        "(default: REPRO_JOBS or CPU count)")
+    p.add_argument("--engine", choices=("interp", "batch"), default=None,
+                   help="execution backend for the real sweeps")
+    p.add_argument("--families",
+                   default="base,nc,vb,vp,ncd,p,ncp,vbp,vpp,vxp",
+                   help="system families to search (default %(default)s)")
+    p.add_argument("--nc-sizes", default="4k,8k,16k,32k,64k,128k",
+                   metavar="SIZES",
+                   help="SRAM NC capacities, k/m suffixes "
+                        "(default %(default)s)")
+    p.add_argument("--dram-nc-sizes", default="256k,512k,1m", metavar="SIZES",
+                   help="DRAM NC capacities for the ncd family "
+                        "(default %(default)s)")
+    p.add_argument("--pc-denoms", default="9,7,5,3", metavar="DENOMS",
+                   help="page-cache fraction denominators, i.e. PC holds "
+                        "1/N of the dataset (default %(default)s)")
+    p.add_argument("--thresholds", default="2,4,8,16", metavar="THRESHOLDS",
+                   help="initial relocation thresholds (default %(default)s)")
+    p.add_argument("--remote-latencies", default="30", metavar="CYCLES",
+                   help="remote-access latency axis; event counts are "
+                        "latency-independent, so this axis adds no model "
+                        "error (default %(default)s)")
+    p.add_argument("--sample", type=int, default=None, metavar="N",
+                   help="rank a deterministic random sample of N candidates "
+                        "instead of the full cross product")
+    p.add_argument("--frontier-max", type=int, default=12, metavar="N",
+                   help="simulate at most N frontier points, evenly spaced "
+                        "(default %(default)s)")
+    p.add_argument("--no-simulate", action="store_true",
+                   help="stop after ranking; print the predicted frontier "
+                        "without simulating (no error report)")
+    p.add_argument("--store", default=None, metavar="DIR",
+                   help="content-addressed result store to reuse across "
+                        "runs (the sweep service's ResultStore layout)")
+    p.add_argument("--model", default=None, metavar="PATH",
+                   help="load a saved surrogate model instead of "
+                        "calibrating (see --save-model)")
+    p.add_argument("--save-model", default=None, metavar="PATH",
+                   help="write the fitted surrogate model JSON here")
+    p.add_argument("--check", action="store_true",
+                   help="CI accuracy gate: calibrate, validate on held-out "
+                        "configurations, and fail if any error metric "
+                        "exceeds the committed baseline")
+    p.add_argument("--baseline", default="benchmarks/baseline_surrogate.json",
+                   help="baseline thresholds for --check "
+                        "(default %(default)s)")
+    p.add_argument("--out", default=None,
+                   help="also write the report to this file")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="also write the machine-readable outcome here "
+                        "(mirrors 'repro perf --json')")
+    p.set_defaults(func=_cmd_explore)
 
     p = sub.add_parser(
         "trace",

@@ -1,0 +1,81 @@
+"""Analytic surrogate model and design-space exploration.
+
+The paper evaluates a handful of NC/PC configurations per figure because
+every cell costs a full trace-driven simulation.  This package turns the
+reproduction into a *design-space search tool* (ROADMAP item 2): a cheap
+analytic predictor maps (per-trace statistics, system configuration) to
+the Eq. 1 stall components, is calibrated on real sweep results by least
+squares, and then ranks millions of candidate configurations in seconds.
+Only the predicted Pareto frontier is simulated for real, and every
+simulated cell doubles as a validation point — the predicted-vs-simulated
+error is always reported, never assumed.
+
+Layout (the layer-estimator pattern: sum cheap per-component estimates,
+validate against true measurements):
+
+* :mod:`~repro.surrogate.features` — feature extraction: trace statistics
+  from :mod:`repro.trace.stats` crossed with configuration scalars;
+* :mod:`~repro.surrogate.model` — the fitted linear model over those
+  features, one output per Eq. 1 component, JSON-serialisable;
+* :mod:`~repro.surrogate.fit` — calibration: run a training sweep,
+  assemble the dataset, solve the ridge least-squares system, validate
+  held-out cells cell-by-cell;
+* :mod:`~repro.surrogate.explore` — the ``repro explore`` engine:
+  enumerate or sample a design space, rank every candidate with the
+  surrogate, simulate only the Pareto frontier, report errors.
+
+The model predicts per-reference *event rates* (NC hits, PC hits, remote
+misses, relocations, cluster c2c hits); stall cycles are reconstructed
+exactly from those rates and the configuration's Table 1 latencies.  The
+trace-driven simulator's event counts do not depend on latencies at all,
+so latency what-ifs (e.g. a slower interconnect) pass through the
+surrogate *analytically exactly* — only the count predictions carry
+model error.  See ``docs/EXPLORE.md`` for the full contract, calibration
+protocol, and the honest accuracy table.
+"""
+
+from .explore import (
+    Candidate,
+    DesignSpace,
+    ExploreOutcome,
+    FrontierEntry,
+    calibrate,
+    check_surrogate,
+    explore,
+    pareto_frontier,
+    rank_candidates,
+)
+from .features import FEATURE_NAMES, TraceFeatures, cell_features, trace_features
+from .fit import (
+    CellValidation,
+    error_summary,
+    fit_surrogate,
+    holdout_configs,
+    training_configs,
+    validate_model,
+)
+from .model import SurrogateError, SurrogateModel
+
+__all__ = [
+    "Candidate",
+    "CellValidation",
+    "DesignSpace",
+    "ExploreOutcome",
+    "FEATURE_NAMES",
+    "FrontierEntry",
+    "SurrogateError",
+    "SurrogateModel",
+    "TraceFeatures",
+    "calibrate",
+    "cell_features",
+    "check_surrogate",
+    "error_summary",
+    "explore",
+    "fit_surrogate",
+    "holdout_configs",
+    "pareto_frontier",
+    "rank_candidates",
+    "trace_features",
+    "training_configs",
+    "validate_model",
+]

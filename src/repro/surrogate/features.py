@@ -1,0 +1,246 @@
+"""Feature extraction for the analytic surrogate.
+
+One feature vector per (benchmark trace, candidate configuration).  The
+trace side comes from :func:`repro.trace.stats.characterize`; the
+configuration side is a handful of scalars — *capacity coverage*, cache
+organisation flags, relocation aggressiveness — chosen so they can be
+computed for a hundred thousand candidates from plain numpy arrays
+without ever materialising a :class:`~repro.params.SystemConfig`.
+
+There is a single source of truth for the feature math:
+:func:`feature_matrix` operates on parallel arrays, and the scalar path
+(:func:`cell_features`, used for training rows and validation cells)
+routes through it with length-1 arrays, so the two can never diverge
+(pinned by ``tests/surrogate/test_features.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..params import NCKind, SystemConfig
+from ..trace.record import Trace
+from ..trace.stats import TraceCharacteristics, characterize
+
+#: trace-side feature names, in vector order (must match
+#: TraceCharacteristics.feature_dict keys)
+TRACE_FEATURE_NAMES: Tuple[str, ...] = (
+    "write_fraction",
+    "block_utilization",
+    "page_utilization",
+    "remote_fraction",
+    "log_distinct_blocks",
+    "log_distinct_pages",
+    "log_block_reuse",
+    "log_page_reuse",
+    "hot_block_fraction",
+)
+
+#: configuration-side feature names, in vector order
+CONFIG_FEATURE_NAMES: Tuple[str, ...] = (
+    "has_nc",
+    "nc_victim",
+    "nc_page_indexed",
+    "nc_dram",
+    "nc_coverage",
+    "nc_coverage_sq",
+    "pc_enabled",
+    "pc_coverage",
+    "threshold_inv",
+)
+
+#: interaction terms: capacity coverage crossed with the locality knobs
+#: that decide whether that capacity is usable
+INTERACTION_NAMES: Tuple[str, ...] = (
+    "nc_coverage*page_utilization",
+    "nc_coverage*log_block_reuse",
+    "nc_coverage*hot_block_fraction",
+    "pc_coverage*page_utilization",
+    "pc_coverage*log_page_reuse",
+)
+
+#: the full feature vector, in order; the model's coefficient rows
+FEATURE_NAMES: Tuple[str, ...] = (
+    ("bias",) + TRACE_FEATURE_NAMES + CONFIG_FEATURE_NAMES + INTERACTION_NAMES
+)
+
+N_FEATURES = len(FEATURE_NAMES)
+
+
+@dataclass(frozen=True)
+class TraceFeatures:
+    """Everything the feature math needs to know about one benchmark trace."""
+
+    benchmark: str
+    chars: TraceCharacteristics
+    #: the benchmark's shared-data size (sizes fraction-based page caches)
+    dataset_bytes: int
+
+    @property
+    def distinct_blocks(self) -> int:
+        return self.chars.distinct_blocks
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.chars.footprint_bytes
+
+    def vector(self) -> np.ndarray:
+        """The trace-side feature values, ordered as TRACE_FEATURE_NAMES."""
+        d = self.chars.feature_dict()
+        return np.array([d[name] for name in TRACE_FEATURE_NAMES], dtype=np.float64)
+
+
+def trace_features(trace: Trace) -> TraceFeatures:
+    """Characterise one trace into the surrogate's trace-side features."""
+    return TraceFeatures(
+        benchmark=trace.name,
+        chars=characterize(trace),
+        dataset_bytes=int(trace.dataset_bytes),
+    )
+
+
+# ---------------------------------------------------------------------------
+# configuration scalars
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConfigScalars:
+    """The configuration knobs the feature math consumes, as plain floats.
+
+    ``nc_blocks`` is ``inf`` for the infinite NC kinds (their coverage
+    saturates at 1.0) and 0 for no NC.  ``pc_bytes`` is the resolved
+    page-cache capacity in bytes (0 when disabled).
+    """
+
+    has_nc: float
+    nc_victim: float
+    nc_page_indexed: float
+    nc_dram: float
+    nc_blocks: float
+    pc_enabled: float
+    pc_bytes: float
+    threshold: float
+
+
+def config_scalars(config: SystemConfig, dataset_bytes: int) -> ConfigScalars:
+    """Extract the feature scalars from a real :class:`SystemConfig`."""
+    nc = config.nc
+    has_nc = nc.kind is not NCKind.NONE
+    if not has_nc:
+        nc_blocks = 0.0
+    elif nc.is_infinite:
+        nc_blocks = math.inf
+    else:
+        nc_blocks = nc.size / config.block_size
+    pc = config.pc
+    pc_bytes = 0.0
+    if pc.enabled:
+        if pc.size_bytes is not None:
+            pc_bytes = float(pc.size_bytes)
+        else:
+            assert pc.fraction is not None
+            pc_bytes = float(pc.fraction) * float(dataset_bytes)
+    from ..params import NCIndexing
+
+    return ConfigScalars(
+        has_nc=float(has_nc),
+        nc_victim=float(nc.kind is NCKind.VICTIM),
+        nc_page_indexed=float(has_nc and nc.indexing is NCIndexing.PAGE),
+        nc_dram=float(nc.is_dram),
+        nc_blocks=nc_blocks,
+        pc_enabled=float(pc.enabled),
+        pc_bytes=pc_bytes,
+        threshold=float(pc.initial_threshold if pc.enabled else 0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# the feature matrix (vector path — the single source of truth)
+# ---------------------------------------------------------------------------
+
+
+def feature_matrix(
+    tf: TraceFeatures,
+    has_nc: np.ndarray,
+    nc_victim: np.ndarray,
+    nc_page_indexed: np.ndarray,
+    nc_dram: np.ndarray,
+    nc_blocks: np.ndarray,
+    pc_enabled: np.ndarray,
+    pc_bytes: np.ndarray,
+    threshold: np.ndarray,
+) -> np.ndarray:
+    """The (N, ``N_FEATURES``) design matrix for N candidates on one trace.
+
+    All array arguments are parallel float64 vectors of length N; the
+    trace-side columns are constant per call (one call per benchmark).
+    ``nc_blocks`` may contain ``inf`` (infinite NCs) — coverage clamps it
+    to 1.0.
+    """
+    n = len(has_nc)
+    tvec = tf.vector()
+    x = np.empty((n, N_FEATURES), dtype=np.float64)
+    x[:, 0] = 1.0  # bias
+    x[:, 1 : 1 + len(TRACE_FEATURE_NAMES)] = tvec  # broadcast per row
+
+    # capacity coverage: what fraction of the remote working set fits
+    with np.errstate(invalid="ignore"):
+        nc_cov = np.minimum(1.0, nc_blocks / max(1, tf.distinct_blocks))
+    nc_cov = np.nan_to_num(nc_cov, nan=1.0, posinf=1.0)
+    pc_cov = np.minimum(1.0, pc_bytes / max(1, tf.footprint_bytes))
+    thr_inv = pc_enabled / np.maximum(1.0, threshold)
+
+    base = 1 + len(TRACE_FEATURE_NAMES)
+    x[:, base + 0] = has_nc
+    x[:, base + 1] = nc_victim
+    x[:, base + 2] = nc_page_indexed
+    x[:, base + 3] = nc_dram
+    x[:, base + 4] = nc_cov
+    x[:, base + 5] = nc_cov * nc_cov
+    x[:, base + 6] = pc_enabled
+    x[:, base + 7] = pc_cov
+    x[:, base + 8] = thr_inv
+
+    d = tf.chars.feature_dict()
+    inter = base + len(CONFIG_FEATURE_NAMES)
+    x[:, inter + 0] = nc_cov * d["page_utilization"]
+    x[:, inter + 1] = nc_cov * d["log_block_reuse"]
+    x[:, inter + 2] = nc_cov * d["hot_block_fraction"]
+    x[:, inter + 3] = pc_cov * d["page_utilization"]
+    x[:, inter + 4] = pc_cov * d["log_page_reuse"]
+    return x
+
+
+def scalars_matrix(tf: TraceFeatures, scalars: "list[ConfigScalars]") -> np.ndarray:
+    """Feature matrix for a list of :class:`ConfigScalars` on one trace."""
+    cols = {
+        name: np.array([getattr(s, name) for s in scalars], dtype=np.float64)
+        for name in (
+            "has_nc", "nc_victim", "nc_page_indexed", "nc_dram",
+            "nc_blocks", "pc_enabled", "pc_bytes", "threshold",
+        )
+    }
+    return feature_matrix(tf, **cols)
+
+
+def cell_features(
+    config: SystemConfig, tf: TraceFeatures
+) -> np.ndarray:
+    """The feature vector of one (configuration, benchmark) cell.
+
+    Routes through :func:`feature_matrix` with length-1 arrays so the
+    scalar and vector paths share one implementation.
+    """
+    scalars = config_scalars(config, tf.dataset_bytes)
+    return scalars_matrix(tf, [scalars])[0]
+
+
+def feature_dict(config: SystemConfig, tf: TraceFeatures) -> Dict[str, float]:
+    """Named view of :func:`cell_features` (docs, debugging, tests)."""
+    vec = cell_features(config, tf)
+    return {name: float(v) for name, v in zip(FEATURE_NAMES, vec)}

@@ -1,0 +1,253 @@
+"""Calibrating and validating the surrogate against real sweeps.
+
+The calibration protocol (see ``docs/EXPLORE.md``):
+
+1. simulate a **training matrix** — a spread of configurations chosen to
+   vary every configuration feature (NC kind/size, PC size, threshold) —
+   over a set of benchmarks (:func:`training_configs`);
+2. extract one feature vector and one per-component event-rate target per
+   cell (:func:`build_dataset`) and solve the ridge least-squares system
+   (:meth:`~repro.surrogate.model.SurrogateModel.fit`);
+3. simulate a **held-out matrix** of configurations the fit never saw
+   (:func:`holdout_configs`) and compare predictions cell by cell
+   (:func:`validate_model`) — the same machinery that grades the Pareto
+   frontier in ``repro explore``.
+
+Everything here is deterministic: the sweeps are bit-identical serial or
+parallel, the dataset rows are assembled in sorted cell order, and the
+solve is a direct method — the same sweep yields bit-identical
+coefficients (pinned by ``tests/surrogate/test_fit.py``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from statistics import median
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..obs.profile import STALL_COMPONENTS
+from ..params import SystemConfig
+from ..sim.latency import stall_components
+from ..sim.results import SimulationResult
+from ..sim.runner import DEFAULT_SCALE, get_trace
+from ..system.builder import system_config
+from .features import TraceFeatures, cell_features, trace_features
+from .model import SurrogateModel
+
+#: benchmarks used for calibration/validation unless overridden: the four
+#: corners of the paper's locality/regularity spectrum
+DEFAULT_FIT_BENCHMARKS: Tuple[str, ...] = ("barnes", "ocean", "radix", "raytrace")
+
+_KB = 1024
+
+
+def training_configs(
+    nc_sizes: Sequence[int] = (4 * _KB, 16 * _KB, 64 * _KB),
+    thresholds: Sequence[int] = (2, 8, 32),
+) -> "OrderedDict[str, SystemConfig]":
+    """The default training matrix: every config feature gets variation.
+
+    Victim-NC sizes sweep ``nc_sizes`` for both indexings, page-cache
+    systems sweep the size suffix, and the relocation ``thresholds`` vary
+    on one PC system — enough spread to identify every coefficient
+    without simulating the whole cross product.
+    """
+    configs: "OrderedDict[str, SystemConfig]" = OrderedDict()
+    configs["base"] = system_config("base")
+    configs["nc"] = system_config("nc")
+    configs["ncd"] = system_config("ncd")
+    for size in nc_sizes:
+        configs[f"vb@{size // _KB}k"] = system_config("vb", nc_size=size)
+        configs[f"vp@{size // _KB}k"] = system_config("vp", nc_size=size)
+    configs["p5"] = system_config("p5")
+    configs["ncp5"] = system_config("ncp5")
+    for denom in (9, 5, 3):
+        configs[f"vbp{denom}"] = system_config(f"vbp{denom}")
+    configs["vpp5"] = system_config("vpp5")
+    configs["vxp5"] = system_config("vxp5")
+    for thr in thresholds:
+        configs[f"vpp5/t{thr}"] = system_config("vpp5", initial_threshold=thr)
+    return configs
+
+
+def holdout_configs() -> "OrderedDict[str, SystemConfig]":
+    """Configurations the default training matrix never sees.
+
+    Interpolation points (NC sizes between training sizes, unseen PC
+    fractions and thresholds) — the regime ``repro explore`` actually
+    queries the surrogate in.  ``repro explore --check`` simulates these
+    and gates the per-component error against the committed baseline.
+    """
+    configs: "OrderedDict[str, SystemConfig]" = OrderedDict()
+    configs["vb@8k"] = system_config("vb", nc_size=8 * _KB)
+    configs["vb@32k"] = system_config("vb", nc_size=32 * _KB)
+    configs["vp@8k"] = system_config("vp", nc_size=8 * _KB)
+    configs["p7"] = system_config("p7")
+    configs["vbp7"] = system_config("vbp7")
+    configs["vpp7/t4"] = system_config("vpp7", initial_threshold=4)
+    configs["vxp5/t16"] = system_config("vxp5", initial_threshold=16)
+    configs["vbp5@32k"] = system_config("vbp5", nc_size=32 * _KB)
+    return configs
+
+
+def trace_features_for(
+    benchmarks: Sequence[str],
+    refs: int,
+    seed: int,
+    scale: float = DEFAULT_SCALE,
+) -> Dict[str, TraceFeatures]:
+    """Characterise every benchmark trace once (traces are cached)."""
+    return {
+        bench: trace_features(get_trace(bench, refs=refs, seed=seed, scale=scale))
+        for bench in benchmarks
+    }
+
+
+# ---------------------------------------------------------------------------
+# dataset assembly
+# ---------------------------------------------------------------------------
+
+
+def event_rates(result: SimulationResult) -> np.ndarray:
+    """Per-reference Eq. 1 event rates of one simulated cell (the targets)."""
+    c = result.counters
+    n = max(1, c.refs)
+    return np.array(
+        [
+            c.read_cluster_hits / n,
+            c.read_nc_hits / n,
+            c.read_pc_hits / n,
+            c.read_remote / n,
+            c.pc_relocations / n,
+        ],
+        dtype=np.float64,
+    )
+
+
+def build_dataset(
+    results: Mapping[Tuple[str, str], SimulationResult],
+    tfs: Mapping[str, TraceFeatures],
+) -> Tuple[np.ndarray, np.ndarray, List[Tuple[str, str]]]:
+    """(design matrix, rate targets, row keys) from one sweep's results.
+
+    Rows are assembled in sorted ``(system, benchmark)`` order so the
+    dataset — and therefore the fitted coefficients — do not depend on
+    sweep iteration order.
+    """
+    keys = sorted(results)
+    x_rows = []
+    y_rows = []
+    for key in keys:
+        r = results[key]
+        x_rows.append(cell_features(r.config, tfs[r.benchmark]))
+        y_rows.append(event_rates(r))
+    return np.array(x_rows), np.array(y_rows), keys
+
+
+def fit_surrogate(
+    results: Mapping[Tuple[str, str], SimulationResult],
+    tfs: Mapping[str, TraceFeatures],
+    meta: Optional[Dict[str, object]] = None,
+) -> SurrogateModel:
+    """Fit the surrogate on one sweep's simulated results."""
+    x, y, keys = build_dataset(results, tfs)
+    info: Dict[str, object] = dict(meta or {})
+    info["train_systems"] = sorted({s for s, _ in keys})
+    info["train_benchmarks"] = sorted({b for _, b in keys})
+    return SurrogateModel.fit(x, y, meta=info)
+
+
+# ---------------------------------------------------------------------------
+# cell-by-cell validation (the fidelity.py pattern: exact measured truth,
+# explicit per-cell deviations, structural honesty)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CellValidation:
+    """Predicted vs. simulated Eq. 1 decomposition of one cell.
+
+    All values are stall **cycles per reference**; ``actual`` comes from
+    the exact closed-form attribution
+    (:func:`repro.sim.latency.stall_components` — integer-identical to
+    the stall profiler by the conservation invariant).
+    """
+
+    system: str
+    benchmark: str
+    predicted: Dict[str, float]
+    actual: Dict[str, float]
+
+    @property
+    def predicted_total(self) -> float:
+        return sum(self.predicted.values())
+
+    @property
+    def actual_total(self) -> float:
+        return sum(self.actual.values())
+
+    def abs_error(self, component: str) -> float:
+        return abs(self.predicted[component] - self.actual[component])
+
+    @property
+    def total_error_pct(self) -> Optional[float]:
+        """Signed total-stall error in percent; None when actual is 0."""
+        if self.actual_total == 0.0:
+            return None
+        return (self.predicted_total - self.actual_total) / self.actual_total * 100.0
+
+
+def validate_model(
+    model: SurrogateModel,
+    results: Mapping[Tuple[str, str], SimulationResult],
+    tfs: Mapping[str, TraceFeatures],
+) -> List[CellValidation]:
+    """Grade the model on simulated cells, in sorted cell order."""
+    cells = []
+    for system, bench in sorted(results):
+        r = results[(system, bench)]
+        tf = tfs[r.benchmark]
+        x = cell_features(r.config, tf)
+        predicted = model.predict_cell(r.config, x)
+        n = max(1, r.counters.refs)
+        actual = {
+            comp: cycles / n
+            for comp, cycles in stall_components(r.counters, r.config).items()
+        }
+        cells.append(
+            CellValidation(
+                system=system, benchmark=bench, predicted=predicted, actual=actual
+            )
+        )
+    return cells
+
+
+def error_summary(cells: Sequence[CellValidation]) -> Dict[str, object]:
+    """The gate metrics: median |error| per component, total-% spread.
+
+    Medians (not means) so one pathological cell cannot mask — or fake —
+    a systematic accuracy change; per-component absolute cycles/ref so
+    components that are legitimately zero on many systems (pc_hit on
+    PC-less configs) still gate meaningfully.
+    """
+    if not cells:
+        return {
+            "cells": 0,
+            "median_abs_error_cycles_per_ref": {c: 0.0 for c in STALL_COMPONENTS},
+            "median_abs_total_error_pct": 0.0,
+            "max_abs_total_error_pct": 0.0,
+        }
+    per_component = {
+        comp: float(median(cell.abs_error(comp) for cell in cells))
+        for comp in STALL_COMPONENTS
+    }
+    pct = [abs(c.total_error_pct) for c in cells if c.total_error_pct is not None]
+    return {
+        "cells": len(cells),
+        "median_abs_error_cycles_per_ref": per_component,
+        "median_abs_total_error_pct": float(median(pct)) if pct else 0.0,
+        "max_abs_total_error_pct": float(max(pct)) if pct else 0.0,
+    }

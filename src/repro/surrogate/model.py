@@ -1,0 +1,216 @@
+"""The fitted surrogate: a linear model per Eq. 1 stall component.
+
+The model predicts per-reference **event rates** — cluster c2c hits, NC
+hits, PC hits, remote misses, relocations per shared reference — as a
+linear function of the feature vector of :mod:`~repro.surrogate.features`,
+clipped at zero.  Stall *cycles* are reconstructed exactly from those
+rates and the candidate's Table 1 latencies::
+
+    cycles_per_ref[c] = max(0, x . coef[:, c]) * latency_c(config)
+
+Because the trace-driven simulator's event counts never depend on the
+latency model, latency what-ifs pass through this reconstruction with no
+model error at all; only the rate predictions are approximate.
+
+Fitting is ridge-regularised least squares over the normal equations
+(:meth:`SurrogateModel.fit`) — pure numpy, fully deterministic: the same
+training sweep produces bit-identical coefficients (pinned by
+``tests/surrogate/test_fit.py``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ReproError
+from ..obs.profile import STALL_COMPONENTS
+from ..params import SystemConfig
+from ..sim.latency import nc_hit_latency, remote_miss_latency
+from .features import FEATURE_NAMES
+
+#: relative ridge weight: the penalty is RIDGE * trace(X'X)/n_features,
+#: so conditioning is scale-free and the solution stays deterministic
+DEFAULT_RIDGE = 1e-6
+
+#: serialisation format version; bump on any incompatible change
+MODEL_VERSION = 1
+
+
+class SurrogateError(ReproError):
+    """A malformed, unfitted, or incompatible surrogate model."""
+
+
+def component_latencies(config: SystemConfig) -> np.ndarray:
+    """The five Eq. 1 latencies of one system, in STALL_COMPONENTS order."""
+    lat = config.latency
+    return np.array(
+        [
+            lat.cache_to_cache,
+            nc_hit_latency(config),
+            lat.pc_hit,
+            remote_miss_latency(config),
+            lat.page_relocation,
+        ],
+        dtype=np.float64,
+    )
+
+
+@dataclass
+class SurrogateModel:
+    """Coefficients + provenance of one calibrated surrogate.
+
+    ``coef`` has shape ``(n_features, n_components)``; rows follow
+    :data:`~repro.surrogate.features.FEATURE_NAMES`, columns follow
+    :data:`~repro.obs.profile.STALL_COMPONENTS`.
+    """
+
+    coef: np.ndarray
+    feature_names: Tuple[str, ...] = FEATURE_NAMES
+    components: Tuple[str, ...] = STALL_COMPONENTS
+    ridge: float = DEFAULT_RIDGE
+    #: training provenance: refs/seed/scale, cells, systems, benchmarks,
+    #: and in-sample residual summary — recorded, never interpreted
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.coef = np.asarray(self.coef, dtype=np.float64)
+        if self.coef.shape != (len(self.feature_names), len(self.components)):
+            raise SurrogateError(
+                f"coefficient shape {self.coef.shape} does not match "
+                f"{len(self.feature_names)} features x "
+                f"{len(self.components)} components"
+            )
+
+    # ---- fitting ---------------------------------------------------------
+
+    @classmethod
+    def fit(
+        cls,
+        x: np.ndarray,
+        y: np.ndarray,
+        ridge: float = DEFAULT_RIDGE,
+        meta: Optional[Dict[str, object]] = None,
+    ) -> "SurrogateModel":
+        """Solve the ridge least-squares system for all components at once.
+
+        ``x`` is the (cells, features) design matrix; ``y`` the (cells,
+        components) per-reference event rates.  Solving the normal
+        equations with a scale-free ridge term keeps the solve
+        well-conditioned even when trace columns are collinear (few
+        distinct benchmarks) and — unlike iterative solvers — bit-exactly
+        reproducible for identical inputs.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or y.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise SurrogateError(
+                f"design/target shapes disagree: {x.shape} vs {y.shape}"
+            )
+        if x.shape[0] < x.shape[1]:
+            raise SurrogateError(
+                f"under-determined fit: {x.shape[0]} cells for "
+                f"{x.shape[1]} features — widen the training sweep"
+            )
+        gram = x.T @ x
+        lam = ridge * float(np.trace(gram)) / gram.shape[0]
+        gram += lam * np.eye(gram.shape[0])
+        coef = np.linalg.solve(gram, x.T @ y)
+        model = cls(coef=coef, ridge=ridge, meta=dict(meta or {}))
+        resid = x @ coef - y
+        model.meta["in_sample_rmse"] = {
+            comp: float(np.sqrt(np.mean(resid[:, i] ** 2)))
+            for i, comp in enumerate(model.components)
+        }
+        model.meta["n_cells"] = int(x.shape[0])
+        return model
+
+    # ---- prediction ------------------------------------------------------
+
+    def predict_rates(self, x: np.ndarray) -> np.ndarray:
+        """Per-reference event rates for each row of ``x`` (clipped at 0)."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        return np.clip(x @ self.coef, 0.0, None)
+
+    def predict_cycles_per_ref(
+        self, x: np.ndarray, latencies: np.ndarray
+    ) -> np.ndarray:
+        """Per-component stall cycles per reference.
+
+        ``latencies`` is (N, 5) or (5,) in STALL_COMPONENTS order —
+        broadcasting one latency row over all candidates is the common
+        case when no latency axis is being swept.
+        """
+        return self.predict_rates(x) * np.asarray(latencies, dtype=np.float64)
+
+    def predict_cell(
+        self, config: SystemConfig, x: np.ndarray
+    ) -> Dict[str, float]:
+        """Component -> predicted stall cycles/ref for one real config."""
+        cycles = self.predict_cycles_per_ref(x, component_latencies(config))[0]
+        return {c: float(v) for c, v in zip(self.components, cycles)}
+
+    # ---- serialisation ---------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "model_version": MODEL_VERSION,
+            "feature_names": list(self.feature_names),
+            "components": list(self.components),
+            "ridge": self.ridge,
+            "coef": [[float(v) for v in row] for row in self.coef],
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "SurrogateModel":
+        if not isinstance(doc, dict) or doc.get("model_version") != MODEL_VERSION:
+            raise SurrogateError(
+                f"unsupported surrogate model document "
+                f"(version {doc.get('model_version') if isinstance(doc, dict) else '?'})"
+            )
+        try:
+            return cls(
+                coef=np.array(doc["coef"], dtype=np.float64),
+                feature_names=tuple(doc["feature_names"]),  # type: ignore[arg-type]
+                components=tuple(doc["components"]),  # type: ignore[arg-type]
+                ridge=float(doc["ridge"]),  # type: ignore[arg-type]
+                meta=dict(doc.get("meta", {})),  # type: ignore[arg-type]
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SurrogateError(f"malformed surrogate model document: {exc}") from None
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "SurrogateModel":
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise SurrogateError(f"cannot read surrogate model {path}: {exc}") from None
+        return cls.from_dict(doc)
+
+    def digest(self) -> str:
+        """SHA-256 over the canonical JSON form — the determinism handle."""
+        blob = json.dumps(self.to_dict(), sort_keys=True).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+    # ---- inspection ------------------------------------------------------
+
+    def coefficient_table(self) -> List[Tuple[str, Dict[str, float]]]:
+        """(feature, component -> coefficient) rows, in feature order."""
+        return [
+            (
+                name,
+                {c: float(self.coef[i, j]) for j, c in enumerate(self.components)},
+            )
+            for i, name in enumerate(self.feature_names)
+        ]

@@ -5,15 +5,28 @@ The paper sorts applications by *spatial locality*, *regularity*, the
 :func:`characterize` measures all of these on a generated trace so that
 tests can assert each synthetic benchmark lands in its intended class
 (see ``tests/trace/test_characteristics.py``).
+
+The same statistics double as the *trace features* of the analytic
+surrogate model (:mod:`repro.surrogate`): :meth:`TraceCharacteristics.
+feature_dict` exposes them under stable names, and the concentration
+statistics (:attr:`~TraceCharacteristics.hot_block_fraction`) separate
+the regular benchmarks from the sparse, irregular ones — the axis the
+paper's Sec. 6 analysis turns on.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
+from typing import Dict
 
 import numpy as np
 
 from .record import Trace
+
+#: the share of distinct blocks counted as "hot" by
+#: :attr:`TraceCharacteristics.hot_block_fraction` — the hottest 10%
+HOT_BLOCK_SHARE = 0.10
 
 _BLOCK_BITS = 6
 _PAGE_BITS = 12
@@ -38,6 +51,34 @@ class TraceCharacteristics:
     remote_fraction: float
     #: mean references per distinct touched block (temporal reuse)
     block_reuse: float
+    #: mean references per distinct touched page (page-grain reuse; what a
+    #: page cache can exploit)
+    page_reuse: float
+    #: fraction of references landing in the hottest HOT_BLOCK_SHARE of
+    #: distinct blocks — HOT_BLOCK_SHARE for a uniform trace, approaching
+    #: 1.0 for a highly skewed one.  Separates regular benchmarks from
+    #: sparse/irregular ones, which is the axis that decides whether a
+    #: small fast NC or a large slow RDC wins (Sec. 6).
+    hot_block_fraction: float
+
+    def feature_dict(self) -> Dict[str, float]:
+        """The trace-side features of the surrogate model, by stable name.
+
+        Counts enter through their logarithm so the magnitudes stay
+        comparable across trace lengths; every value is finite for any
+        non-empty trace.
+        """
+        return {
+            "write_fraction": self.write_fraction,
+            "block_utilization": self.block_utilization,
+            "page_utilization": self.page_utilization,
+            "remote_fraction": self.remote_fraction,
+            "log_distinct_blocks": math.log2(1.0 + self.distinct_blocks),
+            "log_distinct_pages": math.log2(1.0 + self.distinct_pages),
+            "log_block_reuse": math.log2(1.0 + self.block_reuse),
+            "log_page_reuse": math.log2(1.0 + self.page_reuse),
+            "hot_block_fraction": self.hot_block_fraction,
+        }
 
 
 def characterize(trace: Trace, procs_per_node: int = 4) -> TraceCharacteristics:
@@ -57,6 +98,14 @@ def characterize(trace: Trace, procs_per_node: int = 4) -> TraceCharacteristics:
     blocks_per_page = 1 << (_PAGE_BITS - _BLOCK_BITS)
     block_util = distinct_words / (distinct_blocks * words_per_block)
     page_util = distinct_blocks / (distinct_pages * blocks_per_page)
+
+    # concentration: what share of references does the hottest 10% of
+    # blocks absorb?  np.unique's counts are deterministic; sorting them
+    # descending makes the statistic independent of address layout.
+    _, block_counts = np.unique(blocks, return_counts=True)
+    n_hot = max(1, int(block_counts.size * HOT_BLOCK_SHARE))
+    hot_refs = np.sort(block_counts)[::-1][:n_hot].sum()
+    hot_block_fraction = float(hot_refs) / max(1, len(trace))
 
     remote_fraction = 0.0
     if trace.placement:
@@ -79,4 +128,6 @@ def characterize(trace: Trace, procs_per_node: int = 4) -> TraceCharacteristics:
         footprint_bytes=distinct_pages * (1 << _PAGE_BITS),
         remote_fraction=remote_fraction,
         block_reuse=len(trace) / max(1, distinct_blocks),
+        page_reuse=len(trace) / max(1, distinct_pages),
+        hot_block_fraction=hot_block_fraction,
     )

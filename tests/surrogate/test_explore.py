@@ -1,0 +1,190 @@
+"""Design-space search: enumeration, Pareto math, serial == parallel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.surrogate import (
+    Candidate,
+    DesignSpace,
+    check_surrogate,
+    explore,
+    pareto_frontier,
+)
+from repro.surrogate.explore import (
+    explore_json,
+    explore_report,
+    select_frontier,
+)
+
+REFS = 5000
+BENCHES = ["barnes", "radix"]
+
+SMALL_SPACE = DesignSpace(
+    families=("base", "nc", "vb", "vbp"),
+    nc_sizes=(8 * 1024, 32 * 1024),
+    pc_denoms=(5, 3),
+    thresholds=(2, 8),
+    remote_latencies=(30, 60),
+)
+
+
+class TestDesignSpace:
+    def test_size_matches_enumeration(self):
+        cands = SMALL_SPACE.candidates()
+        assert len(cands) == SMALL_SPACE.size
+        assert len(set(cands)) == len(cands)
+
+    def test_axes_only_where_applicable(self):
+        for c in SMALL_SPACE.candidates():
+            if c.family == "base":
+                assert c.nc_size == 0 and c.pc_denom == 0 and c.threshold == 0
+            if c.family == "vb":
+                assert c.nc_size > 0 and c.pc_denom == 0
+            if c.family == "vbp":
+                assert c.nc_size > 0 and c.pc_denom > 0 and c.threshold > 0
+
+    def test_unknown_family_is_clean_error(self):
+        with pytest.raises(ConfigurationError, match="unknown design-space"):
+            DesignSpace(families=("base", "warp"))
+
+    def test_sample_is_deterministic_subset(self):
+        s1 = SMALL_SPACE.sample(10, seed=7)
+        s2 = SMALL_SPACE.sample(10, seed=7)
+        assert s1 == s2
+        assert len(set(s1)) == 10
+        assert set(s1) <= set(SMALL_SPACE.candidates())
+        assert SMALL_SPACE.sample(10, seed=8) != s1
+
+    def test_sample_larger_than_space_is_full_space(self):
+        assert SMALL_SPACE.sample(10_000) == SMALL_SPACE.candidates()
+
+    def test_candidates_materialise_to_real_configs(self):
+        for c in SMALL_SPACE.sample(8, seed=3):
+            config = c.to_config()
+            assert config.latency.remote_access == c.remote_latency
+            if c.threshold:
+                assert config.pc.initial_threshold == c.threshold
+
+    def test_labels_are_unique(self):
+        labels = [c.label for c in SMALL_SPACE.candidates()]
+        assert len(set(labels)) == len(labels)
+
+
+class TestParetoMath:
+    def test_frontier_is_non_dominated(self):
+        rng = np.random.default_rng(1)
+        cost = rng.uniform(0, 100, 200)
+        stall = rng.uniform(0, 10, 200)
+        idx = pareto_frontier(cost, stall)
+        assert idx, "non-empty inputs must yield a frontier"
+        chosen = set(idx)
+        for i in idx:
+            dominated = (cost <= cost[i]) & (stall < stall[i])
+            assert not np.any(dominated), i
+        # frontier is sorted by cost and strictly improving in stall
+        assert list(idx) == sorted(idx, key=lambda i: (cost[i], stall[i]))
+        stalls = [stall[i] for i in idx]
+        assert stalls == sorted(stalls, reverse=True)
+        # every non-frontier point is dominated by some frontier point
+        for j in range(len(cost)):
+            if j in chosen:
+                continue
+            assert any(
+                cost[i] <= cost[j] and stall[i] <= stall[j] for i in idx
+            ), j
+
+    def test_select_frontier_keeps_endpoints(self):
+        frontier = list(range(20))
+        picked = select_frontier(frontier, 5)
+        assert len(picked) == 5
+        assert picked[0] == 0 and picked[-1] == 19
+        assert select_frontier(frontier, 50) == frontier
+
+
+class TestExploreEndToEnd:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return explore(
+            SMALL_SPACE, BENCHES, refs=REFS, seed=1, jobs=1, frontier_max=4
+        )
+
+    def test_frontier_simulated_and_graded(self, outcome):
+        assert outcome.n_ranked == SMALL_SPACE.size
+        assert 0 < len(outcome.frontier) <= 4
+        for e in outcome.frontier:
+            assert e.simulated_stall is not None
+            assert e.predicted_stall >= 0.0
+        assert outcome.summary["cells"] == \
+            len(outcome.frontier) * len(BENCHES)
+
+    def test_serial_equals_parallel_frontier(self, outcome):
+        parallel = explore(
+            SMALL_SPACE, BENCHES, refs=REFS, seed=1, jobs=2, frontier_max=4
+        )
+        assert [e.label for e in parallel.frontier] == \
+            [e.label for e in outcome.frontier]
+        assert parallel.model.digest() == outcome.model.digest()
+        for a, b in zip(parallel.frontier, outcome.frontier):
+            assert a.predicted_stall == b.predicted_stall
+            assert a.simulated_stall == b.simulated_stall
+
+    def test_report_and_json_render(self, outcome):
+        text = explore_report(outcome)
+        assert "Pareto frontier" in text
+        assert "per-component surrogate error" in text
+        doc = explore_json(outcome)
+        assert doc["kind"] == "explore"
+        assert doc["n_ranked"] == SMALL_SPACE.size
+        assert len(doc["frontier"]) == len(outcome.frontier)
+        assert doc["model"]["digest"] == outcome.model.digest()
+        import json
+
+        json.dumps(doc)  # must be serialisable as-is
+
+    def test_no_simulate_stops_after_ranking(self):
+        out = explore(
+            SMALL_SPACE, BENCHES, refs=REFS, seed=1, simulate_frontier=False
+        )
+        assert out.frontier and all(
+            e.simulated_stall is None for e in out.frontier
+        )
+        assert out.summary["cells"] == 0
+        assert "NOT simulated" in explore_report(out)
+
+
+class TestCheckGate:
+    def test_gate_passes_and_fails_on_thresholds(self):
+        loose = {
+            "max_median_abs_total_error_pct": 1000.0,
+            "min_candidates_ranked": 1,
+            "min_candidates_per_sec": 1,
+        }
+        doc, cells, failures = check_surrogate(
+            loose, SMALL_SPACE, BENCHES, refs=REFS, seed=1
+        )
+        assert not failures and doc["passed"]
+        assert cells, "holdout cells must be validated"
+        assert doc["validation"]["cells"] == len(cells)
+
+        strict = {
+            "max_median_abs_error_cycles_per_ref": {"remote_miss": 0.0},
+            "min_candidates_ranked": 10 ** 9,
+            "min_candidates_per_sec": 10 ** 12,
+        }
+        doc, _cells, failures = check_surrogate(
+            strict, SMALL_SPACE, BENCHES, refs=REFS, seed=1
+        )
+        assert not doc["passed"]
+        assert any("remote_miss" in f for f in failures)
+        assert any("ranked only" in f for f in failures)
+        assert any("throughput" in f for f in failures)
+
+
+class TestCandidateLabels:
+    def test_label_round_trip_parts(self):
+        c = Candidate("vbp", 16 * 1024, 5, 8, 60)
+        assert c.label == "vbp5/nc16k/t8/r60"
+        assert Candidate("base", 0, 0, 0, 30).label == "base"

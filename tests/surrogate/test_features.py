@@ -1,0 +1,140 @@
+"""Feature extraction: every trace family, scalar == vectorised path."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sim.runner import get_trace
+from repro.surrogate.explore import _FAMILY_TRAITS, Candidate
+from repro.surrogate.features import (
+    FEATURE_NAMES,
+    N_FEATURES,
+    TRACE_FEATURE_NAMES,
+    cell_features,
+    config_scalars,
+    feature_dict,
+    trace_features,
+)
+from repro.system.builder import system_config
+from repro.trace.synthetic import BENCHMARK_NAMES
+
+REFS = 4000
+
+
+@pytest.fixture(scope="module")
+def tf_barnes():
+    return trace_features(get_trace("barnes", refs=REFS, seed=1))
+
+
+class TestTraceFeatures:
+    @pytest.mark.parametrize("bench", BENCHMARK_NAMES)
+    def test_every_family_yields_finite_features(self, bench):
+        tf = trace_features(get_trace(bench, refs=REFS, seed=1))
+        vec = tf.vector()
+        assert vec.shape == (len(TRACE_FEATURE_NAMES),)
+        assert np.all(np.isfinite(vec))
+        d = tf.chars.feature_dict()
+        assert tuple(d) == TRACE_FEATURE_NAMES
+        assert 0.0 <= d["write_fraction"] <= 1.0
+        assert 0.0 <= d["remote_fraction"] <= 1.0
+        assert 0.0 < d["hot_block_fraction"] <= 1.0
+        assert d["log_distinct_blocks"] > 0.0
+        assert tf.dataset_bytes > 0
+        assert tf.footprint_bytes > 0
+
+    def test_hot_block_fraction_orders_skewed_traces(self):
+        # raytrace is built hot-spot heavy, fft is a regular all-to-all:
+        # the hot-block mass must reflect that
+        hot = trace_features(get_trace("raytrace", refs=REFS, seed=1))
+        flat = trace_features(get_trace("fft", refs=REFS, seed=1))
+        assert (
+            hot.chars.feature_dict()["hot_block_fraction"]
+            > flat.chars.feature_dict()["hot_block_fraction"]
+        )
+
+
+class TestCellFeatures:
+    def test_vector_is_named_and_finite(self, tf_barnes):
+        vec = cell_features(system_config("vbp5"), tf_barnes)
+        assert vec.shape == (N_FEATURES,)
+        assert np.all(np.isfinite(vec))
+        named = feature_dict(system_config("vbp5"), tf_barnes)
+        assert tuple(named) == FEATURE_NAMES
+        assert named["bias"] == 1.0
+        assert named["pc_enabled"] == 1.0
+        assert 0.0 < named["pc_coverage"] <= 1.0
+
+    def test_infinite_nc_coverage_saturates(self, tf_barnes):
+        named = feature_dict(system_config("ncs"), tf_barnes)
+        assert named["nc_coverage"] == 1.0
+        assert named["nc_coverage_sq"] == 1.0
+
+    def test_no_nc_no_pc_features_are_zero(self, tf_barnes):
+        named = feature_dict(system_config("base"), tf_barnes)
+        for key in ("has_nc", "nc_coverage", "pc_enabled", "pc_coverage",
+                    "threshold_inv"):
+            assert named[key] == 0.0
+
+    @pytest.mark.parametrize("family", sorted(_FAMILY_TRAITS))
+    def test_family_traits_match_real_configs(self, family, tf_barnes):
+        """The hardcoded ranking-path traits must mirror system_config."""
+        cand = Candidate(
+            family=family,
+            nc_size=0 if family in ("base", "p")
+            else (512 * 1024 if family == "ncd" else 16 * 1024),
+            pc_denom=5 if family in ("p", "ncp", "vbp", "vpp", "vxp") else 0,
+            threshold=4 if family in ("p", "ncp", "vbp", "vpp", "vxp") else 0,
+            remote_latency=30,
+        )
+        s = config_scalars(cand.to_config(), tf_barnes.dataset_bytes)
+        has_nc, victim, page_indexed, dram = _FAMILY_TRAITS[family]
+        assert s.has_nc == has_nc
+        assert s.nc_victim == victim
+        assert s.nc_page_indexed == page_indexed
+        assert s.nc_dram == dram
+        if cand.nc_size:
+            assert s.nc_blocks == cand.nc_size / 64
+        assert s.pc_enabled == (1.0 if cand.pc_denom else 0.0)
+        if cand.pc_denom:
+            assert s.pc_bytes == pytest.approx(
+                tf_barnes.dataset_bytes / cand.pc_denom
+            )
+            assert s.threshold == cand.threshold
+
+    def test_scalar_path_equals_vector_path(self, tf_barnes):
+        """cell_features routes through feature_matrix — bit-identical to
+        the arrays the ranking path builds for the same candidate."""
+        from repro.surrogate.explore import _candidate_arrays
+        from repro.surrogate.features import feature_matrix
+
+        cands = [
+            Candidate("vbp", 16 * 1024, 5, 4, 30),
+            Candidate("nc", 16 * 1024, 0, 0, 30),
+            Candidate("base", 0, 0, 0, 30),
+            Candidate("ncd", 512 * 1024, 0, 0, 30),
+        ]
+        arrays = _candidate_arrays(cands)
+        x = feature_matrix(
+            tf_barnes,
+            has_nc=arrays["has_nc"],
+            nc_victim=arrays["nc_victim"],
+            nc_page_indexed=arrays["nc_page_indexed"],
+            nc_dram=arrays["nc_dram"],
+            nc_blocks=arrays["nc_blocks"],
+            pc_enabled=arrays["pc_enabled"],
+            pc_bytes=arrays["pc_enabled"] * arrays["denom_inv"]
+            * tf_barnes.dataset_bytes,
+            threshold=arrays["threshold"],
+        )
+        for i, cand in enumerate(cands):
+            scalar = cell_features(cand.to_config(), tf_barnes)
+            assert scalar.tobytes() == x[i].tobytes(), cand.label
+
+    def test_log_features_use_log2(self, tf_barnes):
+        d = tf_barnes.chars.feature_dict()
+        assert d["log_distinct_blocks"] == pytest.approx(
+            math.log2(1.0 + tf_barnes.chars.distinct_blocks)
+        )

@@ -1,0 +1,133 @@
+"""Calibration: determinism, holdout validity, model round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.manifest import config_digest
+from repro.sim.parallel import run_parallel_sweep
+from repro.surrogate import (
+    SurrogateError,
+    SurrogateModel,
+    fit_surrogate,
+    holdout_configs,
+    training_configs,
+    validate_model,
+)
+from repro.surrogate.fit import (
+    build_dataset,
+    error_summary,
+    event_rates,
+    trace_features_for,
+)
+
+REFS = 5000
+BENCHES = ["barnes", "radix"]
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    # a small but full-rank training matrix: every config feature varies
+    configs = training_configs(nc_sizes=(4096, 65536), thresholds=(2, 16))
+    results = run_parallel_sweep(configs, BENCHES, refs=REFS, seed=1)
+    tfs = trace_features_for(BENCHES, refs=REFS, seed=1)
+    return configs, results, tfs
+
+
+class TestFitDeterminism:
+    def test_same_sweep_bit_identical_coefficients(self, small_sweep):
+        configs, results, tfs = small_sweep
+        m1 = fit_surrogate(results, tfs)
+        m2 = fit_surrogate(results, tfs)
+        assert m1.coef.tobytes() == m2.coef.tobytes()
+        assert m1.digest() == m2.digest()
+
+    def test_row_order_does_not_matter(self, small_sweep):
+        configs, results, tfs = small_sweep
+        m1 = fit_surrogate(results, tfs)
+        shuffled = dict(reversed(list(results.items())))
+        m2 = fit_surrogate(shuffled, tfs)
+        assert m1.coef.tobytes() == m2.coef.tobytes()
+
+    def test_refit_from_rerun_sweep_is_identical(self, small_sweep):
+        configs, results, tfs = small_sweep
+        again = run_parallel_sweep(configs, BENCHES, refs=REFS, seed=1)
+        assert fit_surrogate(results, tfs).digest() == \
+            fit_surrogate(again, tfs).digest()
+
+
+class TestDataset:
+    def test_shapes_and_keys(self, small_sweep):
+        _configs, results, tfs = small_sweep
+        x, y, keys = build_dataset(results, tfs)
+        assert x.shape[0] == y.shape[0] == len(results)
+        assert y.shape[1] == 5
+        assert keys == sorted(results)
+
+    def test_event_rates_are_per_reference(self, small_sweep):
+        _configs, results, tfs = small_sweep
+        r = next(iter(results.values()))
+        rates = event_rates(r)
+        assert rates.shape == (5,)
+        assert np.all(rates >= 0.0)
+        assert np.all(rates <= 1.0 + r.counters.pc_relocations)
+
+    def test_under_determined_fit_is_clean_error(self, small_sweep):
+        _configs, results, tfs = small_sweep
+        few = dict(list(results.items())[:3])
+        with pytest.raises(SurrogateError, match="under-determined"):
+            fit_surrogate(few, tfs)
+
+
+class TestValidation:
+    def test_holdout_configs_disjoint_from_training(self):
+        train = training_configs()
+        hold = holdout_configs()
+        assert not set(train) & set(hold)
+        train_digests = {config_digest(c) for c in train.values()}
+        for name, config in hold.items():
+            assert config_digest(config) not in train_digests, name
+
+    def test_validate_and_summarise(self, small_sweep):
+        _configs, results, tfs = small_sweep
+        model = fit_surrogate(results, tfs)
+        cells = validate_model(model, results, tfs)
+        assert len(cells) == len(results)
+        summary = error_summary(cells)
+        assert summary["cells"] == len(cells)
+        # in-sample predictions of a full-rank linear fit must be close
+        assert summary["median_abs_total_error_pct"] < 10.0
+        for comp, err in summary["median_abs_error_cycles_per_ref"].items():
+            assert err >= 0.0, comp
+
+    def test_empty_summary_shape(self):
+        summary = error_summary([])
+        assert summary["cells"] == 0
+        assert summary["median_abs_total_error_pct"] == 0.0
+
+
+class TestModelSerialisation:
+    def test_round_trip(self, small_sweep, tmp_path):
+        _configs, results, tfs = small_sweep
+        model = fit_surrogate(results, tfs)
+        path = tmp_path / "model.json"
+        model.save(str(path))
+        loaded = SurrogateModel.load(str(path))
+        assert loaded.digest() == model.digest()
+        assert loaded.coef.tobytes() == model.coef.tobytes()
+
+    def test_malformed_document_is_clean_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"model_version": 999}')
+        with pytest.raises(SurrogateError, match="unsupported"):
+            SurrogateModel.load(str(path))
+        path.write_text("not json")
+        with pytest.raises(SurrogateError, match="cannot read"):
+            SurrogateModel.load(str(path))
+
+    def test_coefficient_table_names_every_feature(self, small_sweep):
+        _configs, results, tfs = small_sweep
+        model = fit_surrogate(results, tfs)
+        table = model.coefficient_table()
+        assert [name for name, _row in table] == list(model.feature_names)

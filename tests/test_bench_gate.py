@@ -1,0 +1,126 @@
+"""Unit tests for scripts/check_bench_regression.py (the throughput gate).
+
+The script is not a package module, so it is loaded by file path.  The
+cases pin the mismatch behaviour: a committed floor with no measurement,
+a measurement with no committed floor, and malformed files must all fail
+with a clear message — never a ``KeyError`` traceback.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parent.parent / "scripts" / "check_bench_regression.py"
+
+
+@pytest.fixture(scope="module")
+def gate():
+    spec = importlib.util.spec_from_file_location("check_bench_regression", _SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _bench_json(path: Path, rates: dict) -> str:
+    doc = {
+        "benchmarks": [
+            {"name": name, "extra_info": {"refs_per_sec": rate}}
+            for name, rate in rates.items()
+        ]
+    }
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def _baseline_json(path: Path, floors) -> str:
+    path.write_text(json.dumps({"refs_per_sec": floors}))
+    return str(path)
+
+
+class TestGateVerdicts:
+    def test_passes_at_floor(self, gate, tmp_path, capsys):
+        cur = _bench_json(tmp_path / "cur.json", {"t[a]": 1000.0})
+        base = _baseline_json(tmp_path / "base.json", {"t[a]": 1000})
+        assert gate.main([cur, base]) == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_fails_below_tolerance(self, gate, tmp_path, capsys):
+        cur = _bench_json(tmp_path / "cur.json", {"t[a]": 700.0})
+        base = _baseline_json(tmp_path / "base.json", {"t[a]": 1000})
+        assert gate.main([cur, base]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_tolerance_is_configurable(self, gate, tmp_path):
+        cur = _bench_json(tmp_path / "cur.json", {"t[a]": 700.0})
+        base = _baseline_json(tmp_path / "base.json", {"t[a]": 1000})
+        assert gate.main([cur, base, "--tolerance", "0.5"]) == 0
+
+
+class TestMismatches:
+    def test_floor_without_measurement_fails_clearly(self, gate, tmp_path, capsys):
+        cur = _bench_json(tmp_path / "cur.json", {"t[a]": 1000.0})
+        base = _baseline_json(
+            tmp_path / "base.json", {"t[a]": 1000, "t[gone]": 500}
+        )
+        assert gate.main([cur, base]) == 1
+        err = capsys.readouterr().err
+        assert "t[gone]" in err and "no measurement" in err
+
+    def test_measurement_without_floor_fails_clearly(self, gate, tmp_path, capsys):
+        cur = _bench_json(
+            tmp_path / "cur.json", {"t[a]": 1000.0, "t[new]": 2000.0}
+        )
+        base = _baseline_json(tmp_path / "base.json", {"t[a]": 1000})
+        assert gate.main([cur, base]) == 1
+        captured = capsys.readouterr()
+        assert "t[new]" in captured.err
+        assert "--update" in captured.err
+        assert "NO-FLOOR" in captured.out
+
+
+class TestMalformedFiles:
+    def test_baseline_without_floor_table_is_clean_error(self, gate, tmp_path, capsys):
+        cur = _bench_json(tmp_path / "cur.json", {"t[a]": 1000.0})
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps({"wrong_key": {}}))
+        assert gate.main([cur, str(base)]) == 2
+        err = capsys.readouterr().err
+        assert "refs_per_sec" in err and "--update" in err
+
+    def test_non_numeric_floor_is_clean_error(self, gate, tmp_path, capsys):
+        cur = _bench_json(tmp_path / "cur.json", {"t[a]": 1000.0})
+        base = _baseline_json(tmp_path / "base.json", {"t[a]": "fast"})
+        assert gate.main([cur, str(base)]) == 2
+        assert "non-numeric" in capsys.readouterr().err
+
+    def test_unreadable_files_are_clean_errors(self, gate, tmp_path, capsys):
+        cur = _bench_json(tmp_path / "cur.json", {"t[a]": 1000.0})
+        assert gate.main([cur, str(tmp_path / "missing.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        base = _baseline_json(tmp_path / "base.json", {"t[a]": 1000})
+        assert gate.main([str(bad), base]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_current_without_rates_is_clean_error(self, gate, tmp_path, capsys):
+        cur = tmp_path / "cur.json"
+        cur.write_text(json.dumps({"benchmarks": []}))
+        base = _baseline_json(tmp_path / "base.json", {"t[a]": 1000})
+        assert gate.main([str(cur), base]) == 2
+        assert "no refs_per_sec" in capsys.readouterr().err
+
+
+class TestUpdate:
+    def test_update_writes_floors_with_headroom(self, gate, tmp_path):
+        cur = _bench_json(tmp_path / "cur.json", {"t[a]": 5000.0})
+        base = tmp_path / "base.json"
+        assert gate.main([cur, str(base), "--update", "--headroom", "5"]) == 0
+        doc = json.loads(base.read_text())
+        assert doc["refs_per_sec"] == {"t[a]": 1000}
+        # the refreshed baseline must gate cleanly against the same run
+        assert gate.main([cur, str(base)]) == 0

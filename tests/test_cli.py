@@ -192,3 +192,80 @@ class TestPerfJson:
         spec.loader.exec_module(mod)
         rates = mod.extract_refs_per_sec(str(json_path))
         assert rates["perf::lu"] > 0
+
+
+_EXPLORE_SMALL = [
+    "--benchmarks", "barnes,radix", "--refs", "5000", "--jobs", "1",
+    "--families", "base,vb,vbp", "--nc-sizes", "8k,32k",
+    "--pc-denoms", "5", "--thresholds", "2,8",
+]
+
+
+class TestExplore:
+    def test_explore_reports_frontier_and_errors(self, capsys, tmp_path):
+        import json
+
+        json_path = tmp_path / "explore.json"
+        assert main(
+            ["explore", *_EXPLORE_SMALL, "--frontier-max", "3",
+             "--json", str(json_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "per-component surrogate error" in out
+        doc = json.loads(json_path.read_text())
+        assert doc["kind"] == "explore"
+        assert doc["n_ranked"] == doc["space_size"]
+        assert doc["frontier"]
+        assert doc["validation"]["cells"] > 0
+
+    def test_model_save_and_reuse(self, capsys, tmp_path):
+        model_path = tmp_path / "model.json"
+        assert main(
+            ["explore", *_EXPLORE_SMALL, "--no-simulate",
+             "--save-model", str(model_path)]
+        ) == 0
+        assert model_path.exists()
+        assert main(
+            ["explore", *_EXPLORE_SMALL, "--no-simulate",
+             "--model", str(model_path)]
+        ) == 0
+        assert "pre-fitted" in capsys.readouterr().out
+
+    def test_check_gates_against_baseline(self, capsys, tmp_path):
+        import json
+
+        loose = tmp_path / "loose.json"
+        loose.write_text(json.dumps({
+            "max_median_abs_total_error_pct": 1000.0,
+            "min_candidates_ranked": 1,
+        }))
+        assert main(
+            ["explore", "--check", *_EXPLORE_SMALL,
+             "--baseline", str(loose)]
+        ) == 0
+        assert "within baseline" in capsys.readouterr().out
+
+        strict = tmp_path / "strict.json"
+        strict.write_text(json.dumps({
+            "max_median_abs_total_error_pct": 0.0,
+            "min_candidates_ranked": 10 ** 9,
+        }))
+        assert main(
+            ["explore", "--check", *_EXPLORE_SMALL,
+             "--baseline", str(strict)]
+        ) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_missing_baseline_is_clean_error(self, capsys, tmp_path):
+        assert main(
+            ["explore", "--check", *_EXPLORE_SMALL,
+             "--baseline", str(tmp_path / "nope.json")]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_size_list_is_clean_error(self, capsys):
+        assert main(
+            ["explore", "--no-simulate", "--nc-sizes", "huge"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
