@@ -1,0 +1,236 @@
+#!/usr/bin/env python
+"""Validate a Prometheus text-format 0.0.4 scrape — the CI gate behind
+``GET /metrics``.
+
+Checks the exposition the service's :class:`repro.obs.registry.
+WallClockRegistry` renders (and that any real Prometheus scraper would
+have to parse):
+
+* every non-comment line matches the sample grammar
+  ``name{label="value",...} value`` with valid metric/label identifiers
+  and properly escaped label values;
+* every sampled family carries a ``# TYPE`` line *before* its first
+  sample, and ``# HELP``/``# TYPE`` lines are well-formed and unique;
+* no series (name + label set) is emitted twice;
+* histograms are coherent: every ``_bucket`` has an ``le`` label, the
+  ``+Inf`` bucket is present, cumulative bucket counts never decrease
+  within a series, and ``+Inf`` equals the family's ``_count``.
+
+Usage::
+
+    python scripts/check_metrics_format.py load-metrics.txt
+
+Exits 0 when the scrape is valid, 1 with the problem list otherwise.
+``--min-samples N`` additionally fails scrapes carrying fewer than N
+samples (guards against a server that exposed an empty registry).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from typing import Dict, List, Tuple
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+VALUE_RE = re.compile(r"^(?:[+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?"
+                      r"|[+-]?Inf|NaN)$")
+
+
+class ParseError(ValueError):
+    pass
+
+
+def parse_labels(blob: str) -> List[Tuple[str, str]]:
+    """Parse ``a="x",b="y"`` with full escape handling; order-preserving."""
+    pairs: List[Tuple[str, str]] = []
+    i = 0
+    while i < len(blob):
+        match = re.match(r"([a-zA-Z_][a-zA-Z0-9_]*)=\"", blob[i:])
+        if not match:
+            raise ParseError(f"bad label syntax at ...{blob[i:]!r}")
+        name = match.group(1)
+        i += match.end()
+        value = []
+        while True:
+            if i >= len(blob):
+                raise ParseError("unterminated label value")
+            ch = blob[i]
+            if ch == "\\":
+                if i + 1 >= len(blob):
+                    raise ParseError("dangling escape in label value")
+                esc = blob[i + 1]
+                if esc == "n":
+                    value.append("\n")
+                elif esc in ("\\", '"'):
+                    value.append(esc)
+                else:
+                    raise ParseError(f"invalid escape \\{esc} in label value")
+                i += 2
+            elif ch == '"':
+                i += 1
+                break
+            elif ch == "\n":
+                raise ParseError("raw newline in label value")
+            else:
+                value.append(ch)
+                i += 1
+        pairs.append((name, "".join(value)))
+        if i < len(blob):
+            if blob[i] != ",":
+                raise ParseError(f"expected ',' between labels, got {blob[i]!r}")
+            i += 1
+    return pairs
+
+
+def base_family(name: str) -> str:
+    """The family a sample belongs to (strips histogram suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def check(text: str) -> Tuple[List[str], Dict[str, str], int]:
+    """Returns (problems, family -> TYPE, sample count)."""
+    problems: List[str] = []
+    types: Dict[str, str] = {}
+    helps: Dict[str, str] = {}
+    seen_series: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], int] = {}
+    #: (family, non-le labels) -> list of (le, cumulative count)
+    buckets: Dict[Tuple[str, tuple], List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[str, tuple], float] = {}
+    samples = 0
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # free-form comment: legal, ignored
+            kind, name = parts[1], parts[2]
+            if not METRIC_NAME_RE.match(name):
+                problems.append(f"line {lineno}: bad metric name in # {kind}")
+                continue
+            table = types if kind == "TYPE" else helps
+            if name in table:
+                problems.append(f"line {lineno}: duplicate # {kind} {name}")
+            if kind == "TYPE":
+                value = parts[3].strip() if len(parts) > 3 else ""
+                if value not in ("counter", "gauge", "histogram", "summary",
+                                 "untyped"):
+                    problems.append(
+                        f"line {lineno}: unknown TYPE {value!r} for {name}")
+                types[name] = value
+            else:
+                helps[name] = parts[3] if len(parts) > 3 else ""
+            continue
+
+        samples += 1
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            blob, brace, value_blob = rest.rpartition("}")
+            if not brace:
+                problems.append(f"line {lineno}: unbalanced braces")
+                continue
+            try:
+                labels = parse_labels(blob)
+            except ParseError as exc:
+                problems.append(f"line {lineno}: {exc}")
+                continue
+        else:
+            name, _, value_blob = line.partition(" ")
+            labels = []
+        if not METRIC_NAME_RE.match(name):
+            problems.append(f"line {lineno}: bad metric name {name!r}")
+            continue
+        for label_name, _ in labels:
+            if not LABEL_NAME_RE.match(label_name):
+                problems.append(
+                    f"line {lineno}: bad label name {label_name!r}")
+        fields = value_blob.split()
+        if not fields or len(fields) > 2 or not VALUE_RE.match(fields[0]):
+            problems.append(f"line {lineno}: bad sample value {value_blob!r}")
+            continue
+        value = float(fields[0])
+
+        family = base_family(name)
+        if family not in types and name not in types:
+            problems.append(
+                f"line {lineno}: sample {name} before any # TYPE line")
+        series = (name, tuple(sorted(labels)))
+        if series in seen_series:
+            problems.append(
+                f"line {lineno}: duplicate series {name}"
+                f"{dict(labels)} (first at line {seen_series[series]})")
+        seen_series[series] = lineno
+
+        if types.get(family) == "histogram":
+            bare = tuple(sorted(
+                (k, v) for k, v in labels if k != "le"
+            ))
+            if name.endswith("_bucket"):
+                le = dict(labels).get("le")
+                if le is None:
+                    problems.append(
+                        f"line {lineno}: histogram bucket without le label")
+                    continue
+                bound = float("inf") if le == "+Inf" else float(le)
+                buckets.setdefault((family, bare), []).append((bound, value))
+            elif name.endswith("_count"):
+                counts[(family, bare)] = value
+
+    for (family, bare), series in buckets.items():
+        label_blob = dict(bare)
+        bounds = [b for b, _ in series]
+        if bounds != sorted(bounds):
+            problems.append(
+                f"{family}{label_blob}: buckets not in increasing le order")
+        values = [v for _, v in series]
+        if any(b > a for a, b in zip(values[1:], values)):
+            problems.append(
+                f"{family}{label_blob}: cumulative bucket counts decrease")
+        if not bounds or bounds[-1] != float("inf"):
+            problems.append(f"{family}{label_blob}: no +Inf bucket")
+        elif (family, bare) in counts and counts[(family, bare)] != values[-1]:
+            problems.append(
+                f"{family}{label_blob}: +Inf bucket {values[-1]:g} != "
+                f"_count {counts[(family, bare)]:g}")
+    for key in counts:
+        if key not in buckets:
+            problems.append(f"{key[0]}{dict(key[1])}: _count without buckets")
+    return problems, types, samples
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("scrape", help="path to a saved GET /metrics body")
+    parser.add_argument("--min-samples", type=int, default=1,
+                        help="fail unless at least N samples are present "
+                             "(default %(default)s)")
+    args = parser.parse_args(argv)
+
+    with open(args.scrape, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    problems, types, samples = check(text)
+    if problems:
+        for p in problems:
+            print(f"INVALID: {p}", file=sys.stderr)
+        return 1
+    if samples < args.min_samples:
+        print(f"INVALID: only {samples} sample(s) "
+              f"(--min-samples {args.min_samples})", file=sys.stderr)
+        return 1
+    by_type: Dict[str, int] = {}
+    for kind in types.values():
+        by_type[kind] = by_type.get(kind, 0) + 1
+    shape = ", ".join(f"{n} {k}" for k, n in sorted(by_type.items()))
+    print(f"{args.scrape}: valid Prometheus text format 0.0.4 "
+          f"({len(types)} families: {shape}; {samples} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,7 +18,18 @@ specs should be ~all cache hits).  The report asserts what
 * cache-hit rate on the second pass (``--min-hit-rate`` gates CI);
 * bit-identity: every response for the same spec must carry identical
   ``counters_sha`` digests, cached or freshly simulated;
-* submit -> done latency percentiles (p50/p90/p99) and throughput.
+* submit -> done latency percentiles (p50/p90/p99) and throughput;
+* **telemetry reconciliation**: ``GET /metrics`` is scraped before and
+  after every pass and the server's own counters must agree with the
+  client's tally — accepted ``POST /jobs`` 202s against submissions,
+  store hit/miss deltas against per-job cache summaries (exact in a
+  clean steady pass, a ``>=`` floor when retries/503s blur the count),
+  plus server-side p50/p90/p99 from the request-latency histogram
+  reported beside the client's view.  In ``--chaos`` mode the kill can
+  lose unsnapshotted increments, so the per-pass deltas are replaced by
+  a persistence assertion: after the SIGKILL + restart the reloaded
+  ``repro_jobs_submitted_total`` must still cover every job that had
+  already completed before the kill.
 
 Every request has a hard timeout and a bounded retry/backoff budget, so
 a hung or draining server fails the run with a clear error instead of
@@ -209,6 +220,186 @@ def percentile(sorted_values: List[float], p: float) -> float:
         return 0.0
     idx = min(len(sorted_values) - 1, int(p / 100.0 * len(sorted_values)))
     return sorted_values[idx]
+
+
+# ---------------------------------------------------------------------------
+# /metrics scraping + reconciliation
+# ---------------------------------------------------------------------------
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[tuple, float]]:
+    """Prometheus text -> ``{family: {sorted-label-tuple: value}}``.
+
+    Good enough for our own exposition (label values never contain
+    commas or escaped quotes); the strict grammar check lives in
+    ``scripts/check_metrics_format.py``.
+    """
+    samples: Dict[str, Dict[tuple, float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            blob, _, value_s = rest.rpartition("} ")
+            labels = {}
+            for pair in blob.split(","):
+                if not pair:
+                    continue
+                key, _, value = pair.partition("=")
+                labels[key.strip()] = value.strip().strip('"')
+            series = tuple(sorted(labels.items()))
+        else:
+            name, _, value_s = line.rpartition(" ")
+            series = ()
+        try:
+            samples.setdefault(name, {})[series] = float(value_s)
+        except ValueError:
+            continue
+    return samples
+
+
+def metric_total(
+    samples: Dict[str, Dict[tuple, float]], name: str, **match: str
+) -> float:
+    """Sum a family over every series whose labels match ``match``."""
+    total = 0.0
+    for series, value in samples.get(name, {}).items():
+        labels = dict(series)
+        if all(labels.get(k) == v for k, v in match.items()):
+            total += value
+    return total
+
+
+def metric_delta(before, after, name: str, **match: str) -> float:
+    return metric_total(after, name, **match) - metric_total(before, name, **match)
+
+
+def server_latency_percentiles(
+    before, after, name: str = "repro_http_request_seconds"
+) -> Dict[str, object]:
+    """p50/p90/p99 upper bounds from the latency histogram's bucket deltas.
+
+    Aggregates over endpoints; each percentile reports the ``le`` bound
+    of the first cumulative bucket covering it (the usual
+    histogram_quantile-style answer).
+    """
+
+    def buckets(samples) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for series, value in samples.get(f"{name}_bucket", {}).items():
+            le = dict(series).get("le")
+            if le is not None:
+                out[le] = out.get(le, 0.0) + value
+        return out
+
+    b0, b1 = buckets(before), buckets(after)
+    delta = {le: b1[le] - b0.get(le, 0.0) for le in b1}
+    ordered = sorted(
+        delta, key=lambda le: float("inf") if le == "+Inf" else float(le)
+    )
+    total = delta.get("+Inf", 0.0)
+    out: Dict[str, object] = {"count": int(total)}
+    for p in (50, 90, 99):
+        chosen = None
+        if total > 0:
+            target = p / 100.0 * total
+            for le in ordered:
+                if delta[le] >= target:
+                    chosen = le
+                    break
+        out[f"p{p}_le"] = chosen
+    return out
+
+
+def scrape_metrics(host: str, port: int, timeout: float = 10.0) -> str:
+    """One ``GET /metrics`` (with retry/backoff); returns the raw text."""
+    status, payload = asyncio.run(request_with_retry(
+        host, port, "GET", "/metrics", timeout=timeout, attempts=5,
+    ))
+    if status != 200:
+        raise RequestFailed(f"GET /metrics answered {status}")
+    raw = payload.get("raw", "")
+    if not isinstance(raw, str):
+        raise RequestFailed("GET /metrics did not return text")
+    return raw
+
+
+def reconcile_pass(
+    stats: "PassStats", before, after, strict: bool
+) -> Dict[str, object]:
+    """Server-side counter deltas vs the client's own tally for one pass.
+
+    ``strict`` (a clean steady pass: no retries, no 503s, no failures)
+    demands exact equality; otherwise the server may legitimately have
+    seen *more* than the client credited (a retry whose first response
+    was lost on the wire), so only the ``>=`` floor is asserted.
+    """
+    accepted = metric_delta(before, after, "repro_http_requests_total",
+                            endpoint="/jobs", method="POST", status="202")
+    hits = metric_delta(before, after, "repro_store_hits_total")
+    misses = metric_delta(before, after, "repro_store_misses_total")
+    simulated = stats.cells_total - stats.cells_hit
+    problems: List[str] = []
+
+    def check(label: str, server_side: float, client_side: int) -> None:
+        if strict and round(server_side) != client_side:
+            problems.append(
+                f"{label}: server counted {server_side:g}, "
+                f"clients counted {client_side}"
+            )
+        elif server_side + 1e-9 < client_side:
+            problems.append(
+                f"{label}: server counted {server_side:g} < "
+                f"client floor {client_side}"
+            )
+
+    check("accepted submissions (POST /jobs -> 202)", accepted,
+          stats.submitted)
+    check("store hits", hits, stats.cells_hit)
+    check("store misses (simulated cells)", misses, simulated)
+    return {
+        "strict": strict,
+        "accepted_202_delta": accepted,
+        "store_hits_delta": hits,
+        "store_misses_delta": misses,
+        "client_submitted": stats.submitted,
+        "client_cells_hit": stats.cells_hit,
+        "client_cells_simulated": simulated,
+        "server_latency": server_latency_percentiles(before, after),
+        "problems": problems,
+    }
+
+
+def export_spans(data_dir: str, out_path: str) -> Optional[str]:
+    """Export the largest recorded span tree as Chrome trace JSON.
+
+    Picks the job run directory with the biggest ``spans.jsonl`` and
+    shells out to ``repro trace serve-export``; returns the run dir, or
+    ``None`` when nothing was exportable.
+    """
+    jobs_dir = os.path.join(data_dir, "jobs")
+    best, best_size = None, -1
+    for root, _dirs, files in os.walk(jobs_dir):
+        if "spans.jsonl" in files:
+            size = os.path.getsize(os.path.join(root, "spans.jsonl"))
+            if size > best_size:
+                best, best_size = root, size
+    if best is None:
+        return None
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "trace", "serve-export", best,
+         "--out", out_path],
+        env=env, capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        print(f"serve-export failed: {proc.stderr.strip()}", file=sys.stderr)
+        return None
+    return best
 
 
 # ---------------------------------------------------------------------------
@@ -472,6 +663,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                          "is below this")
     ap.add_argument("--out", default=None,
                     help="write the JSON report here (default: stdout only)")
+    ap.add_argument("--metrics-out", default=None,
+                    help="write the final GET /metrics scrape (Prometheus "
+                         "text) here, e.g. for check_metrics_format.py")
+    ap.add_argument("--spans-out", default=None,
+                    help="export the largest recorded span tree as Chrome "
+                         "trace JSON here via 'repro trace serve-export' "
+                         "(needs --spawn/--chaos/--saturate)")
     args = ap.parse_args(argv)
     if args.chaos or args.saturate:
         args.spawn = True
@@ -523,11 +721,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         "passes": [],
     }
     cross_pass_digests: Dict[int, Tuple] = {}
+    metrics_problems: List[str] = []
+    final_metrics_text = ""
     try:
         for pass_no in range(1, args.passes + 1):
             chaos_info: Optional[Dict[str, object]] = None
             if args.chaos and pass_no == 1:
                 chaos_info = {}
+            pre_metrics = parse_prometheus(scrape_metrics(
+                host, port, args.request_timeout))
             stats, wall = asyncio.run(run_pass(
                 f"pass{pass_no}", server, pool, sequence,
                 args.concurrency, args.poll_interval,
@@ -535,7 +737,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                 chaos=chaos_info,
             ))
             summary = stats.summary(wall)
-            if chaos_info is not None:
+            final_metrics_text = scrape_metrics(
+                host, port, args.request_timeout)
+            post_metrics = parse_prometheus(final_metrics_text)
+            if chaos_info is None:
+                # reconcile server deltas against the client tally; a
+                # chaos pass is exempt (the SIGKILL may lose increments
+                # recorded after the last snapshot) and asserts restart
+                # persistence instead, below
+                strict = (not stats.failed and not stats.rejected
+                          and not stats.conn_retries)
+                recon = reconcile_pass(stats, pre_metrics, post_metrics,
+                                       strict=strict)
+                summary["server_metrics"] = recon
+                metrics_problems.extend(
+                    f"{stats.name}: {p}" for p in recon["problems"]
+                )
+            else:
+                summary["server_metrics"] = {
+                    "skipped": "chaos pass (deltas not meaningful "
+                               "across a SIGKILL)",
+                    "server_latency": server_latency_percentiles(
+                        pre_metrics, post_metrics),
+                }
                 summary["chaos"] = chaos_info
                 report["chaos"] = chaos_info
             report["passes"].append(summary)
@@ -548,12 +772,41 @@ def main(argv: Optional[List[str]] = None) -> int:
                           file=sys.stderr)
                     return 1
         report["bit_identical_across_passes"] = True
+        if args.chaos and "killed_after_jobs_done" in report.get("chaos", {}):
+            # the counters reloaded after the kill -9 must still cover
+            # every job that had already completed: each terminal
+            # transition snapshots the registry before the job is
+            # acknowledged done, so this floor survives any kill point
+            floor = int(report["chaos"]["killed_after_jobs_done"])
+            persisted = metric_total(parse_prometheus(final_metrics_text),
+                                     "repro_jobs_submitted_total")
+            report["chaos"]["persisted_submitted_total"] = persisted
+            if persisted < floor:
+                metrics_problems.append(
+                    f"restart persistence: repro_jobs_submitted_total "
+                    f"{persisted:g} < {floor} jobs already completed "
+                    f"before the kill"
+                )
         _, stats_resp, _ = asyncio.run(http_request(
             host, port, "GET", "/stats", timeout=args.request_timeout))
         report["server_stats"] = stats_resp
         _, health, _ = asyncio.run(http_request(
             host, port, "GET", "/healthz", timeout=args.request_timeout))
         report["final_health"] = health
+        if args.spans_out:
+            if server.get("data_dir") is None:
+                metrics_problems.append(
+                    "--spans-out needs a spawned server (use --spawn)")
+            else:
+                run_dir = export_spans(str(server["data_dir"]),
+                                       args.spans_out)
+                if run_dir is None:
+                    metrics_problems.append(
+                        "--spans-out: no exportable spans.jsonl found")
+                else:
+                    report["spans_export"] = {
+                        "run_dir": run_dir, "out": args.spans_out,
+                    }
     finally:
         proc = server.get("proc")
         if proc is not None:
@@ -571,8 +824,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"report written to {args.out}")
+    if args.metrics_out:
+        out_dir = os.path.dirname(args.metrics_out)
+        if out_dir:
+            os.makedirs(out_dir, exist_ok=True)
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(final_metrics_text)
+        print(f"final /metrics scrape written to {args.metrics_out}")
 
-    failures: List[str] = []
+    failures: List[str] = list(metrics_problems)
     final = report["passes"][-1]
     total_failed = sum(p["failed"] for p in report["passes"])
     if total_failed:
@@ -613,6 +873,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.saturate:
         print(f"PASS: {sum(p['rejected_503'] for p in report['passes'])} "
               f"503(s) shed and absorbed by retry/backoff; health ok")
+    print("PASS: server /metrics telemetry reconciles with the client tally")
     return 0
 
 

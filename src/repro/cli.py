@@ -336,10 +336,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.benchmark == "export":
         return _cmd_trace_export(args)
+    if args.benchmark == "serve-export":
+        return _cmd_trace_serve_export(args)
     if args.export_args:
         print("error: unexpected arguments "
-              f"{' '.join(args.export_args)!r} (only 'trace export' takes "
-              "SYSTEM BENCHMARK positionals)", file=sys.stderr)
+              f"{' '.join(args.export_args)!r} (only 'trace export' and "
+              "'trace serve-export' take positionals)", file=sys.stderr)
         return 2
     trace = get_trace(args.benchmark, refs=args.refs, seed=args.seed,
                       scale=args.scale)
@@ -382,6 +384,45 @@ def _cmd_trace_export(args: argparse.Namespace) -> int:
     n_events = len(doc["traceEvents"])
     print(f"{system} / {benchmark}: {n_events} trace events "
           f"({result.refs} refs) written to {out}")
+    print("open in chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
+def _cmd_trace_serve_export(args: argparse.Namespace) -> int:
+    """``repro trace serve-export RUN_DIR``: wall-clock span tree export.
+
+    Reads the ``spans.jsonl`` a service job recorded (HTTP receive →
+    queue-wait → per-cell simulate/cache-hit → store-put → respond) and
+    writes it as Chrome/Perfetto trace-event JSON in the **wall-clock**
+    clock domain — unlike ``trace export``, whose timeline is simulated
+    bus cycles.
+    """
+    from .obs.spans import load_spans, span_tree_problems, spans_to_chrome
+    from .obs.timeline import validate_chrome_trace, write_chrome_trace
+
+    if len(args.export_args) != 1:
+        print("usage: repro trace serve-export RUN_DIR [--out spans.json]",
+              file=sys.stderr)
+        return 2
+    run_dir = args.export_args[0]
+    spans = load_spans(run_dir)
+    if not spans:
+        print(f"error: no spans found under {run_dir} (expected "
+              "spans.jsonl from a service-run job)", file=sys.stderr)
+        return 1
+    for problem in span_tree_problems(spans):
+        print(f"warning: {problem}", file=sys.stderr)
+    doc = spans_to_chrome(spans)
+    problems = validate_chrome_trace(doc)
+    if problems:  # should be unreachable; belt-and-braces before writing
+        for p in problems:
+            print(f"invalid trace: {p}", file=sys.stderr)
+        return 1
+    out = args.out or "spans.json"
+    write_chrome_trace(doc, out)
+    traces = sorted({s.get("trace_id") for s in spans if s.get("trace_id")})
+    print(f"{len(spans)} span(s) across {len(traces)} trace(s) "
+          f"written to {out}")
     print("open in chrome://tracing or https://ui.perfetto.dev")
     return 0
 
@@ -883,20 +924,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "trace",
-        help="generate/inspect a benchmark trace, or 'trace export "
-             "SYSTEM BENCHMARK' for a Chrome/Perfetto trace.json",
+        help="generate/inspect a benchmark trace, 'trace export "
+             "SYSTEM BENCHMARK' for a Chrome/Perfetto trace.json, or "
+             "'trace serve-export RUN_DIR' for a service job's "
+             "wall-clock span tree",
     )
     p.add_argument("benchmark",
-                   help="benchmark name, or 'export' to write a Chrome "
-                        "trace-event file of a simulated run")
-    p.add_argument("export_args", nargs="*", metavar="SYSTEM BENCHMARK",
-                   help="for 'trace export': the system and benchmark to "
-                        "simulate with event tracing on")
+                   help="benchmark name, 'export' to write a Chrome "
+                        "trace-event file of a simulated run, or "
+                        "'serve-export' for a service run directory's "
+                        "wall-clock spans")
+    p.add_argument("export_args", nargs="*", metavar="ARGS",
+                   help="for 'trace export': SYSTEM BENCHMARK to simulate "
+                        "with event tracing on; for 'trace serve-export': "
+                        "the job RUN_DIR holding spans.jsonl")
     p.add_argument("--refs", type=int, default=DEFAULT_REFS)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--scale", type=float, default=DEFAULT_SCALE)
     p.add_argument("--out", default=None,
-                   help="save as .npz (trace) / trace.json (trace export)")
+                   help="save as .npz (trace) / trace.json (trace export) "
+                        "/ spans.json (trace serve-export)")
     p.add_argument("--stats", action="store_true",
                    help="print trace characterisation")
     p.set_defaults(func=_cmd_trace)

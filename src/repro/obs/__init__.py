@@ -39,8 +39,24 @@ Cooperating pieces, all optional and all zero-cost when unused:
   ``recovery.jsonl`` and renders per-cell progress, refs/sec, an ETA,
   and recovery counts, without touching the run directory.
 
+* :mod:`repro.obs.registry` — the **wall-clock** telemetry registry.
+  Where :mod:`repro.obs.metrics` measures the simulated machine in
+  deterministic bus cycles, :class:`~repro.obs.registry.WallClockRegistry`
+  measures the *service process itself* (request rates, queue depths,
+  latency histograms) and renders Prometheus text format 0.0.4 at the
+  service's ``GET /metrics``, with a crash-safe JSON snapshot for
+  restart persistence.
+
+* :mod:`repro.obs.spans` — cross-process request→job→cell span tracing.
+  Every HTTP submission's correlation id becomes the trace id of a span
+  tree (receive → queue-wait → per-cell simulate/cache-hit → store-put
+  → respond) recorded to the job's ``spans.jsonl`` and exported as
+  Chrome/Perfetto JSON by ``repro trace serve-export`` — the wall-clock
+  sibling of :mod:`repro.obs.timeline`'s simulated-cycle exporter.
+
 See ``docs/OBSERVABILITY.md`` for the event schema, the metrics
-catalog, the profiler key layout, and the manifest format.
+catalog, the profiler key layout, the manifest format, and the
+wall-clock telemetry catalogue.
 """
 
 from .events import (
@@ -66,6 +82,21 @@ from .metrics import (
     run_metrics,
 )
 from .monitor import SweepProgress, watch
+from .registry import (
+    METRICS_CONTENT_TYPE,
+    METRICS_SNAPSHOT_NAME,
+    WallClockRegistry,
+)
+from .spans import (
+    SPANS_NAME,
+    SpanRecorder,
+    load_spans,
+    new_request_id,
+    request_root_span_id,
+    run_span_id,
+    span_tree_problems,
+    spans_to_chrome,
+)
 from .profile import (
     DEFAULT_WINDOW,
     PROFILE_ENV,
@@ -116,4 +147,15 @@ __all__ = [
     "write_chrome_trace",
     "SweepProgress",
     "watch",
+    "METRICS_CONTENT_TYPE",
+    "METRICS_SNAPSHOT_NAME",
+    "WallClockRegistry",
+    "SPANS_NAME",
+    "SpanRecorder",
+    "load_spans",
+    "new_request_id",
+    "request_root_span_id",
+    "run_span_id",
+    "span_tree_problems",
+    "spans_to_chrome",
 ]

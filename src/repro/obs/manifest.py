@@ -44,8 +44,12 @@ MANIFEST_ENV = "REPRO_MANIFEST_DIR"
 #: ("recovery" records faults survived, which vary run to run by design;
 #: "cache" records the result-store hit/simulated split, which flips from
 #: all-miss to all-hit between two identical runs while the results stay
-#: bit-identical — exactly the property the core must not see)
-VOLATILE_KEYS = ("created_unix", "timing", "git_sha", "version", "recovery", "cache")
+#: bit-identical — exactly the property the core must not see; the HTTP
+#: correlation "request_id" is provenance stamped per submission)
+VOLATILE_KEYS = (
+    "created_unix", "timing", "git_sha", "version", "recovery", "cache",
+    "request_id",
+)
 VOLATILE_CELL_KEYS = ("elapsed_s", "refs_per_sec")
 
 

@@ -23,12 +23,20 @@ Endpoints (full reference with examples in ``docs/SERVICE.md``):
 ``GET /jobs/<id>/result``   per-cell counters/digests of a finished job
 ``GET /jobs/<id>/top``      the ``repro top`` board (text; ``?format=json``)
 ``GET /top``                aggregate board over every known job
+``GET /metrics``            wall-clock telemetry as Prometheus text
+                            exposition format 0.0.4
 ==========================  ================================================
 
 Errors are JSON too: ``{"error": "..."}`` with 400 (bad spec or body),
 404 (unknown path or job), 405 (wrong method), 408 (request took longer
 than ``$REPRO_REQUEST_TIMEOUT`` to arrive), 413 (oversized body), 503
 (saturated or draining; carries a ``Retry-After`` header).
+
+Every response carries an ``X-Request-Id`` header — the client's own id
+when it sent one, a fresh one otherwise.  Accepted submissions stamp
+that id into the job record, the sweep journal rows, and the run
+manifest, and it becomes the trace id of the request's span tree
+(``repro trace serve-export RUN_DIR``).
 
 Resilience behaviours live at this layer too: slow-client read timeouts
 (a stalled ``POST`` cannot pin the event loop's welcome mat), and the
@@ -44,11 +52,14 @@ import json
 import math
 import signal
 import sys
+import time
 from typing import Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from ..errors import JobSpecError, ServiceUnavailableError
 from ..faults import active_plan
+from ..obs.registry import METRICS_CONTENT_TYPE
+from ..obs.spans import new_request_id, request_root_span_id
 from .jobs import Job, JobManager, _env_float
 
 #: request bodies larger than this are rejected with 413 (a sweep spec is
@@ -102,46 +113,69 @@ class ServiceApp:
             request_timeout if request_timeout is not None
             else _env_float(REQUEST_TIMEOUT_ENV, DEFAULT_REQUEST_TIMEOUT)
         )
+        manager.metrics.describe(
+            "repro_http_requests_total",
+            "HTTP requests answered, by endpoint template/method/status.",
+        )
+        manager.metrics.describe(
+            "repro_http_request_seconds",
+            "Wall-clock seconds from first request byte to response sent.",
+        )
 
     # ---- request plumbing ------------------------------------------------
 
     async def handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        t0 = time.time()
+        request_id = new_request_id()
+        endpoint = "<bad-request>"
+        method = ""
+        status: Optional[int] = None
         try:
             try:
                 read = self._read_request(reader)
                 if self.request_timeout and self.request_timeout > 0:
-                    method, target, body = await asyncio.wait_for(
+                    method, target, body, client_id = await asyncio.wait_for(
                         read, timeout=self.request_timeout
                     )
                 else:
-                    method, target, body = await read
+                    method, target, body, client_id = await read
+                if client_id:
+                    request_id = client_id
             except asyncio.TimeoutError:
+                status = 408
                 await self._send(
                     writer, 408,
                     {"error": "request not received in time (slow client?)"},
+                    extra_headers={"X-Request-Id": request_id},
                 )
                 return
             except HttpError as exc:
-                await self._send(writer, exc.status, {"error": exc.message})
+                status = exc.status
+                await self._send(writer, exc.status, {"error": exc.message},
+                                 extra_headers={"X-Request-Id": request_id})
                 return
             except (asyncio.IncompleteReadError, ConnectionError, ValueError):
                 return  # client hung up or spoke garbage; nothing to answer
+            endpoint = self._endpoint_label(target)
+            t_read = time.time()
             await self._maybe_hang(method, target, body)
-            headers: Optional[Dict[str, str]] = None
+            headers: Dict[str, str] = {"X-Request-Id": request_id}
+            ctx: Dict[str, object] = {"request_id": request_id, "job": None,
+                                      "content_type": None}
             try:
                 self._maybe_reject(method, target, body)
-                status, payload, text = self._route(method, target, body)
+                status, payload, text = self._route(method, target, body, ctx)
             except ServiceUnavailableError as exc:
                 status, text = 503, None
                 payload = {
                     "error": exc.reason,
                     "retry_after_s": exc.retry_after_s,
                 }
-                headers = {
-                    "Retry-After": str(max(1, math.ceil(exc.retry_after_s)))
-                }
+                headers["Retry-After"] = str(
+                    max(1, math.ceil(exc.retry_after_s))
+                )
             except HttpError as exc:
                 status, payload, text = exc.status, {"error": exc.message}, None
             except JobSpecError as exc:
@@ -150,14 +184,108 @@ class ServiceApp:
                 status = 500
                 payload = {"error": f"{type(exc).__name__}: {exc}"}
                 text = None
+            t_routed = time.time()
             await self._send(writer, status, payload, text=text,
-                             extra_headers=headers)
+                             extra_headers=headers,
+                             content_type=ctx.get("content_type"))
+            job = ctx.get("job")
+            if job is not None:
+                self._attach_request_spans(
+                    job, request_id, method, target,
+                    t0=t0, t_read=t_read, t_routed=t_routed,
+                )
         finally:
+            if status is not None:
+                self._observe_request(endpoint, method or "-", status,
+                                      time.time() - t0)
             try:
                 writer.close()
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    def _observe_request(
+        self, endpoint: str, method: str, status: int, dur_s: float
+    ) -> None:
+        """Per-request telemetry; must never break a served response."""
+        try:
+            metrics = self.manager.metrics
+            metrics.inc(
+                "repro_http_requests_total",
+                labels={"endpoint": endpoint, "method": method,
+                        "status": str(status)},
+            )
+            metrics.observe("repro_http_request_seconds", max(0.0, dur_s),
+                            labels={"endpoint": endpoint})
+        except Exception:  # noqa: BLE001 - telemetry is strictly best-effort
+            pass
+
+    @staticmethod
+    def _endpoint_label(target: str) -> str:
+        """Template the path so metric label cardinality stays bounded."""
+        try:
+            path = urlsplit(target).path.rstrip("/") or "/"
+        except ValueError:
+            return "<bad-request>"
+        if path in ("/healthz", "/stats", "/top", "/metrics"):
+            return path
+        parts = [p for p in path.split("/") if p]
+        if parts and parts[0] == "jobs":
+            if len(parts) == 1:
+                return "/jobs"
+            if len(parts) == 2:
+                return "/jobs/{id}"
+            if len(parts) == 3 and parts[2] in ("cancel", "result", "top"):
+                return "/jobs/{id}/" + parts[2]
+        return "<other>"
+
+    def _attach_request_spans(
+        self,
+        job: Job,
+        request_id: str,
+        method: str,
+        target: str,
+        t0: float,
+        t_read: float,
+        t_routed: float,
+    ) -> None:
+        """Record the HTTP-side spans of an accepted submission.
+
+        The root span id is derived from the request id, so the job
+        manager's and sweep workers' spans parent to it without any
+        cross-thread handshake.  Best-effort: a full disk must not turn
+        into a failed submission.
+        """
+        try:
+            now = time.time()
+            root_id = request_root_span_id(request_id)
+
+            def rec(span_id, parent, name, a, b, **args):
+                payload = {
+                    "trace_id": request_id,
+                    "span_id": span_id,
+                    "parent_id": parent,
+                    "name": name,
+                    "t0_unix": a,
+                    "dur_s": max(0.0, b - a),
+                    "proc": "http",
+                }
+                if args:
+                    payload["args"] = args
+                return payload
+
+            path = urlsplit(target).path
+            records = [
+                rec(root_id, None, f"{method} {path}", t0, now,
+                    job_id=job.id, request_id=request_id),
+                rec(f"{root_id}-recv", root_id, "receive", t0, t_read),
+                rec(f"{root_id}-route", root_id, "validate+enqueue",
+                    t_read, t_routed),
+                rec(f"{root_id}-resp", root_id, "respond", t_routed, now),
+            ]
+            self.manager.attach_request_spans(job.id, records)
+        except Exception:  # noqa: BLE001 - tracing is strictly best-effort
+            pass
 
     # ---- deterministic service-layer fault injection ---------------------
 
@@ -187,6 +315,10 @@ class ServiceApp:
         if plan is None:
             return
         if plan.should_reject(self._fault_context(method, target, body)):
+            try:
+                self.manager.note_rejected("injected")
+            except Exception:  # noqa: BLE001 - telemetry must not mask faults
+                pass
             raise ServiceUnavailableError(
                 "injected admission-control rejection",
                 retry_after_s=self.manager.retry_after_s,
@@ -194,7 +326,7 @@ class ServiceApp:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Tuple[str, str, Optional[object]]:
+    ) -> Tuple[str, str, Optional[object], Optional[str]]:
         request_line = await reader.readline()
         if not request_line:
             raise ConnectionError("empty request")
@@ -204,6 +336,7 @@ class ServiceApp:
             raise HttpError(400, "malformed request line")
         content_length = 0
         header_bytes = 0
+        request_id: Optional[str] = None
         while True:
             line = await reader.readline()
             header_bytes += len(line)
@@ -215,11 +348,18 @@ class ServiceApp:
                 name, _, value = line.decode("latin-1").partition(":")
             except UnicodeDecodeError:
                 raise HttpError(400, "malformed header")
-            if name.strip().lower() == "content-length":
+            name = name.strip().lower()
+            if name == "content-length":
                 try:
                     content_length = int(value.strip())
                 except ValueError:
                     raise HttpError(400, "bad Content-Length")
+            elif name == "x-request-id":
+                # adopt the client's correlation id (bounded: header bytes
+                # already capped; keep it printable and reasonably short)
+                candidate = value.strip()
+                if 0 < len(candidate) <= 128 and candidate.isprintable():
+                    request_id = candidate
         if content_length > MAX_BODY_BYTES:
             raise HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
         body: Optional[object] = None
@@ -229,7 +369,7 @@ class ServiceApp:
                 body = json.loads(raw)
             except ValueError:
                 raise HttpError(400, "body is not valid JSON")
-        return method.upper(), target, body
+        return method.upper(), target, body, request_id
 
     async def _send(
         self,
@@ -238,10 +378,11 @@ class ServiceApp:
         payload: Dict[str, object],
         text: Optional[str] = None,
         extra_headers: Optional[Dict[str, str]] = None,
+        content_type: Optional[str] = None,
     ) -> None:
         if text is not None:
             data = text.encode("utf-8")
-            ctype = "text/plain; charset=utf-8"
+            ctype = content_type or "text/plain; charset=utf-8"
         else:
             data = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
             ctype = "application/json"
@@ -272,7 +413,11 @@ class ServiceApp:
     # ---- routing ---------------------------------------------------------
 
     def _route(
-        self, method: str, target: str, body: Optional[object]
+        self,
+        method: str,
+        target: str,
+        body: Optional[object],
+        ctx: Optional[Dict[str, object]] = None,
     ) -> Tuple[int, Dict[str, object], Optional[str]]:
         split = urlsplit(target)
         path = split.path.rstrip("/") or "/"
@@ -286,13 +431,21 @@ class ServiceApp:
         if path == "/stats":
             self._require(method, "GET")
             return 200, self.manager.stats(), None
+        if path == "/metrics":
+            self._require(method, "GET")
+            if ctx is not None:
+                ctx["content_type"] = METRICS_CONTENT_TYPE
+            return 200, {}, self.manager.metrics.expose()
         if path == "/top":
             self._require(method, "GET")
             return self._aggregate_top(query)
         if parts and parts[0] == "jobs":
             if len(parts) == 1:
                 if method == "POST":
-                    job = self.manager.submit(body)
+                    request_id = ctx.get("request_id") if ctx else None
+                    job = self.manager.submit(body, request_id=request_id)
+                    if ctx is not None:
+                        ctx["job"] = job
                     return 202, _job_payload(job), None
                 self._require(method, "GET", "POST")
                 limit = self._int_param(query, "limit", default=50)
@@ -391,11 +544,17 @@ class ServiceApp:
 
 
 async def _gc_loop(manager: JobManager, interval_s: float) -> None:
-    """Periodic TTL reaping of terminal jobs (a no-op without a TTL)."""
+    """Periodic TTL reaping of terminal jobs (a no-op without a TTL).
+
+    Doubles as the telemetry heartbeat: each tick refreshes the queue
+    gauges and persists the metrics snapshot, bounding how much counter
+    history a SIGKILL can lose between job completions.
+    """
     while True:
         await asyncio.sleep(interval_s)
         try:
             manager.gc_terminal_jobs()
+            manager.flush_telemetry()
         except Exception:  # noqa: BLE001 - GC must never kill the server
             pass
 

@@ -49,6 +49,14 @@ from ..errors import (
 )
 from ..obs.manifest import build_manifest, counters_digest, write_manifest
 from ..obs.monitor import SweepProgress
+from ..obs.registry import METRICS_SNAPSHOT_NAME, WallClockRegistry
+from ..obs.spans import (
+    SPANS_NAME,
+    SpanRecorder,
+    append_spans,
+    request_root_span_id,
+    run_span_id,
+)
 from ..sim.parallel import RecoveryLog, cache_summary, run_parallel_sweep
 from ..sim.runner import DEFAULT_SCALE, resolve_sweep_configs
 from ..trace.synthetic import BENCHMARK_NAMES
@@ -215,6 +223,7 @@ class Job:
     error: Optional[str] = None
     cache: Optional[Dict[str, object]] = None
     resumed: bool = False  #: re-enqueued by startup recovery
+    request_id: Optional[str] = None  #: X-Request-Id correlation (trace id)
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -227,6 +236,7 @@ class Job:
             "error": self.error,
             "cache": self.cache,
             "resumed": self.resumed,
+            "request_id": self.request_id,
         }
 
 
@@ -268,12 +278,21 @@ class JobManager:
         max_inflight_cells: Optional[int] = None,
         job_ttl_s: Optional[float] = None,
         retry_after_s: float = 2.0,
+        metrics: Optional[WallClockRegistry] = None,
     ) -> None:
         from .store import service_data_dir
 
         self.data_dir = Path(data_dir) if data_dir is not None else service_data_dir()
         self.jobs_dir = self.data_dir / "jobs"
-        self.store = store if store is not None else ResultStore(self.data_dir / "store")
+        #: wall-clock telemetry registry, persisted to ``metrics.json`` in
+        #: the data dir so counters survive a SIGKILL + restart.  Loaded
+        #: (merged) here, before any tally can move.
+        self.metrics = metrics if metrics is not None else WallClockRegistry()
+        self.metrics_path = self.data_dir / METRICS_SNAPSHOT_NAME
+        self.metrics.load(self.metrics_path)
+        self.store = store if store is not None else ResultStore(
+            self.data_dir / "store", metrics=self.metrics
+        )
         self.tracer = tracer
         self.started_unix = time.time()
         self._jobs: "OrderedDict[str, Job]" = OrderedDict()
@@ -296,8 +315,12 @@ class JobManager:
             else _env_float(JOB_TTL_ENV, None)
         )
         self.retry_after_s = float(retry_after_s)
-        self.rejected = 0  #: submissions refused by admission control
-        self.expired = 0  #: terminal jobs reaped by TTL garbage collection
+        # rejected/expired are seeded from the persisted registry snapshot
+        # and incremented in lockstep with it, which is what fixes the
+        # /stats amnesia across restarts
+        self.rejected = int(self.metrics.counter_total("repro_admission_rejected_total"))
+        self.expired = int(self.metrics.counter_total("repro_jobs_expired_total"))
+        self._last_health = "ok"
         self._draining = threading.Event()
         #: per-job abort signals consulted between sweep cells
         self._aborts: Dict[str, threading.Event] = {}
@@ -327,12 +350,16 @@ class JobManager:
                 self._emit("job_resumed", job)
                 self._executor.submit(self._run, job.id)
                 resumed.append(job.id)
+        if resumed:
+            self.metrics.inc("repro_jobs_resumed_total", len(resumed))
+        self._update_gauges()
         return resumed
 
     def close(self, wait: bool = True) -> None:
         if self._executor is not None:
             self._executor.shutdown(wait=wait)
             self._executor = None
+        self._save_metrics()
 
     # ---- graceful drain --------------------------------------------------
 
@@ -344,6 +371,8 @@ class JobManager:
         """Stop admitting work; running jobs keep checkpointing."""
         if not self._draining.is_set():
             self._draining.set()
+            self.metrics.inc("repro_drain_started_total")
+            self.metrics.set_gauge("repro_service_draining", 1)
             for job in self.list_jobs():
                 if job.state == "running":
                     self._emit("job_draining", job)
@@ -387,6 +416,7 @@ class JobManager:
             "finished": self._count_state("done") + self._count_state("failed"),
             "aborted": len(aborted),
         }
+        self._save_metrics()
         return summary
 
     def abort_running(self) -> int:
@@ -421,10 +451,15 @@ class JobManager:
     def health(self) -> str:
         """``ok`` | ``degraded`` (store writes failing) | ``draining``."""
         if self._draining.is_set():
-            return "draining"
-        if self.store.degraded:
-            return "degraded"
-        return "ok"
+            state = "draining"
+        elif self.store.degraded:
+            state = "degraded"
+        else:
+            state = "ok"
+        if state != self._last_health:
+            self._last_health = state
+            self.metrics.inc("repro_health_transitions_total", labels={"to": state})
+        return state
 
     def _load_persisted(self) -> List[Job]:
         jobs: List[Job] = []
@@ -444,6 +479,7 @@ class JobManager:
                     error=raw.get("error"),
                     cache=raw.get("cache"),
                     resumed=bool(raw.get("resumed", False)),
+                    request_id=raw.get("request_id"),
                 )
             except (OSError, ValueError, KeyError, TypeError, ReproError):
                 continue  # a torn job.json is abandoned, never fatal
@@ -455,17 +491,20 @@ class JobManager:
 
     # ---- submission ------------------------------------------------------
 
-    def submit(self, raw_spec: object) -> Job:
+    def submit(self, raw_spec: object, request_id: Optional[str] = None) -> Job:
         """Validate, admit, and enqueue one sweep spec; returns the job.
 
         The job is persisted before this method returns, so a server
         crash between ``202 Accepted`` and execution loses nothing.
+        ``request_id`` is the HTTP correlation id; it is stamped into the
+        job record and becomes the trace id of the job's span tree.
         Raises :class:`~repro.errors.ServiceUnavailableError` when the
         server is draining or admission control finds the queue or the
         in-flight cell budget saturated — the submission is load-shed
         (nothing enqueued, nothing persisted) and safely retryable.
         """
         if self._draining.is_set():
+            self.note_rejected("draining")
             raise ServiceUnavailableError(
                 "server is draining and not accepting new jobs",
                 retry_after_s=self.retry_after_s,
@@ -475,13 +514,15 @@ class JobManager:
         self.gc_terminal_jobs()
         spec = JobSpec.from_dict(raw_spec)
         self._admit(spec)
-        job = Job(id=uuid.uuid4().hex[:12], spec=spec)
+        job = Job(id=uuid.uuid4().hex[:12], spec=spec, request_id=request_id)
         with self._lock:
             self._jobs[job.id] = job
             self._aborts[job.id] = threading.Event()
         self._persist(job)
         self._emit("job_submitted", job)
+        self.metrics.inc("repro_jobs_submitted_total")
         self._executor.submit(self._run, job.id)
+        self._update_gauges()
         return job
 
     def _admit(self, spec: JobSpec) -> None:
@@ -490,7 +531,8 @@ class JobManager:
         if self.max_queued_jobs and queued >= self.max_queued_jobs:
             self._note_rejection(
                 f"job queue full ({queued} queued >= "
-                f"{self.max_queued_jobs} limit)"
+                f"{self.max_queued_jobs} limit)",
+                kind="queue_full",
             )
         inflight = self.inflight_cells()
         if (
@@ -499,12 +541,18 @@ class JobManager:
         ):
             self._note_rejection(
                 f"in-flight cell budget exhausted ({inflight} in flight "
-                f"+ {spec.n_cells} requested > {self.max_inflight_cells} limit)"
+                f"+ {spec.n_cells} requested > {self.max_inflight_cells} limit)",
+                kind="cell_budget",
             )
 
-    def _note_rejection(self, reason: str) -> None:
+    def note_rejected(self, kind: str) -> None:
+        """Count one shed submission (admission, drain, or injected)."""
         with self._lock:
             self.rejected += 1
+        self.metrics.inc("repro_admission_rejected_total", labels={"reason": kind})
+
+    def _note_rejection(self, reason: str, kind: str = "admission") -> None:
+        self.note_rejected(kind)
         if self.tracer is not None:
             self.tracer.emit("service_rejected", now=0, detail=reason)
         raise ServiceUnavailableError(reason, retry_after_s=self.retry_after_s)
@@ -531,9 +579,13 @@ class JobManager:
             if flipped:
                 job.state = "cancelled"
                 job.finished_unix = time.time()
+        self.metrics.inc("repro_jobs_cancel_requests_total")
         if flipped:
             self._persist(job)
             self._emit("job_cancelled", job)
+            self.metrics.inc("repro_jobs_completed_total", labels={"state": "cancelled"})
+            self._update_gauges()
+            self._save_metrics()
         return job
 
     def gc_terminal_jobs(self, now: Optional[float] = None) -> int:
@@ -562,6 +614,9 @@ class JobManager:
         for job in reaped:
             shutil.rmtree(self.job_dir(job.id), ignore_errors=True)
             self._emit("job_expired", job)
+        if reaped:
+            self.metrics.inc("repro_jobs_expired_total", len(reaped))
+            self._save_metrics()
         return len(reaped)
 
     # ---- execution -------------------------------------------------------
@@ -584,7 +639,27 @@ class JobManager:
         job.started_unix = time.time()
         self._persist(job)
         self._emit("job_started", job)
+        queue_wait = max(0.0, job.started_unix - job.created_unix)
+        self.metrics.observe("repro_job_queue_wait_seconds", queue_wait)
+        self._update_gauges()
+        # one span tree per job, rooted (when the submission came over
+        # HTTP) at the request's derived root span id so the tree stays
+        # connected without any handshake between layers
+        spans = SpanRecorder(
+            trace_id=job.request_id or job.id,
+            sink_path=self.run_dir(job.id) / SPANS_NAME,
+            proc="job-manager",
+            default_parent=(
+                request_root_span_id(job.request_id) if job.request_id else None
+            ),
+        )
+        spans.add(
+            "queue-wait", job.created_unix, queue_wait,
+            job_id=job.id, resumed=job.resumed,
+        )
         recovery = RecoveryLog(tracer=self.tracer)
+        recovery.request_id = job.request_id
+        run_t0 = time.time()
         try:
             configs = job.spec.resolve_configs()
             results = run_parallel_sweep(
@@ -599,6 +674,9 @@ class JobManager:
                 engine=job.spec.engine,
                 result_store=self.store,
                 should_abort=abort.is_set,
+                metrics=self.metrics,
+                spans=spans,
+                request_id=job.request_id,
             )
         except JobCancelledError:
             job.finished_unix = time.time()
@@ -606,6 +684,7 @@ class JobManager:
                 job.state = "cancelled"
                 self._persist(job)
                 self._emit("job_cancelled", job)
+                self._finish_telemetry(job, spans, run_t0)
             else:
                 # drain abort: park back to queued so a restarted server
                 # resumes from the journal (completed cells restore
@@ -615,6 +694,10 @@ class JobManager:
                 job.finished_unix = None
                 self._persist(job)
                 self._emit("job_drained", job)
+                self.metrics.inc("repro_jobs_parked_total")
+                spans.close()
+                self._update_gauges()
+                self._save_metrics()
             return
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
             job.state = "failed"
@@ -622,9 +705,15 @@ class JobManager:
             job.finished_unix = time.time()
             self._persist(job)
             self._emit("job_failed", job)
+            self._finish_telemetry(job, spans, run_t0)
             return
+        spans.add(
+            "sweep run", run_t0, time.time() - run_t0,
+            span_id=run_span_id(job.id), job_id=job.id,
+        )
         job.cache = cache_summary(results, recovery)
-        self._write_result(job, results)
+        with spans.span("write-result", job_id=job.id):
+            self._write_result(job, results)
         manifest = build_manifest(
             results,
             kind="service-job",
@@ -638,6 +727,7 @@ class JobManager:
             extra={
                 "cache": job.cache,
                 "recovery": recovery.summary() if len(recovery) else {},
+                "request_id": job.request_id,
             },
         )
         write_manifest(manifest, self.job_dir(job.id), name="job")
@@ -645,6 +735,30 @@ class JobManager:
         job.finished_unix = time.time()
         self._persist(job)
         self._emit("job_completed", job)
+        self._finish_telemetry(job, spans, run_t0, add_run_span=False)
+
+    def _finish_telemetry(
+        self,
+        job: Job,
+        spans: SpanRecorder,
+        run_t0: float,
+        add_run_span: bool = True,
+    ) -> None:
+        """Terminal-transition bookkeeping: histograms, counters, gauges,
+        and a snapshot save so a SIGKILL right after loses nothing."""
+        if add_run_span:
+            spans.add(
+                "sweep run", run_t0, time.time() - run_t0,
+                span_id=run_span_id(job.id), job_id=job.id, state=job.state,
+            )
+        spans.close()
+        if job.started_unix and job.finished_unix:
+            self.metrics.observe(
+                "repro_job_run_seconds", max(0.0, job.finished_unix - job.started_unix)
+            )
+        self.metrics.inc("repro_jobs_completed_total", labels={"state": job.state})
+        self._update_gauges()
+        self._save_metrics()
 
     def _write_result(self, job: Job, results) -> None:
         cells = []
@@ -682,6 +796,28 @@ class JobManager:
         if self.tracer is not None:
             self.tracer.emit(kind, now=0, detail=f"{job.id}: {job.state}")
 
+    # ---- telemetry --------------------------------------------------------
+
+    def _update_gauges(self) -> None:
+        try:
+            self.metrics.set_gauge("repro_job_queue_depth", self.queued_jobs())
+            self.metrics.set_gauge("repro_jobs_running", self._count_state("running"))
+            self.metrics.set_gauge("repro_inflight_cells", self.inflight_cells())
+        except Exception:
+            pass  # gauges are advisory; never fail a transition over them
+
+    def _save_metrics(self) -> None:
+        self.metrics.save(self.metrics_path)
+
+    def flush_telemetry(self) -> None:
+        """Refresh gauges and persist the snapshot (GC-loop heartbeat)."""
+        self._update_gauges()
+        self._save_metrics()
+
+    def attach_request_spans(self, job_id: str, records: List[Dict[str, object]]) -> None:
+        """Append HTTP-layer spans to a job's span file (best-effort)."""
+        append_spans(self.run_dir(job_id) / SPANS_NAME, records)
+
     # ---- queries (called from the async HTTP layer; must stay fast) ------
 
     def get(self, job_id: str) -> Optional[Job]:
@@ -710,12 +846,24 @@ class JobManager:
         return payload if isinstance(payload, dict) else None
 
     def stats(self) -> Dict[str, object]:
-        """Aggregate server statistics for ``GET /stats``."""
+        """Aggregate server statistics for ``GET /stats``.
+
+        Counter-style fields (``admission.rejected``, ``lifecycle.expired``,
+        the store tallies) are backed by the persisted metrics registry, so
+        unlike the pre-telemetry service they survive restarts.
+        """
         with self._lock:
             by_state: Dict[str, int] = {}
             for job in self._jobs.values():
                 by_state[job.state] = by_state.get(job.state, 0) + 1
             total = len(self._jobs)
+        store_stats = dict(self.store.stats(), entries=self.store.entry_count())
+        if getattr(self.store, "metrics", None) is self.metrics:
+            # registry-backed tallies = persisted totals + this process
+            for tally in type(self.store)._TALLY_FIELDS:
+                store_stats[tally] = int(
+                    self.metrics.counter_total(f"repro_store_{tally}_total")
+                )
         return {
             "uptime_s": round(time.time() - self.started_unix, 3),
             "health": self.health(),
@@ -732,6 +880,6 @@ class JobManager:
                 "job_ttl_s": self.job_ttl_s,
                 "expired": self.expired,
             },
-            "store": dict(self.store.stats(), entries=self.store.entry_count()),
+            "store": store_stats,
             "data_dir": str(self.data_dir),
         }

@@ -137,11 +137,16 @@ class ResultStore:
         self,
         root: Union[str, Path, None] = None,
         max_bytes: Optional[int] = None,
+        metrics=None,
     ) -> None:
         self.root = Path(root) if root is not None else service_data_dir() / "store"
         #: size budget for eviction; ``None`` = unbounded.  Explicit
         #: argument wins over ``$REPRO_STORE_MAX_BYTES``.
         self.max_bytes = max_bytes if max_bytes is not None else _env_max_bytes()
+        #: optional :class:`repro.obs.registry.WallClockRegistry`; every
+        #: tally below is mirrored into ``repro_store_<field>_total`` so
+        #: the counts survive restarts via the registry snapshot
+        self.metrics = metrics
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -325,6 +330,12 @@ class ResultStore:
             self.degraded_reason = str(exc)
         if first:
             note_recovery("store_degraded", f"writes failing: {exc}")
+            if self.metrics is not None:
+                try:
+                    self.metrics.inc("repro_store_degradations_total")
+                    self.metrics.set_gauge("repro_store_degraded", 1)
+                except Exception:
+                    pass
 
     def _leave_degraded(self) -> None:
         from ..trace.io import note_recovery
@@ -335,6 +346,11 @@ class ResultStore:
             self.degraded_reason = None
         if recovered:
             note_recovery("store_recovered", "result-store writes succeeding again")
+        if recovered and self.metrics is not None:
+            try:
+                self.metrics.set_gauge("repro_store_degraded", 0)
+            except Exception:
+                pass
 
     # ---- size-bounded LRU eviction ---------------------------------------
 
@@ -389,8 +405,7 @@ class ResultStore:
             total -= size
             removed += 1
         if removed:
-            with self._lock:
-                self.evicted += removed
+            self._note("evicted", removed)
             note_recovery(
                 "result_store_evicted",
                 f"{removed} LRU entr{'y' if removed == 1 else 'ies'} evicted "
@@ -423,9 +438,14 @@ class ResultStore:
                     f"{path.name}: could not quarantine or delete",
                 )
 
-    def _note(self, field: str) -> None:
+    def _note(self, field: str, amount: int = 1) -> None:
         with self._lock:
-            setattr(self, field, getattr(self, field) + 1)
+            setattr(self, field, getattr(self, field) + amount)
+        if self.metrics is not None:
+            try:
+                self.metrics.inc(f"repro_store_{field}_total", amount)
+            except Exception:
+                pass  # telemetry must never break the store
 
     def entry_count(self) -> int:
         """Entries currently on disk (excluding quarantined ones)."""

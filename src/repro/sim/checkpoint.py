@@ -104,6 +104,11 @@ class SweepJournal:
         self.restored = 0
         self.torn_lines = 0
         self.stale_records = 0
+        #: HTTP correlation id stamped into appended rows.  Provenance
+        #: only, like ``source``: deliberately NOT part of the run.json
+        #: identity (a resumed run under a new request id must match),
+        #: and ignored by :meth:`_restore`.
+        self.request_id: Optional[str] = None
 
     # ---- lifecycle -------------------------------------------------------
 
@@ -289,6 +294,8 @@ class SweepJournal:
             "metrics": result.metrics,
             "elapsed_s": result.elapsed_s,
         }
+        if self.request_id:
+            rec["request_id"] = self.request_id
         if self._fh is None:
             self.run_dir.mkdir(parents=True, exist_ok=True)
             self._fh = open(self.journal_path, "a", encoding="utf-8")

@@ -176,6 +176,8 @@ class RecoveryLog:
         self.actions: List[Dict[str, object]] = []
         self.tracer = tracer
         self._sink = None
+        #: HTTP correlation id stamped into every action (provenance only)
+        self.request_id: Optional[str] = None
 
     def attach_jsonl(self, path: Union[str, "os.PathLike[str]"]) -> None:
         """Stream every future action to ``path``, one JSON line each.
@@ -204,6 +206,8 @@ class RecoveryLog:
         action = {
             "kind": kind, "system": system, "benchmark": benchmark, "detail": detail
         }
+        if self.request_id:
+            action["request_id"] = self.request_id
         self.actions.append(action)
         if self._sink is not None:
             import json as _json
@@ -359,6 +363,26 @@ def _run_cell_resilient(
     )
 
 
+def _note_simulated(
+    metrics, spans, cell: SweepCell, t0_unix: float, dur_s: float,
+    proc: str = "sweep",
+) -> None:
+    """Per-cell telemetry (counter + wall-clock histogram + span).
+
+    All parent-side service-layer accounting — nothing here touches the
+    simulator or its counters, so results stay bit-identical with
+    telemetry on or off.
+    """
+    if metrics is not None:
+        metrics.inc("repro_sweep_cells_total", labels={"outcome": "simulated"})
+        metrics.observe("repro_sweep_cell_seconds", dur_s)
+    if spans is not None:
+        spans.add(
+            "cell simulate", t0_unix, dur_s, proc=proc,
+            system=cell.system, benchmark=cell.benchmark,
+        )
+
+
 def _run_cells_serial(
     cells: Iterable[SweepCell],
     policy: SweepPolicy,
@@ -366,6 +390,8 @@ def _run_cells_serial(
     journal: Optional[SweepJournal],
     disk_cache: bool,
     should_abort: Optional[Callable[[], bool]] = None,
+    metrics=None,
+    spans=None,
 ) -> Dict[Tuple[str, str], SimulationResult]:
     out: Dict[Tuple[str, str], SimulationResult] = {}
     previous_hook = trace_io.set_recovery_hook(
@@ -377,7 +403,9 @@ def _run_cells_serial(
                 raise JobCancelledError(
                     f"sweep aborted before cell {cell.system}/{cell.benchmark}"
                 )
+            t0 = time.time()
             result = _run_cell_resilient(cell, policy, recovery, disk_cache)
+            _note_simulated(metrics, spans, cell, t0, time.time() - t0)
             out[(cell.system, cell.benchmark)] = result
             if journal is not None:
                 journal.append(result, cell.scale)
@@ -414,7 +442,28 @@ def _service_worker(worker_id: int, task_q, result_q) -> None:
         for idx, cell, attempt in items:
             result_q.put(("start", worker_id, idx))
             try:
+                t0 = time.time()
                 result = _attempt_cell(cell, disk_cache=True, attempt=attempt)
+                # span payload travels BEFORE the result: the supervisor's
+                # message loop exits once every cell is accounted for, and
+                # queue order per worker guarantees the span is drained
+                # first.  Wall-clock measured in the worker process — the
+                # cross-process leg of the job's span tree.
+                result_q.put((
+                    "span", worker_id, idx,
+                    {
+                        "name": "cell simulate",
+                        "t0_unix": t0,
+                        "dur_s": time.time() - t0,
+                        "proc": f"worker-{worker_id}",
+                        "args": {
+                            "system": cell.system,
+                            "benchmark": cell.benchmark,
+                            "attempt": attempt,
+                            "os_pid": os.getpid(),
+                        },
+                    },
+                ))
                 result_q.put(("ok", worker_id, idx, result))
             except Exception as exc:
                 info = {
@@ -464,6 +513,8 @@ def _execute_cells(
     recovery: RecoveryLog,
     journal: Optional[SweepJournal],
     should_abort: Optional[Callable[[], bool]] = None,
+    metrics=None,
+    spans=None,
 ) -> Dict[Tuple[str, str], SimulationResult]:
     """Fan ``cells`` over supervised workers with full fault handling."""
     import queue as queue_mod
@@ -482,7 +533,7 @@ def _execute_cells(
         recovery.note("pool_unavailable", detail=repr(exc))
         return _run_cells_serial(
             cells, policy, recovery, journal, disk_cache=True,
-            should_abort=should_abort,
+            should_abort=should_abort, metrics=metrics, spans=spans,
         )
 
     n = len(cells)
@@ -534,7 +585,10 @@ def _execute_cells(
                 f"after {used} worker loss(es)",
             )
             try:
-                record_ok(idx, _attempt_cell(cell, disk_cache=True, attempt=used))
+                t0 = time.time()
+                result = _attempt_cell(cell, disk_cache=True, attempt=used)
+                _note_simulated(metrics, spans, cell, t0, time.time() - t0)
+                record_ok(idx, result)
                 return
             except Exception as exc:
                 description = f"serial fallback failed: {exc!r}"
@@ -593,7 +647,7 @@ def _execute_cells(
                         _index_by_key(cells)[key]: res
                         for key, res in _run_cells_serial(
                             remaining, policy, recovery, journal, disk_cache=True,
-                            should_abort=should_abort,
+                            should_abort=should_abort, metrics=metrics, spans=spans,
                         ).items()
                     }
                 )
@@ -640,6 +694,21 @@ def _execute_cells(
                         handle.started = None
                 elif kind == "note":
                     recovery.note(message[2], detail=message[3])
+                elif kind == "span":
+                    # worker-measured per-cell wall clock: feed the
+                    # histogram/counter and the job's span tree
+                    idx, payload = message[2], message[3]
+                    if idx not in results and metrics is not None:
+                        metrics.inc(
+                            "repro_sweep_cells_total",
+                            labels={"outcome": "simulated"},
+                        )
+                        metrics.observe(
+                            "repro_sweep_cell_seconds",
+                            float(payload.get("dur_s", 0.0)),
+                        )
+                    if spans is not None:
+                        spans.add_raw(payload)
 
             # liveness: a worker that died mid-task loses its in-flight cell
             now = time.monotonic()
@@ -743,6 +812,9 @@ def run_parallel_sweep(
     engine: Optional[str] = None,
     result_store=None,
     should_abort: Optional[Callable[[], bool]] = None,
+    metrics=None,
+    spans=None,
+    request_id: Optional[str] = None,
 ) -> Dict[Tuple[str, str], SimulationResult]:
     """Fan a sweep matrix over ``jobs`` worker processes, fault-tolerantly.
 
@@ -769,6 +841,17 @@ def run_parallel_sweep(
     boundary: every completed cell is already journalled, so a resumed
     run restores them bit-identically.  This is how the job service
     implements ``POST /jobs/<id>/cancel`` and graceful drain.
+
+    ``metrics`` / ``spans`` / ``request_id`` — optional wall-clock
+    telemetry: a :class:`repro.obs.registry.WallClockRegistry` fed
+    per-cell counters and duration histograms, a
+    :class:`repro.obs.spans.SpanRecorder` fed per-cell spans (including
+    worker-process-measured ones), and the HTTP correlation id stamped
+    into journal rows and recovery actions as provenance.  All of it is
+    service-layer accounting around the engine — counters and
+    ``manifest_core`` are bit-identical with telemetry on or off.  The
+    counters derived from the recovery log at the end (retries, timeouts,
+    redispatches) assume a fresh ``recovery`` per call.
     """
     from .batch import resolve_engine
 
@@ -779,6 +862,8 @@ def run_parallel_sweep(
     policy = resolve_policy(max_retries, cell_timeout)
     if recovery is None:
         recovery = RecoveryLog()
+    if request_id:
+        recovery.request_id = request_id
 
     journal: Optional[SweepJournal] = None
     done: Dict[Tuple[str, str], SimulationResult] = {}
@@ -792,6 +877,9 @@ def run_parallel_sweep(
             benchmarks=list(benchmarks),
             engine=engine,
         )
+        # provenance only — deliberately NOT part of the header identity,
+        # so a resumed run under a different request id still matches
+        journal.request_id = request_id
         # live recovery feed beside the journal (tailed by `repro top`)
         from .checkpoint import RECOVERY_NAME
 
@@ -802,6 +890,11 @@ def run_parallel_sweep(
                 "cells_resumed",
                 detail=f"{len(done)} cell(s) restored from {journal.run_dir}",
             )
+            if metrics is not None:
+                metrics.inc(
+                    "repro_sweep_cells_total", len(done),
+                    labels={"outcome": "resumed"},
+                )
         if journal.torn_lines or journal.stale_records:
             recovery.note(
                 "journal_repaired",
@@ -826,6 +919,7 @@ def run_parallel_sweep(
         if key in done:
             continue
         if result_store is not None:
+            t_get = time.time()
             hit = result_store.get(
                 c.config, c.benchmark, refs=c.refs, seed=c.seed,
                 scale=c.scale, system=c.system,
@@ -835,6 +929,15 @@ def run_parallel_sweep(
                 cached_keys.add(key)
                 recovery.note("cell_cache_hit", c.system, c.benchmark,
                               "served from the result store")
+                if metrics is not None:
+                    metrics.inc(
+                        "repro_sweep_cells_total", labels={"outcome": "cached"}
+                    )
+                if spans is not None:
+                    spans.add(
+                        "cell cache-hit", t_get, time.time() - t_get,
+                        system=c.system, benchmark=c.benchmark,
+                    )
                 if journal is not None:
                     journal.append(hit, c.scale, source="cache")
                 continue
@@ -849,7 +952,7 @@ def run_parallel_sweep(
             if jobs <= 1 or len(todo) <= 1:
                 fresh = _run_cells_serial(
                     todo, policy, recovery, journal, disk_cache=False,
-                    should_abort=should_abort,
+                    should_abort=should_abort, metrics=metrics, spans=spans,
                 )
             else:
                 # Pre-seed the disk cache so no worker regenerates a trace.
@@ -863,11 +966,22 @@ def run_parallel_sweep(
                         pass  # workers fall back to generating it themselves
                 fresh = _execute_cells(
                     todo, jobs, policy, recovery, journal,
-                    should_abort=should_abort,
+                    should_abort=should_abort, metrics=metrics, spans=spans,
                 )
             done.update(fresh)
     finally:
         trace_io.set_recovery_hook(previous_hook)
+        if metrics is not None:
+            # recovery-action counters, derived once per sweep (valid
+            # because the service hands each run a fresh RecoveryLog)
+            for note_kind, metric in (
+                ("cell_retry", "repro_sweep_cell_retries_total"),
+                ("cell_timeout", "repro_sweep_cell_timeouts_total"),
+                ("cell_redispatch", "repro_sweep_cell_redispatches_total"),
+            ):
+                count = recovery.counts.get(note_kind, 0)
+                if count:
+                    metrics.inc(metric, count)
         if journal is not None:
             journal.close()
             recovery.close()
@@ -879,6 +993,7 @@ def run_parallel_sweep(
         # The recovery hook is re-attached so store degradation events
         # (store_degraded / store_recovered / evictions) are logged too.
         stored = 0
+        t_put = time.time()
         previous_hook = trace_io.set_recovery_hook(
             lambda kind, detail: recovery.note(kind, detail=detail)
         )
@@ -893,6 +1008,8 @@ def run_parallel_sweep(
                     stored += 1
         finally:
             trace_io.set_recovery_hook(previous_hook)
+            if spans is not None:
+                spans.add("store-put", t_put, time.time() - t_put, stored=stored)
         if stored < len(cells) - len(cached_keys):
             recovery.note(
                 "result_store_skipped",

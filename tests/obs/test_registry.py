@@ -1,0 +1,227 @@
+"""Tests for the wall-clock metrics registry: deterministic exposition,
+histogram bucket semantics, thread safety, and snapshot persistence."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS,
+    WallClockRegistry,
+    merge_snapshots,
+)
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: builds the same little registry everywhere — order of operations is
+#: deliberately shuffled between variants to pin order-independence
+BUILD = """
+from repro.obs.registry import WallClockRegistry
+r = WallClockRegistry()
+r.describe("repro_http_requests_total", "requests")
+{body}
+print(r.expose(), end="")
+"""
+
+
+def build_sample(order: int) -> WallClockRegistry:
+    r = WallClockRegistry()
+    r.describe("repro_http_requests_total", "requests")
+    series = [
+        {"endpoint": "/jobs", "method": "POST", "status": "202"},
+        {"endpoint": "/jobs", "method": "GET", "status": "200"},
+        {"endpoint": "/stats", "method": "GET", "status": "200"},
+    ]
+    if order:
+        series = list(reversed(series))
+    for labels in series:
+        r.inc("repro_http_requests_total", labels=labels)
+    r.set_gauge("repro_job_queue_depth", 4)
+    for v in (0.003, 0.04, 2.0):
+        r.observe("repro_http_request_seconds", v,
+                  labels={"endpoint": "/jobs"})
+    return r
+
+
+class TestExposition:
+    def test_insertion_order_does_not_change_exposition(self):
+        assert build_sample(0).expose() == build_sample(1).expose()
+
+    def test_label_names_sorted_within_series(self):
+        r = WallClockRegistry()
+        r.inc("x_total", labels={"zeta": "1", "alpha": "2"})
+        line = [l for l in r.expose().splitlines() if l.startswith("x_total")]
+        assert line == ['x_total{alpha="2",zeta="1"} 1']
+
+    def test_byte_identical_across_two_processes(self):
+        """The exposition is a pure function of the recorded values."""
+        body = "\n".join([
+            'r.inc("repro_http_requests_total", labels={"endpoint": "/jobs",'
+            ' "method": "POST", "status": "202"}, amount=3)',
+            'r.set_gauge("repro_job_queue_depth", 2)',
+            'r.observe("repro_job_run_seconds", 0.75)',
+        ])
+        script = BUILD.format(body=body)
+
+        def run() -> str:
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True,
+                env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+            )
+            assert proc.returncode == 0, proc.stderr
+            return proc.stdout
+
+        first, second = run(), run()
+        assert first == second
+        assert "repro_http_requests_total" in first
+
+    def test_escaping_and_types(self):
+        r = WallClockRegistry()
+        r.inc("e_total", labels={"reason": 'a"b\\c\nd'})
+        text = r.expose()
+        assert r'reason="a\"b\\c\nd"' in text
+        assert "# TYPE e_total counter" in text
+
+    def test_mismatched_label_names_rejected(self):
+        r = WallClockRegistry()
+        r.inc("x_total", labels={"a": "1"})
+        with pytest.raises(ValueError):
+            r.inc("x_total", labels={"b": "1"})
+
+    def test_counters_cannot_decrease(self):
+        r = WallClockRegistry()
+        with pytest.raises(ValueError):
+            r.inc("x_total", amount=-1)
+
+
+class TestHistogram:
+    def test_bucket_boundaries_are_upper_inclusive(self):
+        r = WallClockRegistry()
+        bounds = (0.1, 1.0, 10.0)
+        # exactly on a bound lands IN that bucket; just above spills over
+        for v in (0.1, 0.100001, 1.0, 10.0, 11.0):
+            r.observe("h_seconds", v, buckets=bounds)
+        text = r.expose()
+        assert 'h_seconds_bucket{le="0.1"} 1' in text
+        assert 'h_seconds_bucket{le="1"} 3' in text      # cumulative
+        assert 'h_seconds_bucket{le="10"} 4' in text
+        assert 'h_seconds_bucket{le="+Inf"} 5' in text
+        assert "h_seconds_count 5" in text
+
+    def test_default_buckets_span_ms_to_minutes(self):
+        assert DEFAULT_TIME_BUCKETS[0] <= 0.001
+        assert DEFAULT_TIME_BUCKETS[-1] >= 300.0
+        assert list(DEFAULT_TIME_BUCKETS) == sorted(DEFAULT_TIME_BUCKETS)
+
+    def test_totals(self):
+        r = WallClockRegistry()
+        r.observe("h_seconds", 0.5, labels={"endpoint": "/a"})
+        r.observe("h_seconds", 1.5, labels={"endpoint": "/b"})
+        count, total = r.histogram_totals("h_seconds")
+        assert count == 2
+        assert total == pytest.approx(2.0)
+
+
+class TestConcurrency:
+    def test_eight_threads_incrementing(self):
+        r = WallClockRegistry()
+        n, per = 8, 2000
+
+        def worker(i: int) -> None:
+            for _ in range(per):
+                r.inc("c_total", labels={"thread": str(i % 2)})
+                r.observe("h_seconds", 0.01)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert r.counter_total("c_total") == n * per
+        count, _ = r.histogram_totals("h_seconds")
+        assert count == n * per
+
+
+class TestSnapshot:
+    def test_round_trip_is_exposition_identical(self):
+        r = build_sample(0)
+        copy = WallClockRegistry()
+        copy.merge(r.snapshot())
+        assert copy.expose() == r.expose()
+
+    def test_snapshot_is_json_safe(self):
+        json.dumps(build_sample(0).snapshot())
+
+    def test_save_load(self, tmp_path):
+        r = build_sample(0)
+        path = tmp_path / "metrics.json"
+        assert r.save(path)
+        fresh = WallClockRegistry()
+        assert fresh.load(path)
+        assert fresh.expose() == r.expose()
+        assert not WallClockRegistry().load(tmp_path / "missing.json")
+
+    def test_load_merges_counters_additively(self, tmp_path):
+        """Restart semantics: persisted counts + new counts, not replace."""
+        path = tmp_path / "metrics.json"
+        r = WallClockRegistry()
+        r.inc("jobs_total", amount=5)
+        r.save(path)
+        survivor = WallClockRegistry()
+        survivor.inc("jobs_total", amount=2)
+        survivor.load(path)
+        assert survivor.counter_total("jobs_total") == 7
+
+    def test_merge_across_worker_processes(self):
+        """Snapshots from separate processes aggregate deterministically."""
+        script = BUILD.format(body=(
+            'r.inc("cells_total", amount={n});'
+            'r.observe("cell_seconds", {v});'
+            'r.set_gauge("depth", {n})\n'
+            'import json; print("SNAP" + json.dumps(r.snapshot()))'
+        ))
+
+        def snap(n: int, v: float) -> dict:
+            proc = subprocess.run(
+                [sys.executable, "-c",
+                 script.replace("{n}", str(n)).replace("{v}", str(v))],
+                capture_output=True, text=True,
+                env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+            )
+            assert proc.returncode == 0, proc.stderr
+            line = [l for l in proc.stdout.splitlines()
+                    if l.startswith("SNAP")][0]
+            return json.loads(line[len("SNAP"):])
+
+        merged = merge_snapshots([snap(3, 0.2), snap(4, 30.0)])
+        assert merged.counter_total("cells_total") == 7
+        count, total = merged.histogram_totals("cell_seconds")
+        assert count == 2
+        assert total == pytest.approx(30.2)
+        # gauges: first snapshot's live value wins, never summed
+        assert merged.gauge_value("depth") in (3, 4)
+
+    def test_gauge_merge_prefers_live_value(self):
+        r = WallClockRegistry()
+        r.set_gauge("depth", 9)
+        stale = WallClockRegistry()
+        stale.set_gauge("depth", 1)
+        r.merge(stale.snapshot())
+        assert r.gauge_value("depth") == 9
+
+    def test_bound_mismatch_skips_family(self):
+        a = WallClockRegistry()
+        a.observe("h_seconds", 0.5, buckets=(1.0, 2.0))
+        b = WallClockRegistry()
+        b.observe("h_seconds", 0.5, buckets=(5.0,))
+        a.merge(b.snapshot())  # must not corrupt; incompatible family skipped
+        count, _ = a.histogram_totals("h_seconds")
+        assert count == 1
